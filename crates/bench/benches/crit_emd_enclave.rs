@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the privacy path: sealing histograms and computing
+//! the EMD similarity matrix inside the enclave.
+
+use aergia_data::emd;
+use aergia_enclave::{establish_session, SimilarityEnclave};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn histograms(clients: usize, classes: usize) -> Vec<Vec<u64>> {
+    (0..clients)
+        .map(|c| (0..classes).map(|k| ((c * 31 + k * 17) % 97) as u64).collect())
+        .collect()
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd/similarity_matrix");
+    for &n in &[24usize, 100] {
+        let hists = histograms(n, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| emd::similarity_matrix(black_box(&hists)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enclave_round_trip(c: &mut Criterion) {
+    c.bench_function("enclave/attest_seal_submit_24_clients", |b| {
+        b.iter(|| {
+            let mut enclave = SimilarityEnclave::new(10, 7);
+            for (client, hist) in histograms(24, 10).into_iter().enumerate() {
+                let mut session =
+                    establish_session(&mut enclave, client as u32, 99).expect("attest");
+                enclave.submit(client as u32, session.seal_histogram(&hist)).expect("submit");
+            }
+            enclave.compute_similarity_matrix().expect("matrix")
+        });
+    });
+}
+
+criterion_group!(benches, bench_similarity_matrix, bench_enclave_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! §4.3 claim: the LPT-style scheduler "scales linearly with the number of
+//! clients, and therefore does not significantly slow down the federator".
+//! Criterion sweep over cluster sizes.
+
+use aergia::scheduler::{calc_op, schedule, ClientPerf, OpVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn perfs(n: usize) -> Vec<ClientPerf> {
+    (0..n)
+        .map(|id| {
+            let speed = 0.1 + 0.9 * (id as f64 * 0.6180339887).fract();
+            let full = 0.05 / speed;
+            ClientPerf {
+                id,
+                t123: full * 0.4,
+                t4: full * 0.6,
+                feature_only: full * 0.8,
+                remaining: 1500,
+            }
+        })
+        .collect()
+}
+
+fn identity_similarity(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| (0..n).map(|j| if i == j { 0.0 } else { 0.5 }).collect()).collect()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/schedule");
+    for &n in &[10usize, 100, 1000] {
+        let p = perfs(n);
+        let s = identity_similarity(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| schedule(black_box(&p), black_box(&s), 1.0, OpVariant::Unimodal));
+        });
+    }
+    group.finish();
+}
+
+fn bench_calc_op(c: &mut Criterion) {
+    c.bench_function("scheduler/calc_op_1600_updates", |b| {
+        b.iter(|| calc_op(black_box(0.5), black_box(0.05), black_box(0.04), 1600, 1600));
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_calc_op);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the discrete-event substrate: event-queue
+//! throughput and an end-to-end timing-mode FL round.
+
+use aergia::config::Mode;
+use aergia::strategy::Strategy;
+use aergia_bench::{base_config, Scale};
+use aergia_data::DatasetSpec;
+use aergia_nn::models::ModelArch;
+use aergia_simnet::{EventQueue, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simnet/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_timing_round(c: &mut Criterion) {
+    c.bench_function("engine/timing_mode_full_run_8_clients", |b| {
+        b.iter(|| {
+            let mut config = base_config(
+                Scale::Smoke,
+                DatasetSpec::FmnistLike,
+                ModelArch::FmnistCnn,
+                5,
+            );
+            config.mode = Mode::Timing;
+            config.num_clients = 8;
+            config.clients_per_round = 8;
+            config.speeds = aergia_simnet::cluster::uniform_speeds(8, 0.1, 1.0, 5);
+            config.rounds = 5;
+            aergia::Engine::new(config, Strategy::aergia_default())
+                .expect("config")
+                .run()
+                .expect("run")
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_timing_round);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the tensor/NN kernels the whole evaluation rests
+//! on: matmul, convolution forward/backward, and a full 4-phase batch.
+
+use aergia_nn::models::ModelArch;
+use aergia_nn::optim::{Sgd, SgdConfig};
+use aergia_tensor::{init, ops, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut a = Tensor::zeros(&[128, 256]);
+    let mut b = Tensor::zeros(&[256, 64]);
+    init::normal(&mut a, &mut rng, 0.0, 1.0);
+    init::normal(&mut b, &mut rng, 0.0, 1.0);
+    c.bench_function("tensor/matmul_128x256x64", |bench| {
+        bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"));
+    });
+}
+
+fn bench_conv_phases(c: &mut Criterion) {
+    let mut model = ModelArch::MnistCnn.build(1);
+    let mut opt = Sgd::new(SgdConfig::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut x = Tensor::zeros(&[8, 1, 28, 28]);
+    init::normal(&mut x, &mut rng, 0.0, 1.0);
+    let y: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    c.bench_function("nn/mnist_cnn_full_batch8", |bench| {
+        bench.iter(|| model.train_batch(black_box(&x), black_box(&y), &mut opt).expect("batch"));
+    });
+
+    let mut frozen = ModelArch::MnistCnn.build(1);
+    frozen.freeze_features();
+    c.bench_function("nn/mnist_cnn_frozen_batch8", |bench| {
+        bench.iter(|| frozen.train_batch(black_box(&x), black_box(&y), &mut opt).expect("batch"));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv_phases);
+criterion_main!(benches);

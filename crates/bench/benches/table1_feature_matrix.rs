@@ -1,0 +1,36 @@
+//! Table 1: qualitative comparison of FL solutions for heterogeneous
+//! settings, generated from the strategies' self-reported metadata.
+
+use aergia::strategy::Strategy;
+use aergia_bench::header;
+
+fn main() {
+    header("Table 1", "FL solutions for heterogeneous settings");
+
+    println!(
+        "{:<14}{:>22}{:>26}{:>26}",
+        "", "data heterogeneity", "resource heterogeneity", "minimizes training time"
+    );
+    for strategy in [
+        Strategy::FedAvg,
+        Strategy::FedProx { mu: 0.05 },
+        Strategy::FedNova,
+        Strategy::tifl_default(),
+        Strategy::aergia_default(),
+    ] {
+        let row = strategy.table1_row();
+        println!(
+            "{:<14}{:>22}{:>26}{:>26}",
+            row.name,
+            row.data_heterogeneity.to_string(),
+            row.resource_heterogeneity.to_string(),
+            if row.minimizes_training_time { "yes" } else { "no" }
+        );
+    }
+
+    println!();
+    println!(
+        "expected content (paper Table 1): FedAvg -/-/no, FedProx +/-/no, FedNova\n\
+         +/-/no, TiFL +/+/yes, Aergia ++/++/yes."
+    );
+}

@@ -1,0 +1,217 @@
+//! Shared harness code for the figure/table benchmarks.
+//!
+//! Every `benches/fig*.rs` target regenerates one table or figure of the
+//! paper's evaluation section: it builds the experiment configurations,
+//! runs them through the [`aergia::Engine`] and prints the same
+//! rows/series the paper plots. The [`Scale`] knob (environment variable
+//! `AERGIA_SCALE`) trades fidelity for wall-clock time:
+//!
+//! * `smoke` — minimal sizes, seconds per figure (CI);
+//! * `default` — the documented default, minutes for the full suite;
+//! * `paper` — paper-sized clusters and round counts (hours).
+
+use std::fmt::Display;
+
+use aergia::config::{ExperimentConfig, Mode};
+use aergia::engine::Engine;
+use aergia::metrics::RunResult;
+use aergia::strategy::Strategy;
+use aergia_data::partition::Scheme;
+use aergia_data::{DataConfig, DatasetSpec};
+use aergia_nn::models::ModelArch;
+
+/// Experiment scale selected via `AERGIA_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny smoke-test sizes.
+    Smoke,
+    /// The default benchmark scale.
+    Default,
+    /// Paper-sized experiments (24 clients, 100 rounds).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `AERGIA_SCALE` (defaults to [`Scale::Default`]).
+    pub fn from_env() -> Self {
+        match std::env::var("AERGIA_SCALE").unwrap_or_default().as_str() {
+            "smoke" => Scale::Smoke,
+            "paper" => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Scales a default-size quantity, with a floor of `min`.
+    pub fn scaled(&self, default: usize, min: usize) -> usize {
+        let v = match self {
+            Scale::Smoke => default / 2,
+            Scale::Default => default,
+            Scale::Paper => default * 3,
+        };
+        v.max(min)
+    }
+
+    /// Cluster size for the main comparison figures.
+    pub fn clients(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Default => 8,
+            Scale::Paper => 24,
+        }
+    }
+
+    /// Communication rounds for the main comparison figures.
+    pub fn rounds(&self) -> u32 {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Default => 8,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Local batch updates per round (paper: 1600).
+    pub fn local_updates(&self) -> u32 {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Default => 12,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// Aergia's profiling window (paper: 100 of 1600, a 1/16 ratio).
+    pub fn profile_batches(&self) -> u32 {
+        (self.local_updates() / 16).max(1)
+    }
+}
+
+/// The paper's dataset/architecture pairings for Figures 6 and 7.
+pub fn eval_pairs() -> Vec<(DatasetSpec, ModelArch)> {
+    vec![
+        (DatasetSpec::MnistLike, ModelArch::MnistCnn),
+        (DatasetSpec::FmnistLike, ModelArch::FmnistCnn),
+        (DatasetSpec::Cifar10Like, ModelArch::Cifar10Cnn),
+    ]
+}
+
+/// The five algorithms of Figures 6–8.
+pub fn algorithms(scale: Scale) -> Vec<Strategy> {
+    vec![
+        Strategy::FedAvg,
+        Strategy::FedProx { mu: 0.05 },
+        Strategy::FedNova,
+        Strategy::tifl_default(),
+        Strategy::Aergia {
+            similarity_factor: 1.0,
+            profile_batches: scale.profile_batches(),
+            op_variant: Default::default(),
+        },
+    ]
+}
+
+/// A baseline experiment configuration for the comparison figures.
+pub fn base_config(scale: Scale, spec: DatasetSpec, arch: ModelArch, seed: u64) -> ExperimentConfig {
+    let clients = scale.clients();
+    // CIFAR-scale convolutions are ~8× heavier; shrink the workload so the
+    // suite stays laptop-fast while the relative comparisons survive.
+    let heavy = matches!(spec, DatasetSpec::Cifar10Like | DatasetSpec::Cifar100Like);
+    let (clients, rounds, updates) = if heavy && scale != Scale::Paper {
+        (clients.min(6), scale.rounds().min(6), scale.local_updates().min(8))
+    } else {
+        (clients, scale.rounds(), scale.local_updates())
+    };
+    ExperimentConfig {
+        dataset: DataConfig {
+            spec,
+            train_size: scale.scaled(80, 24) * clients,
+            test_size: scale.scaled(256, 64),
+            seed: seed ^ 0xda7a,
+        },
+        arch,
+        partition: Scheme::Iid,
+        num_clients: clients,
+        clients_per_round: clients,
+        rounds,
+        local_updates: updates,
+        batch_size: 8,
+        speeds: aergia_simnet::cluster::uniform_speeds(clients, 0.1, 1.0, seed ^ 0x5eed),
+        eval_samples: scale.scaled(256, 64),
+        mode: Mode::Real,
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs one experiment to completion.
+///
+/// # Panics
+///
+/// Panics on configuration errors — benchmark configs are static.
+pub fn run(config: ExperimentConfig, strategy: Strategy) -> RunResult {
+    Engine::new(config, strategy)
+        .expect("benchmark configuration must be valid")
+        .run()
+        .expect("benchmark run must succeed")
+}
+
+/// Runs `jobs` experiments, two at a time (the benchmark hosts have few
+/// cores), preserving input order in the output.
+pub fn run_parallel(jobs: Vec<(ExperimentConfig, Strategy)>) -> Vec<RunResult> {
+    let n = jobs.len();
+    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    let queue: std::sync::Mutex<Vec<(usize, ExperimentConfig, Strategy)>> = std::sync::Mutex::new(
+        jobs.into_iter().enumerate().map(|(i, (c, s))| (i, c, s)).rev().collect(),
+    );
+    let results_mx = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|_| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                match job {
+                    Some((i, config, strategy)) => {
+                        let result = run(config, strategy);
+                        results_mx.lock().expect("results lock")[i] = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("benchmark worker panicked");
+    results.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+/// Prints a figure header with the active scale.
+pub fn header(figure: &str, caption: &str) {
+    println!();
+    println!("================================================================");
+    println!("{figure} — {caption}");
+    println!("scale: {:?} (set AERGIA_SCALE=smoke|default|paper)", Scale::from_env());
+    println!("================================================================");
+}
+
+/// Prints one aligned table row.
+pub fn row(cells: &[&dyn Display]) {
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:<18}"));
+        } else {
+            line.push_str(&format!("{c:>14}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Formats a float with 3 decimals (table cell helper).
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats seconds with 1 decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}s")
+}

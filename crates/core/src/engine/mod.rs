@@ -1,0 +1,613 @@
+//! The discrete-event federated-learning engine.
+//!
+//! [`Engine`] executes a full FL run for one [`Strategy`] over the
+//! simulated cluster: it generates the synthetic dataset, partitions it,
+//! sets up the enclave similarity matrix (for Aergia), then simulates `T`
+//! synchronous rounds on a virtual clock. Each round is an event-driven
+//! simulation ([`round`]): model downloads, per-batch training progress,
+//! profile reports, scheduling messages, client-to-client offloads and
+//! update uploads all flow through the [`aergia_simnet::Network`] with
+//! explicit byte sizes and latencies.
+//!
+//! In [`Mode::Real`] clients train actual [`aergia_nn::Cnn`] models so
+//! accuracy curves are meaningful; in [`Mode::Timing`] only the virtual
+//! clock advances (for the timing-shape figures).
+
+mod round;
+mod tifl;
+
+use std::error::Error;
+use std::fmt;
+
+use aergia_data::batcher::Batcher;
+use aergia_data::partition::Partition;
+use aergia_data::synth::Dataset;
+use aergia_enclave::{establish_session, EnclaveError, SimilarityEnclave};
+use aergia_nn::optim::{Sgd, SgdConfig};
+use aergia_nn::profile::PhaseCost;
+use aergia_nn::weights as w;
+use aergia_nn::{Cnn, NnError};
+use aergia_simnet::node::BASE_FLOPS;
+use aergia_simnet::{CpuModel, LinkModel, Network, SimDuration, SimTime};
+use aergia_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{ConfigError, ExperimentConfig, Mode};
+use crate::metrics::{RoundRecord, RunResult};
+use crate::strategy::Strategy;
+
+pub use round::RoundOutcome;
+
+/// Errors surfaced while constructing or running an experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// A model operation failed.
+    Nn(NnError),
+    /// The enclave protocol failed.
+    Enclave(EnclaveError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "configuration error: {e}"),
+            EngineError::Nn(e) => write!(f, "model error: {e}"),
+            EngineError::Enclave(e) => write!(f, "enclave error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::Nn(e) => Some(e),
+            EngineError::Enclave(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<NnError> for EngineError {
+    fn from(e: NnError) -> Self {
+        EngineError::Nn(e)
+    }
+}
+
+impl From<EnclaveError> for EngineError {
+    fn from(e: EnclaveError) -> Self {
+        EngineError::Enclave(e)
+    }
+}
+
+/// Persistent per-client state (survives across rounds).
+pub(crate) struct ClientNode {
+    pub(crate) cpu: CpuModel,
+    pub(crate) batcher: Batcher,
+    pub(crate) shard_len: usize,
+    /// Per-batch virtual cost of the four phases on this client.
+    pub(crate) phase_secs: PhaseCost,
+}
+
+impl ClientNode {
+    /// Virtual duration of one full (4-phase) batch update.
+    pub(crate) fn full_batch(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.phase_secs.total())
+    }
+
+    /// Virtual duration of one frozen (3-phase) batch update.
+    pub(crate) fn frozen_batch(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.phase_secs.first_three())
+    }
+
+    /// Virtual duration of one feature-only batch (offloaded training).
+    pub(crate) fn feature_batch(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.phase_secs.ff + self.phase_secs.bf)
+    }
+}
+
+/// The federated-learning run executor.
+pub struct Engine {
+    pub(crate) config: ExperimentConfig,
+    pub(crate) strategy: Strategy,
+    pub(crate) train: Dataset,
+    pub(crate) test: Dataset,
+    pub(crate) partition: Partition,
+    pub(crate) similarity: Vec<Vec<f64>>,
+    pub(crate) enclave_setup_bytes: usize,
+    pub(crate) clients: Vec<ClientNode>,
+    pub(crate) network: Network,
+    pub(crate) global: Vec<Tensor>,
+    pub(crate) template: Cnn,
+    pub(crate) full_model_bytes: usize,
+    pub(crate) feature_bytes: usize,
+    pub(crate) select_rng: StdRng,
+    pub(crate) federator_secret: u64,
+    pub(crate) tifl: Option<tifl::TiflState>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("strategy", &self.strategy.name())
+            .field("clients", &self.clients.len())
+            .field("rounds", &self.config.rounds)
+            .field("mode", &self.config.mode)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds an engine: generates data, partitions it, runs the enclave
+    /// similarity protocol and prepares client state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for invalid configurations and
+    /// [`EngineError::Enclave`] if the similarity protocol fails.
+    pub fn new(config: ExperimentConfig, strategy: Strategy) -> Result<Self, EngineError> {
+        config.validate()?;
+        let (train, test) = config.dataset.generate_pair();
+        let partition =
+            Partition::split(&train, config.num_clients, config.partition, config.seed);
+
+        // Dataset similarity, computed privately in the enclave before
+        // training starts (§4.4). Every client participates once.
+        let mut enclave = SimilarityEnclave::new(train.num_classes(), config.seed ^ 0xe9c1);
+        let mut enclave_setup_bytes = 0usize;
+        for client in 0..config.num_clients {
+            let mut session =
+                establish_session(&mut enclave, client as u32, config.seed ^ client as u64)?;
+            let hist = partition.class_histogram(&train, client);
+            let blob = session.seal_histogram(&hist);
+            enclave_setup_bytes += blob.len() + 64;
+            enclave.submit(client as u32, blob)?;
+        }
+        let similarity = if config.num_clients >= 2 {
+            enclave.compute_similarity_matrix()?
+        } else {
+            vec![vec![0.0]]
+        };
+
+        let template = config.arch.build(config.seed ^ 0x6d6f_64656c); // "model"
+        let global = template.weights();
+        let full_model_bytes = w::byte_size(&global);
+        let feature_bytes = w::byte_size(&template.feature_weights());
+
+        let flops = template.phase_flops(config.batch_size);
+        let clients = (0..config.num_clients)
+            .map(|id| {
+                let cpu = CpuModel::new(config.speeds[id]);
+                let secs_per_flop = 1.0 / (cpu.speed() * BASE_FLOPS);
+                ClientNode {
+                    cpu,
+                    batcher: Batcher::new(
+                        partition.indices(id).to_vec(),
+                        config.batch_size,
+                        config.seed ^ (id as u64).wrapping_mul(0x9e37),
+                    ),
+                    shard_len: partition.shard_len(id),
+                    phase_secs: flops.scaled(secs_per_flop),
+                }
+            })
+            .collect();
+
+        let tifl = match strategy {
+            Strategy::Tifl { tiers } => {
+                Some(tifl::TiflState::new(&config.speeds, tiers, config.seed ^ 0x7469))
+            }
+            _ => None,
+        };
+
+        Ok(Engine {
+            network: Network::new(config.link),
+            select_rng: StdRng::seed_from_u64(config.seed ^ 0x73656c), // "sel"
+            federator_secret: config.seed ^ 0xfed0_fed0,
+            similarity,
+            enclave_setup_bytes,
+            clients,
+            global,
+            template,
+            full_model_bytes,
+            feature_bytes,
+            partition,
+            train,
+            test,
+            config,
+            strategy,
+            tifl,
+        })
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The enclave's dataset-similarity matrix (EMD distances).
+    pub fn similarity_matrix(&self) -> &[Vec<f64>] {
+        &self.similarity
+    }
+
+    /// The client data partition in effect.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The generated training dataset.
+    pub fn train_dataset(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// The generated test dataset.
+    pub fn test_dataset(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// Overrides the federator→client downlink (e.g. to model a slow
+    /// control path in robustness tests).
+    pub fn set_federator_link(&mut self, to: usize, link: LinkModel) {
+        self.network.set_link(aergia_simnet::NodeId::FEDERATOR, aergia_simnet::NodeId(to as u32), link);
+    }
+
+    /// The configured speed fraction of `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn client_speed(&self, client: usize) -> f64 {
+        self.clients[client].cpu.speed()
+    }
+
+    /// Changes `client`'s speed mid-run — the paper's transient-load
+    /// scenario (§3.1). Takes effect from the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or `speed` is outside `(0, 1]`.
+    pub fn set_client_speed(&mut self, client: usize, speed: f64) {
+        let node = &mut self.clients[client];
+        node.cpu.set_speed(speed);
+        let secs_per_flop = 1.0 / (node.cpu.speed() * BASE_FLOPS);
+        node.phase_secs = self.template.phase_flops(self.config.batch_size).scaled(secs_per_flop);
+    }
+
+    /// Injects network faults for robustness experiments (drops break the
+    /// synchronous protocol's liveness, so only jitter is recommended for
+    /// full runs).
+    pub fn inject_network_faults(&mut self, drop_prob: f64, jitter: SimDuration, seed: u64) {
+        self.network.enable_faults(drop_prob, jitter, seed);
+    }
+
+    /// Overrides the link model of a specific client pair.
+    pub fn set_client_link(&mut self, from: usize, to: usize, link: LinkModel) {
+        self.network.set_link(
+            aergia_simnet::NodeId(from as u32),
+            aergia_simnet::NodeId(to as u32),
+            link,
+        );
+    }
+
+    /// Pre-training cost charged before round 0.
+    fn pretraining_time(&self) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        // Enclave setup: every client ships its sealed histogram (small).
+        let per_client = self
+            .config
+            .link
+            .transfer_time(self.enclave_setup_bytes / self.config.num_clients.max(1) + 128);
+        t += per_client;
+        if self.strategy.profiles_offline() {
+            // TiFL profiles every client offline with one full local pass;
+            // the phase runs in parallel, so it costs as much as the
+            // slowest client (this is the pre-training overhead the paper
+            // charges in its total-time comparison).
+            let slowest = self
+                .clients
+                .iter()
+                .map(|c| c.full_batch().mul_f64(f64::from(self.config.local_updates)))
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            t += slowest;
+        }
+        t
+    }
+
+    /// Runs the full experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Nn`] if a snapshot operation fails
+    /// mid-run (indicates an internal bug; snapshots are shape-checked).
+    pub fn run(&mut self) -> Result<RunResult, EngineError> {
+        let pretraining = self.pretraining_time();
+        let mut now = SimTime::ZERO + pretraining;
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+
+        for round in 0..self.config.rounds {
+            let record = self.run_round(round, &mut now)?;
+            rounds.push(record);
+        }
+
+        let final_accuracy = match self.config.mode {
+            Mode::Real => self.evaluate_global(),
+            Mode::Timing => f64::NAN,
+        };
+        Ok(RunResult { rounds, pretraining, finished_at: now, final_accuracy })
+    }
+
+    /// Runs a single round (exposed for tests and custom drivers).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_round(
+        &mut self,
+        round: u32,
+        now: &mut SimTime,
+    ) -> Result<RoundRecord, EngineError> {
+        let participants = self.select_participants(round);
+        let outcome = round::simulate_round(self, round, *now, &participants)?;
+        let duration = self.finalize_round(round, &outcome)?;
+        *now += duration;
+
+        let (test_accuracy, train_loss) = match self.config.mode {
+            Mode::Real => (self.evaluate_global(), outcome.mean_loss()),
+            Mode::Timing => (f64::NAN, f64::NAN),
+        };
+        if let Some(tifl) = &mut self.tifl {
+            tifl.observe_accuracy(test_accuracy);
+        }
+
+        Ok(RoundRecord {
+            round,
+            duration,
+            test_accuracy,
+            train_loss,
+            participants,
+            offloads: outcome.offload_pairs(),
+            dropped: outcome.dropped.clone(),
+        })
+    }
+
+    /// Strategy-specific client selection.
+    fn select_participants(&mut self, _round: u32) -> Vec<usize> {
+        use rand::seq::SliceRandom;
+        let k = self.config.clients_per_round;
+        match &mut self.tifl {
+            Some(tifl) => tifl.select(k),
+            None => {
+                let mut ids: Vec<usize> = (0..self.config.num_clients).collect();
+                ids.shuffle(&mut self.select_rng);
+                ids.truncate(k);
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+
+    /// Applies the strategy's aggregation rule to the round's arrivals and
+    /// returns the round duration.
+    fn finalize_round(
+        &mut self,
+        _round: u32,
+        outcome: &RoundOutcome,
+    ) -> Result<SimDuration, EngineError> {
+        let duration = outcome.duration();
+
+        if self.config.mode == Mode::Timing {
+            return Ok(duration);
+        }
+
+        // Deadline strategies drop updates that arrived too late.
+        let cutoff = outcome.start + duration;
+        let mut contributions: Vec<(f32, Vec<Tensor>, u32)> = Vec::new();
+        for update in &outcome.updates {
+            if update.arrived > cutoff {
+                continue;
+            }
+            let mut weights =
+                update.weights.clone().expect("real mode carries weights");
+            // Aergia recombination: feature layers from the strong client,
+            // classifier from the straggler (§3.3 "Model aggregation").
+            if let Some(features) = outcome.offload_features_for(update.client) {
+                if let Some(arrival) = outcome.offload_arrival_for(update.client) {
+                    if arrival <= cutoff {
+                        let mut model = self.template.clone();
+                        model.set_weights(&weights)?;
+                        model.set_feature_weights(features)?;
+                        weights = model.weights();
+                    }
+                }
+            }
+            contributions.push((update.num_samples as f32, weights, update.tau));
+        }
+
+        if contributions.is_empty() {
+            // Every update missed the deadline: the global model stalls.
+            return Ok(duration);
+        }
+
+        self.global = match self.strategy {
+            Strategy::FedNova => fednova_aggregate(&self.global, &contributions),
+            _ => {
+                let weighted: Vec<(f32, Vec<Tensor>)> =
+                    contributions.into_iter().map(|(n, w_i, _)| (n, w_i)).collect();
+                w::weighted_average(&weighted)
+            }
+        };
+        Ok(duration)
+    }
+
+    /// Builds a fresh optimizer for a client's local round. FedProx
+    /// installs the round's global weights as the proximal anchor.
+    pub(crate) fn make_optimizer(&self) -> Sgd {
+        let mut opt = Sgd::new(SgdConfig { ..self.config.sgd });
+        if let Strategy::FedProx { mu } = self.strategy {
+            opt.set_prox(mu, self.global.clone());
+        }
+        opt
+    }
+
+    /// Test accuracy of the current global model.
+    pub fn evaluate_global(&mut self) -> f64 {
+        let mut model = self.template.clone();
+        model.set_weights(&self.global).expect("global snapshot matches template");
+        let n = self.test.len().min(self.config.eval_samples).max(1);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        let mut i = 0usize;
+        while seen < n {
+            let hi = (i + 32).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let (x, y) = self.test.batch(&idx);
+            let (_, c) = model.evaluate(&x, &y);
+            correct += c;
+            seen += y.len();
+            i = hi;
+        }
+        correct as f64 / seen as f64
+    }
+
+    /// The per-round deadline, if the strategy imposes one.
+    pub(crate) fn deadline(&self) -> Option<SimDuration> {
+        match self.strategy {
+            Strategy::DeadlineFedAvg { deadline } => Some(deadline),
+            _ => None,
+        }
+    }
+
+    /// Current global weights (snapshot).
+    pub fn global_weights(&self) -> &[Tensor] {
+        &self.global
+    }
+}
+
+/// FedNova normalized aggregation (Wang et al. 2020):
+/// `w ← w_g − τ_eff · Σ p_i · d_i` with `d_i = (w_g − w_i)/τ_i`,
+/// `τ_eff = Σ p_i · τ_i` and `p_i = n_i / Σ n_j`.
+fn fednova_aggregate(
+    global: &[Tensor],
+    contributions: &[(f32, Vec<Tensor>, u32)],
+) -> Vec<Tensor> {
+    let total_n: f32 = contributions.iter().map(|(n, _, _)| n).sum();
+    let tau_eff: f32 = contributions
+        .iter()
+        .map(|(n, _, tau)| (n / total_n) * (*tau as f32))
+        .sum();
+    let mut combined_delta: Vec<Tensor> =
+        global.iter().map(|t| Tensor::zeros(t.dims())).collect();
+    for (n, weights_i, tau) in contributions {
+        let p = n / total_n;
+        let tau = (*tau).max(1) as f32;
+        for ((acc, g), wi) in combined_delta.iter_mut().zip(global).zip(weights_i) {
+            // d_i = (w_g − w_i)/τ_i, accumulated with weight p.
+            let mut d = g.sub(wi);
+            d.scale(p / tau);
+            acc.add_assign(&d);
+        }
+    }
+    global
+        .iter()
+        .zip(&combined_delta)
+        .map(|(g, d)| {
+            let mut out = g.clone();
+            out.axpy(-tau_eff, d);
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(vals: &[f32]) -> Vec<Tensor> {
+        vec![Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap()]
+    }
+
+    #[test]
+    fn fednova_with_equal_tau_matches_fedavg() {
+        let global = snap(&[1.0, 1.0]);
+        let contributions = vec![
+            (1.0, snap(&[0.0, 2.0]), 4u32),
+            (1.0, snap(&[2.0, 0.0]), 4u32),
+        ];
+        let nova = fednova_aggregate(&global, &contributions);
+        // FedAvg average = [1.0, 1.0]; with equal tau FedNova agrees.
+        assert!((nova[0].data()[0] - 1.0).abs() < 1e-6);
+        assert!((nova[0].data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fednova_downweights_many_step_clients() {
+        let global = snap(&[1.0]);
+        // Client A moved to 0.0 in 10 steps, client B to 0.0 in 1 step.
+        let contributions = vec![
+            (1.0, snap(&[0.0]), 10u32),
+            (1.0, snap(&[1.0]), 1u32),
+        ];
+        let nova = fednova_aggregate(&global, &contributions);
+        // Per-step delta of A is 0.1, of B is 0; tau_eff = 5.5 →
+        // w = 1 − 5.5 · (0.5·0.1 + 0.5·0) = 0.725.
+        assert!((nova[0].data()[0] - 0.725).abs() < 1e-6);
+    }
+
+    use aergia_nn::models::ModelArch;
+
+    #[test]
+    fn engine_builds_for_every_strategy() {
+        for strategy in [
+            Strategy::FedAvg,
+            Strategy::FedProx { mu: 0.1 },
+            Strategy::FedNova,
+            Strategy::tifl_default(),
+            Strategy::DeadlineFedAvg { deadline: SimDuration::from_secs_f64(5.0) },
+            Strategy::aergia_default(),
+        ] {
+            let config = ExperimentConfig {
+                dataset: aergia_data::DataConfig {
+                    spec: aergia_data::DatasetSpec::MnistLike,
+                    train_size: 64,
+                    test_size: 16,
+                    seed: 2,
+                },
+                arch: ModelArch::MnistCnn,
+                mode: Mode::Timing,
+                ..ExperimentConfig::default()
+            };
+            let engine = Engine::new(config, strategy);
+            assert!(engine.is_ok(), "engine failed to build for {}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_has_cluster_dimensions() {
+        let config = ExperimentConfig {
+            mode: Mode::Timing,
+            ..ExperimentConfig::default()
+        };
+        let engine = Engine::new(config, Strategy::FedAvg).unwrap();
+        assert_eq!(engine.similarity_matrix().len(), 4);
+        assert_eq!(engine.similarity_matrix()[0].len(), 4);
+        assert_eq!(engine.similarity_matrix()[1][1], 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let config = ExperimentConfig { rounds: 0, ..ExperimentConfig::default() };
+        assert!(matches!(
+            Engine::new(config, Strategy::FedAvg),
+            Err(EngineError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,488 @@
+//! Event-driven simulation of one communication round.
+//!
+//! This module encodes the client and federator state machines of §3.3:
+//! model download → early training with online profiling → centralized
+//! scheduling → freezing/offloading → aggregation-ready uploads. All
+//! message transfers go through the simulated network with explicit byte
+//! sizes; all compute advances the virtual clock through the per-client
+//! phase cost model.
+
+use std::collections::HashMap;
+
+use aergia_nn::Cnn;
+use aergia_simnet::network::Delivery;
+use aergia_simnet::{EventQueue, NodeId, SimDuration, SimTime};
+use aergia_tensor::Tensor;
+
+use crate::config::Mode;
+use crate::messages::{Message, SignedAssignment};
+use crate::profiler::{OnlineProfiler, ProfileReport};
+use crate::scheduler::{self, ClientPerf};
+use crate::strategy::Strategy;
+
+use super::{Engine, EngineError};
+
+/// Where an event is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    Client(usize),
+    Federator,
+}
+
+/// The three event kinds that drive a round.
+#[derive(Debug)]
+enum Ev {
+    Deliver(Dest, Message),
+    BatchDone(usize),
+    OffloadBatchDone(usize),
+}
+
+/// One client update as received by the federator.
+#[derive(Debug, Clone)]
+pub(crate) struct UpdateArrival {
+    pub(crate) client: usize,
+    pub(crate) weights: Option<Vec<Tensor>>,
+    pub(crate) num_samples: usize,
+    pub(crate) tau: u32,
+    pub(crate) arrived: SimTime,
+}
+
+/// A trained offloaded feature section as received by the federator.
+#[derive(Debug, Clone)]
+pub(crate) struct OffloadResultArrival {
+    pub(crate) weak: usize,
+    pub(crate) features: Option<Vec<Tensor>>,
+    pub(crate) arrived: SimTime,
+}
+
+/// Everything the federator observed during one round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    pub(crate) start: SimTime,
+    pub(crate) duration: SimDuration,
+    pub(crate) updates: Vec<UpdateArrival>,
+    pub(crate) offload_results: Vec<OffloadResultArrival>,
+    pub(crate) offloads_activated: Vec<(usize, usize)>,
+    pub(crate) dropped: Vec<usize>,
+    pub(crate) losses: Vec<f32>,
+}
+
+impl RoundOutcome {
+    /// Sender→receiver pairs whose offload actually took place.
+    pub fn offload_pairs(&self) -> Vec<(usize, usize)> {
+        self.offloads_activated.clone()
+    }
+
+    /// Mean local training loss over all batches of the round.
+    pub fn mean_loss(&self) -> f64 {
+        if self.losses.is_empty() {
+            return f64::NAN;
+        }
+        self.losses.iter().map(|&l| f64::from(l)).sum::<f64>() / self.losses.len() as f64
+    }
+
+    /// Trained feature weights for `client`'s model, if a strong client
+    /// returned them this round.
+    pub(crate) fn offload_features_for(&self, client: usize) -> Option<&Vec<Tensor>> {
+        self.offload_results
+            .iter()
+            .find(|r| r.weak == client)
+            .and_then(|r| r.features.as_ref())
+    }
+
+    /// Arrival time of the offloaded features for `client`.
+    pub(crate) fn offload_arrival_for(&self, client: usize) -> Option<SimTime> {
+        self.offload_results.iter().find(|r| r.weak == client).map(|r| r.arrived)
+    }
+
+    /// The round duration (already deadline-capped).
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+}
+
+/// Per-round, per-client state machine.
+struct RClient {
+    active: bool,
+    model: Option<Cnn>,
+    opt: aergia_nn::optim::Sgd,
+    profiler: Option<OnlineProfiler>,
+    batches_done: u32,
+    frozen: bool,
+    own_done: bool,
+    // Receiver-side offload state.
+    notice: Option<SignedAssignment>,
+    offload_model: Option<(usize, Option<Cnn>)>,
+    offload_remaining: u32,
+    offload_running: bool,
+}
+
+impl RClient {
+    fn idle(opt: aergia_nn::optim::Sgd) -> Self {
+        RClient {
+            active: false,
+            model: None,
+            opt,
+            profiler: None,
+            batches_done: 0,
+            frozen: false,
+            own_done: false,
+            notice: None,
+            offload_model: None,
+            offload_remaining: 0,
+            offload_running: false,
+        }
+    }
+}
+
+fn node(id: usize) -> NodeId {
+    NodeId(id as u32)
+}
+
+/// Simulates one round and returns what the federator observed.
+pub(crate) fn simulate_round(
+    engine: &mut Engine,
+    round: u32,
+    start: SimTime,
+    participants: &[usize],
+) -> Result<RoundOutcome, EngineError> {
+    let mode = engine.config.mode;
+    let local_updates = engine.config.local_updates;
+    let profile_window = match engine.strategy {
+        Strategy::Aergia { profile_batches, .. } => profile_batches.min(local_updates),
+        _ => 0,
+    };
+    let (similarity_factor, op_variant) = match engine.strategy {
+        Strategy::Aergia { similarity_factor, op_variant, .. } => (similarity_factor, op_variant),
+        _ => (0.0, scheduler::OpVariant::Unimodal),
+    };
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut rclients: Vec<RClient> =
+        (0..engine.config.num_clients).map(|_| RClient::idle(engine.make_optimizer())).collect();
+
+    // Federator round state.
+    let mut reports: HashMap<usize, ProfileReport> = HashMap::new();
+    let mut schedule_sent = false;
+    let mut updates: Vec<UpdateArrival> = Vec::new();
+    let mut offload_results: Vec<OffloadResultArrival> = Vec::new();
+    let mut offloads_activated: Vec<(usize, usize)> = Vec::new();
+    let mut losses: Vec<f32> = Vec::new();
+
+    // Kick off: ship the global model to every participant.
+    for &p in participants {
+        let msg = Message::StartRound {
+            round,
+            weights: (mode == Mode::Real).then(|| engine.global.clone()),
+        };
+        let size = msg.wire_size(engine.full_model_bytes, engine.feature_bytes);
+        if let Delivery::After(d) = engine.network.send(NodeId::FEDERATOR, node(p), size) {
+            queue.push(start + d, Ev::Deliver(Dest::Client(p), msg));
+        }
+    }
+
+    // Helper: enqueue a message through the network (drops vanish).
+    macro_rules! send {
+        ($now:expr, $from:expr, $to:expr, $dest:expr, $msg:expr) => {{
+            let msg = $msg;
+            let size = msg.wire_size(engine.full_model_bytes, engine.feature_bytes);
+            if let Delivery::After(d) = engine.network.send($from, $to, size) {
+                queue.push($now + d, Ev::Deliver($dest, msg));
+            }
+        }};
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Deliver(Dest::Client(c), Message::StartRound { round: r, weights }) => {
+                if r != round {
+                    continue; // stale start (cannot happen without faults)
+                }
+                let rc = &mut rclients[c];
+                rc.active = true;
+                if mode == Mode::Real {
+                    let mut model = engine.template.clone();
+                    model
+                        .set_weights(weights.as_ref().expect("real mode carries weights"))?;
+                    rc.model = Some(model);
+                }
+                if profile_window > 0 {
+                    rc.profiler = Some(OnlineProfiler::new(profile_window));
+                }
+                queue.push(now + engine.clients[c].full_batch(), Ev::BatchDone(c));
+            }
+
+            Ev::BatchDone(c) => {
+                // Real gradient work (virtual cost already charged by the
+                // event's timestamp).
+                if mode == Mode::Real {
+                    let (x, y) = engine.clients[c].batcher.next_batch(&engine.train);
+                    let rc = &mut rclients[c];
+                    let model = rc.model.as_mut().expect("active client has a model");
+                    let stats = model
+                        .train_batch(&x, &y, &mut rc.opt)
+                        .expect("batch matches model input shape");
+                    losses.push(stats.loss);
+                }
+                let rc = &mut rclients[c];
+                rc.batches_done += 1;
+
+                // Online profiling (§4.2): record the virtual per-phase
+                // cost; report to the federator when the window fills.
+                let mut report_now = false;
+                if let Some(prof) = &mut rc.profiler {
+                    if prof.record(engine.clients[c].phase_secs) {
+                        report_now = true;
+                    }
+                }
+                if report_now {
+                    let report = ProfileReport {
+                        round,
+                        per_batch: rc.profiler.as_ref().expect("just recorded").per_batch(),
+                        remaining_updates: local_updates - rc.batches_done,
+                    };
+                    send!(
+                        now,
+                        node(c),
+                        NodeId::FEDERATOR,
+                        Dest::Federator,
+                        Message::Profile { client: c, report }
+                    );
+                }
+
+                if rc.batches_done >= local_updates {
+                    rc.own_done = true;
+                    let weights = rc.model.as_ref().map(|m| m.weights());
+                    send!(
+                        now,
+                        node(c),
+                        NodeId::FEDERATOR,
+                        Dest::Federator,
+                        Message::ClientUpdate {
+                            round,
+                            client: c,
+                            weights,
+                            num_samples: engine.clients[c].shard_len,
+                            tau: rc.batches_done,
+                        }
+                    );
+                    if can_start_offload(&rclients[c]) {
+                        start_offload(&mut rclients[c], &mut queue, engine, c, now);
+                    }
+                } else {
+                    let dur = if rc.frozen {
+                        engine.clients[c].frozen_batch()
+                    } else {
+                        engine.clients[c].full_batch()
+                    };
+                    queue.push(now + dur, Ev::BatchDone(c));
+                }
+            }
+
+            Ev::Deliver(Dest::Federator, Message::Profile { client, report }) => {
+                if report.round != round {
+                    continue;
+                }
+                reports.insert(client, report);
+                if !schedule_sent && reports.len() == participants.len() {
+                    schedule_sent = true;
+                    let perfs: Vec<ClientPerf> = participants
+                        .iter()
+                        .map(|&p| {
+                            let r = &reports[&p];
+                            ClientPerf {
+                                id: p,
+                                t123: r.t123(),
+                                t4: r.t4(),
+                                feature_only: r.feature_only_batch(),
+                                remaining: r.remaining_updates,
+                            }
+                        })
+                        .collect();
+                    let schedule = scheduler::schedule(
+                        &perfs,
+                        &engine.similarity,
+                        similarity_factor,
+                        op_variant,
+                    );
+                    for assignment in schedule.assignments {
+                        let signed =
+                            SignedAssignment::sign(engine.federator_secret, round, assignment);
+                        send!(
+                            now,
+                            NodeId::FEDERATOR,
+                            node(assignment.sender),
+                            Dest::Client(assignment.sender),
+                            Message::Schedule(signed)
+                        );
+                        send!(
+                            now,
+                            NodeId::FEDERATOR,
+                            node(assignment.receiver),
+                            Dest::Client(assignment.receiver),
+                            Message::ScheduleNotice(signed)
+                        );
+                    }
+                }
+            }
+
+            Ev::Deliver(Dest::Client(c), Message::Schedule(signed)) => {
+                // §4.1: signatures + sequence numbers make late or forged
+                // scheduling messages harmless.
+                if !signed.verify(engine.federator_secret, round) {
+                    continue;
+                }
+                let rc = &mut rclients[c];
+                if !rc.active || rc.own_done || rc.frozen {
+                    continue; // too late to benefit from freezing
+                }
+                rc.frozen = true;
+                let weights = rc.model.as_mut().map(|m| {
+                    m.freeze_features();
+                    m.weights()
+                });
+                offloads_activated.push((c, signed.assignment.receiver));
+                send!(
+                    now,
+                    node(c),
+                    node(signed.assignment.receiver),
+                    Dest::Client(signed.assignment.receiver),
+                    Message::OffloadModel { round, from: c, weights }
+                );
+            }
+
+            Ev::Deliver(Dest::Client(c), Message::ScheduleNotice(signed)) => {
+                if !signed.verify(engine.federator_secret, round) {
+                    continue;
+                }
+                let rc = &mut rclients[c];
+                rc.notice = Some(signed);
+                rc.offload_remaining = signed.assignment.offload_batches;
+                if can_start_offload(&rclients[c]) {
+                    start_offload(&mut rclients[c], &mut queue, engine, c, now);
+                }
+            }
+
+            Ev::Deliver(Dest::Client(c), Message::OffloadModel { round: r, from, weights }) => {
+                if r != round {
+                    continue;
+                }
+                let model = match (mode, weights) {
+                    (Mode::Real, Some(w_in)) => {
+                        let mut m = engine.template.clone();
+                        m.set_weights(&w_in)?;
+                        // Train only the feature section on the receiver's
+                        // data; the straggler's classifier stays fixed.
+                        m.freeze_classifier();
+                        Some(m)
+                    }
+                    _ => None,
+                };
+                rclients[c].offload_model = Some((from, model));
+                if can_start_offload(&rclients[c]) {
+                    start_offload(&mut rclients[c], &mut queue, engine, c, now);
+                }
+            }
+
+            Ev::OffloadBatchDone(c) => {
+                if mode == Mode::Real {
+                    let (x, y) = engine.clients[c].batcher.next_batch(&engine.train);
+                    let rc = &mut rclients[c];
+                    let (_, model) = rc.offload_model.as_mut().expect("offload in progress");
+                    let model = model.as_mut().expect("real mode offload model");
+                    model
+                        .train_batch(&x, &y, &mut rc.opt)
+                        .expect("offload batch matches model input shape");
+                }
+                let rc = &mut rclients[c];
+                rc.offload_remaining -= 1;
+                if rc.offload_remaining == 0 {
+                    rc.offload_running = false;
+                    let (weak, model) = rc.offload_model.take().expect("offload in progress");
+                    let features = model.map(|m| m.feature_weights());
+                    send!(
+                        now,
+                        node(c),
+                        NodeId::FEDERATOR,
+                        Dest::Federator,
+                        Message::OffloadedResult { round, weak, features }
+                    );
+                } else {
+                    queue.push(now + engine.clients[c].feature_batch(), Ev::OffloadBatchDone(c));
+                }
+            }
+
+            Ev::Deliver(
+                Dest::Federator,
+                Message::ClientUpdate { round: r, client, weights, num_samples, tau },
+            ) => {
+                if r != round {
+                    continue;
+                }
+                updates.push(UpdateArrival { client, weights, num_samples, tau, arrived: now });
+            }
+
+            Ev::Deliver(Dest::Federator, Message::OffloadedResult { round: r, weak, features }) => {
+                if r != round {
+                    continue;
+                }
+                offload_results.push(OffloadResultArrival { weak, features, arrived: now });
+            }
+
+            // Remaining combinations are protocol violations; in a
+            // simulation they indicate a bug, so surface them loudly.
+            Ev::Deliver(dest, msg) => {
+                unreachable!("unexpected message {msg:?} delivered to {dest:?}")
+            }
+        }
+    }
+
+    // Round duration: from the start of the round to the last message the
+    // federator waits for (§2.4), capped by the strategy's deadline.
+    let last_arrival = updates
+        .iter()
+        .map(|u| u.arrived)
+        .chain(offload_results.iter().map(|o| o.arrived))
+        .max()
+        .unwrap_or(start);
+    let mut duration = last_arrival - start;
+    if let Some(deadline) = engine.deadline() {
+        duration = duration.min(deadline);
+    }
+
+    let cutoff = start + duration;
+    let dropped: Vec<usize> = participants
+        .iter()
+        .copied()
+        .filter(|&p| !updates.iter().any(|u| u.client == p && u.arrived <= cutoff))
+        .collect();
+
+    Ok(RoundOutcome {
+        start,
+        duration,
+        updates,
+        offload_results,
+        offloads_activated,
+        dropped,
+        losses,
+    })
+}
+
+fn can_start_offload(rc: &RClient) -> bool {
+    rc.own_done
+        && !rc.offload_running
+        && rc.offload_remaining > 0
+        && rc.notice.is_some()
+        && rc.offload_model.is_some()
+}
+
+fn start_offload(
+    rc: &mut RClient,
+    queue: &mut EventQueue<Ev>,
+    engine: &Engine,
+    c: usize,
+    now: SimTime,
+) {
+    rc.offload_running = true;
+    queue.push(now + engine.clients[c].feature_batch(), Ev::OffloadBatchDone(c));
+}

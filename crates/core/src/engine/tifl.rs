@@ -1,0 +1,192 @@
+//! TiFL's tier-based, adaptive client selection (Chai et al., HPDC 2020).
+//!
+//! Clients are grouped into speed tiers from offline profiling; each round
+//! the federator draws one tier and selects clients within it, which
+//! equalizes intra-round completion times. Tier choice is adaptive: tiers
+//! whose participation last produced *lower* global accuracy are favoured
+//! (they hold under-represented data), subject to per-tier credits that
+//! bound how often a tier can be drawn.
+
+use aergia_simnet::cluster::tier_indices;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt as _, SeedableRng};
+
+/// Federator-side TiFL state.
+#[derive(Debug)]
+pub(crate) struct TiflState {
+    tiers: Vec<Vec<usize>>,
+    credits: Vec<u32>,
+    accuracy: Vec<f64>,
+    last_selected: Option<usize>,
+    rng: StdRng,
+}
+
+/// Per-tier participation budget. TiFL derives it from the round budget;
+/// we use a generous constant so credits only bite in long runs.
+const CREDITS_PER_TIER: u32 = 400;
+
+impl TiflState {
+    /// Groups `speeds` into `tiers` rank-based tiers.
+    pub(crate) fn new(speeds: &[f64], tiers: usize, seed: u64) -> Self {
+        let tiers = tier_indices(speeds, tiers.max(1).min(speeds.len()));
+        let n = tiers.len();
+        TiflState {
+            tiers,
+            credits: vec![CREDITS_PER_TIER; n],
+            accuracy: vec![f64::NAN; n],
+            last_selected: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks the round's tier and up to `k` clients within it.
+    pub(crate) fn select(&mut self, k: usize) -> Vec<usize> {
+        let eligible: Vec<usize> = (0..self.tiers.len())
+            .filter(|&t| self.credits[t] > 0 && !self.tiers[t].is_empty())
+            .collect();
+        let pool: Vec<usize> = if eligible.is_empty() {
+            (0..self.tiers.len()).filter(|&t| !self.tiers[t].is_empty()).collect()
+        } else {
+            eligible
+        };
+
+        // Adaptive probabilities: weight ∝ (A* − A_t + ε); unknown tiers
+        // (never selected) get the maximal weight so every tier is probed.
+        let known_max = self
+            .accuracy
+            .iter()
+            .copied()
+            .filter(|a| a.is_finite())
+            .fold(0.0_f64, f64::max);
+        let weights: Vec<f64> = pool
+            .iter()
+            .map(|&t| {
+                let a = self.accuracy[t];
+                if a.is_finite() {
+                    (known_max - a).max(0.0) + 0.05
+                } else {
+                    known_max + 0.05
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = self.rng.random_range(0.0..total);
+        let mut tier = pool[pool.len() - 1];
+        for (&t, &w) in pool.iter().zip(&weights) {
+            if draw < w {
+                tier = t;
+                break;
+            }
+            draw -= w;
+        }
+
+        if self.credits[tier] > 0 {
+            self.credits[tier] -= 1;
+        }
+        self.last_selected = Some(tier);
+
+        let mut members = self.tiers[tier].clone();
+        members.shuffle(&mut self.rng);
+        members.truncate(k.max(1));
+        members.sort_unstable();
+        members
+    }
+
+    /// Records the global accuracy observed after the last selected tier's
+    /// round (NaN observations — timing mode — leave the state untouched).
+    pub(crate) fn observe_accuracy(&mut self, accuracy: f64) {
+        if let Some(t) = self.last_selected {
+            if accuracy.is_finite() {
+                self.accuracy[t] = accuracy;
+            }
+        }
+    }
+
+    /// The tier partition (weakest first) — exposed for tests.
+    #[cfg(test)]
+    pub(crate) fn tiers(&self) -> &[Vec<usize>] {
+        &self.tiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speeds() -> Vec<f64> {
+        vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6, 0.5, 1.0]
+    }
+
+    #[test]
+    fn tiers_partition_all_clients() {
+        let state = TiflState::new(&speeds(), 5, 0);
+        let total: usize = state.tiers().iter().map(|t| t.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(state.tiers().len(), 5);
+        // Weakest tier contains the two slowest clients (ids 0 and 2).
+        assert_eq!(state.tiers()[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn selection_returns_members_of_one_tier() {
+        let mut state = TiflState::new(&speeds(), 5, 1);
+        for _ in 0..20 {
+            let picked = state.select(2);
+            assert!(!picked.is_empty() && picked.len() <= 2);
+            let tier = state
+                .tiers()
+                .iter()
+                .position(|t| picked.iter().all(|p| t.contains(p)))
+                .expect("selection spans multiple tiers");
+            assert!(tier < 5);
+        }
+    }
+
+    #[test]
+    fn low_accuracy_tiers_are_favoured() {
+        let mut state = TiflState::new(&speeds(), 2, 2);
+        // Probe both tiers once.
+        let mut seen = [false; 2];
+        for _ in 0..10 {
+            let picked = state.select(5);
+            let tier = if picked.iter().all(|p| state.tiers()[0].contains(p)) { 0 } else { 1 };
+            seen[tier] = true;
+            // Tier 0 performs terribly, tier 1 perfectly.
+            state.observe_accuracy(if tier == 0 { 0.1 } else { 0.99 });
+            if seen[0] && seen[1] {
+                break;
+            }
+        }
+        assert!(seen[0] && seen[1], "both tiers should be probed");
+        // After learning, the weak tier dominates selection.
+        let mut weak = 0;
+        for _ in 0..50 {
+            let picked = state.select(5);
+            if picked.iter().all(|p| state.tiers()[0].contains(p)) {
+                weak += 1;
+                state.observe_accuracy(0.1);
+            } else {
+                state.observe_accuracy(0.99);
+            }
+        }
+        assert!(weak > 30, "weak tier picked only {weak}/50 times");
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed() {
+        let mut a = TiflState::new(&speeds(), 3, 7);
+        let mut b = TiflState::new(&speeds(), 3, 7);
+        for _ in 0..5 {
+            assert_eq!(a.select(3), b.select(3));
+        }
+    }
+
+    #[test]
+    fn nan_observation_is_ignored() {
+        let mut state = TiflState::new(&speeds(), 2, 3);
+        state.select(2);
+        state.observe_accuracy(f64::NAN);
+        assert!(state.accuracy.iter().all(|a| a.is_nan()));
+    }
+}

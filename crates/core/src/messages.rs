@@ -1,0 +1,204 @@
+//! Protocol messages, signatures and replay protection.
+//!
+//! Scheduling decisions are "cryptographically signed by the federator for
+//! authenticity, and … contain a monotonically increasing sequence number
+//! so that they cannot be replayed and so that messages sent by the
+//! federator that arrive late (i.e., in the next round) are ignored"
+//! (paper §4.1). The signature here is a keyed FNV hash — a simulation of
+//! an HMAC, consistent with the honest-but-curious threat model.
+
+use aergia_nn::weights;
+use aergia_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::profiler::ProfileReport;
+use crate::scheduler::Assignment;
+
+fn keyed_hash(secret: u64, payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ secret.rotate_left(31);
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A federator signature over a schedule message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature(u64);
+
+/// A signed, sequence-numbered offloading instruction for one sender.
+///
+/// `round` doubles as the monotonically increasing sequence number: a
+/// client executing round `r` discards any instruction with `round != r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignedAssignment {
+    /// The instruction itself.
+    pub assignment: Assignment,
+    /// Round / sequence number the instruction belongs to.
+    pub round: u32,
+    /// Federator signature over `(round, assignment)`.
+    pub signature: Signature,
+}
+
+impl SignedAssignment {
+    fn payload(round: u32, a: &Assignment) -> Vec<u8> {
+        let mut p = Vec::with_capacity(8 * 4);
+        p.extend_from_slice(&round.to_le_bytes());
+        p.extend_from_slice(&(a.sender as u64).to_le_bytes());
+        p.extend_from_slice(&(a.receiver as u64).to_le_bytes());
+        p.extend_from_slice(&a.offload_batches.to_le_bytes());
+        p
+    }
+
+    /// Signs `assignment` for `round` with the federator's secret.
+    pub fn sign(secret: u64, round: u32, assignment: Assignment) -> Self {
+        let sig = Signature(keyed_hash(secret, &Self::payload(round, &assignment)));
+        SignedAssignment { assignment, round, signature: sig }
+    }
+
+    /// Verifies the signature and that the instruction belongs to
+    /// `current_round` (replay/lateness protection).
+    pub fn verify(&self, secret: u64, current_round: u32) -> bool {
+        self.round == current_round
+            && self.signature
+                == Signature(keyed_hash(secret, &Self::payload(self.round, &self.assignment)))
+    }
+}
+
+/// Everything that travels over the simulated network.
+///
+/// Weight payloads carry real tensors in [`crate::Mode::Real`] runs and
+/// `None` in timing-only runs; either way the *wire size* used for
+/// transfer-time accounting is explicit so both modes share one timeline.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Federator → client: begin round `round` from the given global model.
+    StartRound {
+        /// Round number.
+        round: u32,
+        /// Global weights (absent in timing mode).
+        weights: Option<Vec<Tensor>>,
+    },
+    /// Client → federator: online profiling finished.
+    Profile {
+        /// Reporting client.
+        client: usize,
+        /// The measurements.
+        report: ProfileReport,
+    },
+    /// Federator → straggler: freeze and offload per the assignment.
+    Schedule(SignedAssignment),
+    /// Federator → strong client: expect a model from `sender` and train
+    /// it for `offload_batches` batches.
+    ScheduleNotice(SignedAssignment),
+    /// Straggler → strong client: the (frozen-feature) model to train.
+    OffloadModel {
+        /// Round number.
+        round: u32,
+        /// The straggler sending its model.
+        from: usize,
+        /// Full weight snapshot (absent in timing mode).
+        weights: Option<Vec<Tensor>>,
+    },
+    /// Client → federator: the round's local update.
+    ClientUpdate {
+        /// Round number.
+        round: u32,
+        /// Reporting client.
+        client: usize,
+        /// Trained weights (absent in timing mode).
+        weights: Option<Vec<Tensor>>,
+        /// Local dataset size (FedAvg weighting).
+        num_samples: usize,
+        /// Local steps actually executed (FedNova's τ).
+        tau: u32,
+    },
+    /// Strong client → federator: trained feature layers of a straggler's
+    /// offloaded model.
+    OffloadedResult {
+        /// Round number.
+        round: u32,
+        /// The straggler whose model was trained.
+        weak: usize,
+        /// Feature-section weights (absent in timing mode).
+        features: Option<Vec<Tensor>>,
+    },
+}
+
+impl Message {
+    /// Size in bytes charged to the network for this message.
+    ///
+    /// Weight-carrying messages are charged their encoded size (computed
+    /// from `payload_params` when the tensors themselves are elided in
+    /// timing mode); control messages are charged a small constant.
+    pub fn wire_size(&self, full_model_bytes: usize, feature_bytes: usize) -> usize {
+        const CONTROL: usize = 64;
+        match self {
+            Message::StartRound { .. } => full_model_bytes + CONTROL,
+            Message::Profile { .. } => CONTROL + 4 * 8,
+            Message::Schedule(_) | Message::ScheduleNotice(_) => CONTROL,
+            Message::OffloadModel { .. } => full_model_bytes + CONTROL,
+            Message::ClientUpdate { .. } => full_model_bytes + CONTROL,
+            Message::OffloadedResult { .. } => feature_bytes + CONTROL,
+        }
+    }
+
+    /// Exact encoded size of a weight snapshot (helper re-export).
+    pub fn weights_bytes(weights: &[Tensor]) -> usize {
+        weights::byte_size(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment() -> Assignment {
+        Assignment { sender: 3, receiver: 1, offload_batches: 5, estimated_ct: 2.0 }
+    }
+
+    #[test]
+    fn signed_assignment_verifies_for_its_round() {
+        let signed = SignedAssignment::sign(42, 7, assignment());
+        assert!(signed.verify(42, 7));
+    }
+
+    #[test]
+    fn wrong_secret_fails() {
+        let signed = SignedAssignment::sign(42, 7, assignment());
+        assert!(!signed.verify(43, 7));
+    }
+
+    #[test]
+    fn late_message_is_rejected_by_sequence_number() {
+        let signed = SignedAssignment::sign(42, 7, assignment());
+        assert!(!signed.verify(42, 8), "round-7 schedule must be ignored in round 8");
+        assert!(!signed.verify(42, 6));
+    }
+
+    #[test]
+    fn tampered_assignment_fails() {
+        let mut signed = SignedAssignment::sign(42, 7, assignment());
+        signed.assignment.receiver = 2;
+        assert!(!signed.verify(42, 7));
+    }
+
+    #[test]
+    fn wire_sizes_charge_models_appropriately() {
+        let start = Message::StartRound { round: 0, weights: None };
+        let profile = Message::Profile {
+            client: 0,
+            report: crate::profiler::ProfileReport {
+                round: 0,
+                per_batch: aergia_nn::profile::PhaseCost::zero(),
+                remaining_updates: 0,
+            },
+        };
+        let result = Message::OffloadedResult { round: 0, weak: 0, features: None };
+        assert!(start.wire_size(1_000_000, 800_000) > 1_000_000);
+        assert!(profile.wire_size(1_000_000, 800_000) < 200);
+        let r = result.wire_size(1_000_000, 800_000);
+        assert!(r > 800_000 && r < 1_000_000, "features are smaller than the full model");
+    }
+}

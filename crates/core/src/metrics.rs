@@ -1,0 +1,200 @@
+//! Per-round records and whole-run results.
+
+use aergia_simnet::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What happened in one communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Wall-clock (virtual) duration from the federator's round start to
+    /// the last expected message (paper §2.4's measurement rule).
+    pub duration: SimDuration,
+    /// Global-model test accuracy after aggregation (NaN in timing mode).
+    pub test_accuracy: f64,
+    /// Mean training loss reported by participants (NaN in timing mode).
+    pub train_loss: f64,
+    /// Clients selected this round.
+    pub participants: Vec<usize>,
+    /// Sender→receiver pairs that offloaded.
+    pub offloads: Vec<(usize, usize)>,
+    /// Participants whose update was dropped (deadline strategies).
+    pub dropped: Vec<usize>,
+}
+
+/// The result of a whole FL run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Time spent before round 0 (offline profiling, enclave setup, …).
+    pub pretraining: SimDuration,
+    /// Virtual time when the run finished.
+    pub finished_at: SimTime,
+    /// Test accuracy of the final global model (NaN in timing mode).
+    pub final_accuracy: f64,
+}
+
+impl RunResult {
+    /// Total training time: pre-training plus all round durations (the
+    /// paper's Figure 1(a) metric).
+    pub fn total_time(&self) -> SimDuration {
+        self.rounds.iter().fold(self.pretraining, |acc, r| acc + r.duration)
+    }
+
+    /// Mean round duration in seconds.
+    pub fn mean_round_secs(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.duration.as_secs_f64()).sum::<f64>()
+            / self.rounds.len() as f64
+    }
+
+    /// `(elapsed_seconds, accuracy)` pairs — the curves of Figure 10.
+    pub fn accuracy_over_time(&self) -> Vec<(f64, f64)> {
+        let mut t = self.pretraining.as_secs_f64();
+        self.rounds
+            .iter()
+            .map(|r| {
+                t += r.duration.as_secs_f64();
+                (t, r.test_accuracy)
+            })
+            .collect()
+    }
+
+    /// Round durations in seconds (the sample behind Figure 8's density).
+    pub fn round_durations(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.duration.as_secs_f64()).collect()
+    }
+
+    /// Total offload count across the run.
+    pub fn total_offloads(&self) -> usize {
+        self.rounds.iter().map(|r| r.offloads.len()).sum()
+    }
+
+    /// Total dropped updates across the run.
+    pub fn total_dropped(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped.len()).sum()
+    }
+}
+
+/// A fixed-width histogram over round durations, the discrete form of the
+/// paper's Figure 8 density plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    /// Left edge of the first bin (seconds).
+    pub start: f64,
+    /// Bin width (seconds).
+    pub width: f64,
+    /// Sample counts per bin.
+    pub counts: Vec<usize>,
+}
+
+impl DurationHistogram {
+    /// Bins `samples` into `bins` equal-width buckets spanning the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bins == 0`.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "DurationHistogram: no samples");
+        assert!(bins > 0, "DurationHistogram: zero bins");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(1e-9);
+        let mut counts = vec![0usize; bins];
+        for &s in samples {
+            let mut idx = ((s - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        DurationHistogram { start: lo, width, counts }
+    }
+
+    /// Normalized density value of bin `i` (integrates to ≈ 1).
+    pub fn density(&self, i: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        self.counts[i] as f64 / (total as f64 * self.width)
+    }
+
+    /// Center of bin `i` (seconds).
+    pub fn center(&self, i: usize) -> f64 {
+        self.start + (i as f64 + 0.5) * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u32, secs: f64, acc: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            duration: SimDuration::from_secs_f64(secs),
+            test_accuracy: acc,
+            train_loss: 1.0,
+            participants: vec![0, 1],
+            offloads: vec![],
+            dropped: vec![],
+        }
+    }
+
+    fn run() -> RunResult {
+        RunResult {
+            rounds: vec![record(0, 10.0, 0.5), record(1, 20.0, 0.6), record(2, 30.0, 0.7)],
+            pretraining: SimDuration::from_secs_f64(5.0),
+            finished_at: SimTime::from_micros(65_000_000),
+            final_accuracy: 0.7,
+        }
+    }
+
+    #[test]
+    fn total_time_includes_pretraining() {
+        assert!((run().total_time().as_secs_f64() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_round_duration() {
+        assert!((run().mean_round_secs() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_curve_is_cumulative_in_time() {
+        let curve = run().accuracy_over_time();
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0].0 - 15.0).abs() < 1e-9);
+        assert!((curve[2].0 - 65.0).abs() < 1e-9);
+        assert_eq!(curve[2].1, 0.7);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let h = DurationHistogram::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0], 4);
+        assert_eq!(h.counts.iter().sum::<usize>(), 5);
+        // Density integrates to one.
+        let integral: f64 = (0..4).map(|i| h.density(i) * h.width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_identical_samples() {
+        let h = DurationHistogram::from_samples(&[2.0, 2.0, 2.0], 3);
+        assert_eq!(h.counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn empty_run_has_zero_mean() {
+        let r = RunResult {
+            rounds: vec![],
+            pretraining: SimDuration::ZERO,
+            finished_at: SimTime::ZERO,
+            final_accuracy: f64::NAN,
+        };
+        assert_eq!(r.mean_round_secs(), 0.0);
+        assert_eq!(r.total_offloads(), 0);
+    }
+}

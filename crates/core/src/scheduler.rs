@@ -1,0 +1,379 @@
+//! The federator's offloading scheduler — Algorithms 1 and 2 of the paper.
+//!
+//! Given the profile reports of the round's participants and the enclave's
+//! dataset-similarity matrix, the scheduler computes the mean completion
+//! time (`mct`), classifies clients into *senders* (stragglers whose
+//! estimated completion exceeds `mct`) and *receivers*, and greedily
+//! matches each sender — weakest first, because the round ends with the
+//! weakest client — to the receiver minimising the similarity-weighted
+//! cost `ct · (1 + ln(S_{c,k} · f + 1))` (Algorithm 1, line 24).
+//!
+//! ## A note on Algorithm 2 (`calc_op`)
+//!
+//! As printed, the recurrence `max((r_a−d)·t_a + d·x_b, (r_b−d)·t_b)` is
+//! monotonically decreasing in `d` whenever `x_b < t_a` (both branches
+//! fall as `d` grows), so the early-return-on-increase that the algorithm
+//! is built around would never trigger and the "optimal" point would
+//! always be `d = min(r_a, r_b)`. The structure of the algorithm (scan
+//! until the cost starts rising) only makes sense for the unimodal
+//! variant in which the receiver pays for the offloaded batches *in
+//! addition to* its own work:
+//!
+//! ```text
+//! ct(d) = max((r_a − d)·t_a,  r_b·t_b + d·x_b)
+//! ```
+//!
+//! [`calc_op`] implements this unimodal form (the crossing of a falling
+//! and a rising line) and is what [`schedule`] uses; [`calc_op_printed`]
+//! implements the formula exactly as printed for the ablation bench
+//! (`ablation_calc_op`). See `DESIGN.md` §4.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-client inputs to Algorithm 1, derived from a
+/// [`crate::profiler::ProfileReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientPerf {
+    /// Client identifier (indexes the similarity matrix).
+    pub id: usize,
+    /// Per-batch cost of phases 1–3 (ff + fc + bc), seconds.
+    pub t123: f64,
+    /// Per-batch cost of phase 4 (bf), seconds.
+    pub t4: f64,
+    /// Per-batch cost of feature-only training (the paper's `x_b`).
+    pub feature_only: f64,
+    /// Local batch updates still to execute this round.
+    pub remaining: u32,
+}
+
+impl ClientPerf {
+    /// Full per-batch cost `t_{1,2,3} + t_4`.
+    pub fn full_batch(&self) -> f64 {
+        self.t123 + self.t4
+    }
+
+    /// Estimated completion time `ru · (t_{1,2,3} + t_4)` (Algorithm 1,
+    /// line 12).
+    pub fn estimated_completion(&self) -> f64 {
+        f64::from(self.remaining) * self.full_batch()
+    }
+}
+
+/// One sender→receiver offloading decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The straggler that freezes and offloads.
+    pub sender: usize,
+    /// The strong client that trains the offloaded feature layers.
+    pub receiver: usize,
+    /// Number of offloaded batches the receiver should run (`op`).
+    pub offload_batches: u32,
+    /// Estimated pair completion time used in the cost comparison.
+    pub estimated_ct: f64,
+}
+
+/// The output of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OffloadSchedule {
+    /// Mean completion time across participants (the target).
+    pub mct: f64,
+    /// Matched sender/receiver pairs.
+    pub assignments: Vec<Assignment>,
+    /// Stragglers that could not be matched (receivers exhausted).
+    pub unmatched_senders: Vec<usize>,
+}
+
+impl OffloadSchedule {
+    /// The assignment whose sender is `client`, if any.
+    pub fn assignment_for_sender(&self, client: usize) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.sender == client)
+    }
+
+    /// The assignment whose receiver is `client`, if any.
+    pub fn assignment_for_receiver(&self, client: usize) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.receiver == client)
+    }
+}
+
+/// Algorithm 2, unimodal form: the optimal number of offloaded batches
+/// between straggler `a` and receiver `b`.
+///
+/// Scans `d = 1..=min(ra, rb)` and stops as soon as the cost rises,
+/// returning `(best_ct, best_d)`. Returns `(∞, 0)` when either side has no
+/// remaining updates.
+pub fn calc_op(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32) {
+    let mut ct = f64::INFINITY;
+    let mut best_d = 0u32;
+    for d in 1..=ra.min(rb) {
+        let current =
+            (f64::from(ra - d) * ta).max(f64::from(rb) * tb + f64::from(d) * xb);
+        if current > ct {
+            return (ct, best_d);
+        }
+        ct = current;
+        best_d = d;
+    }
+    (ct, best_d)
+}
+
+/// Algorithm 2 with the recurrence exactly as printed in the paper
+/// (`max((r_a−d)·t_a + d·x_b, (r_b−d)·t_b)`), for the ablation study.
+pub fn calc_op_printed(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32) {
+    let mut ct = f64::INFINITY;
+    let mut best_d = 0u32;
+    for d in 1..=ra.min(rb) {
+        let current = (f64::from(ra - d) * ta + f64::from(d) * xb)
+            .max(f64::from(rb - d) * tb);
+        if current > ct {
+            return (ct, best_d);
+        }
+        ct = current;
+        best_d = d;
+    }
+    (ct, best_d)
+}
+
+/// Which `calc_op` variant [`schedule`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OpVariant {
+    /// The unimodal corrected form (default).
+    #[default]
+    Unimodal,
+    /// The formula exactly as printed in the paper.
+    Printed,
+}
+
+/// Algorithm 1: computes the round's freezing/offloading schedule.
+///
+/// `similarity[i][j]` must hold the EMD distance between the datasets of
+/// clients `i` and `j` (0 = identical); `f` is the similarity factor of
+/// line 24 (`f = 0` ignores data similarity entirely).
+///
+/// # Panics
+///
+/// Panics if a [`ClientPerf::id`] indexes outside `similarity` or if `f`
+/// is negative.
+pub fn schedule(
+    perfs: &[ClientPerf],
+    similarity: &[Vec<f64>],
+    f: f64,
+    variant: OpVariant,
+) -> OffloadSchedule {
+    assert!(f >= 0.0, "schedule: negative similarity factor {f}");
+    if perfs.is_empty() {
+        return OffloadSchedule::default();
+    }
+
+    // Line 12: mean completion time over the active clients.
+    let mct = perfs.iter().map(ClientPerf::estimated_completion).sum::<f64>() / perfs.len() as f64;
+
+    // Lines 13–14: senders are the clients that would overshoot mct.
+    let mut sending: Vec<&ClientPerf> =
+        perfs.iter().filter(|p| p.estimated_completion() > mct).collect();
+    let mut receiving: Vec<&ClientPerf> =
+        perfs.iter().filter(|p| p.estimated_completion() <= mct).collect();
+
+    // Lines 15–16: weakest senders first (the round ends with the weakest
+    // client), strongest receivers first.
+    sending.sort_by(|a, b| {
+        b.estimated_completion().total_cmp(&a.estimated_completion()).then(a.id.cmp(&b.id))
+    });
+    receiving.sort_by(|a, b| {
+        a.estimated_completion().total_cmp(&b.estimated_completion()).then(a.id.cmp(&b.id))
+    });
+
+    let mut assignments = Vec::new();
+    let mut unmatched = Vec::new();
+
+    for sender in &sending {
+        if receiving.is_empty() {
+            unmatched.push(sender.id);
+            continue;
+        }
+        let mut selected: Option<(usize, Assignment)> = None;
+        let mut best_cost = f64::INFINITY;
+        for (slot, receiver) in receiving.iter().enumerate() {
+            let (ct, d) = match variant {
+                OpVariant::Unimodal => calc_op(
+                    sender.full_batch(),
+                    receiver.full_batch(),
+                    receiver.feature_only,
+                    sender.remaining,
+                    receiver.remaining,
+                ),
+                OpVariant::Printed => calc_op_printed(
+                    sender.full_batch(),
+                    receiver.full_batch(),
+                    receiver.feature_only,
+                    sender.remaining,
+                    receiver.remaining,
+                ),
+            };
+            if d == 0 {
+                continue;
+            }
+            let s = similarity[sender.id][receiver.id];
+            // Line 24: similarity-weighted cost.
+            let cost = ct * (1.0 + (s * f + 1.0).ln());
+            if cost < best_cost {
+                best_cost = cost;
+                selected = Some((
+                    slot,
+                    Assignment {
+                        sender: sender.id,
+                        receiver: receiver.id,
+                        offload_batches: d,
+                        estimated_ct: ct,
+                    },
+                ));
+            }
+        }
+        match selected {
+            Some((slot, assignment)) => {
+                // Line 29: a strong client serves at most one straggler.
+                receiving.remove(slot);
+                assignments.push(assignment);
+            }
+            None => unmatched.push(sender.id),
+        }
+    }
+
+    OffloadSchedule { mct, assignments, unmatched_senders: unmatched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(id: usize, full: f64, remaining: u32) -> ClientPerf {
+        // Typical CNN shape: bf ≈ 60% of a batch, features ≈ 80%.
+        ClientPerf {
+            id,
+            t123: 0.4 * full,
+            t4: 0.6 * full,
+            feature_only: 0.8 * full,
+            remaining,
+        }
+    }
+
+    fn no_similarity(n: usize) -> Vec<Vec<f64>> {
+        vec![vec![0.0; n]; n]
+    }
+
+    #[test]
+    fn calc_op_finds_the_crossing_point() {
+        // a: 10 updates at 2 s; b: 10 updates at 0.5 s, features 0.4 s.
+        let (ct, d) = calc_op(2.0, 0.5, 0.4, 10, 10);
+        assert!(d > 0 && d <= 10);
+        // Cost at the optimum beats both extremes.
+        let at = |d: u32| (f64::from(10 - d) * 2.0).max(10.0 * 0.5 + f64::from(d) * 0.4);
+        assert!(ct <= at(1));
+        assert!(ct <= at(10));
+        assert!((ct - at(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calc_op_zero_updates_is_infinite() {
+        assert_eq!(calc_op(1.0, 1.0, 0.5, 0, 10), (f64::INFINITY, 0));
+        assert_eq!(calc_op(1.0, 1.0, 0.5, 10, 0), (f64::INFINITY, 0));
+    }
+
+    #[test]
+    fn calc_op_printed_monotone_case_takes_max_d() {
+        // With xb < ta both branches of the printed formula fall in d, so
+        // it runs to d = min(ra, rb).
+        let (_, d) = calc_op_printed(2.0, 0.5, 0.4, 8, 12);
+        assert_eq!(d, 8);
+    }
+
+    #[test]
+    fn homogeneous_cluster_needs_no_offloading() {
+        let perfs: Vec<ClientPerf> = (0..6).map(|i| perf(i, 1.0, 20)).collect();
+        let sched = schedule(&perfs, &no_similarity(6), 0.0, OpVariant::Unimodal);
+        assert!(sched.assignments.is_empty());
+        assert!(sched.unmatched_senders.is_empty());
+        assert!((sched.mct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_straggler_offloads_to_a_strong_client() {
+        let mut perfs: Vec<ClientPerf> = (0..4).map(|i| perf(i, 0.5, 20)).collect();
+        perfs.push(perf(4, 4.0, 20)); // the straggler
+        let sched = schedule(&perfs, &no_similarity(5), 0.0, OpVariant::Unimodal);
+        assert_eq!(sched.assignments.len(), 1);
+        let a = &sched.assignments[0];
+        assert_eq!(a.sender, 4);
+        assert!(a.receiver < 4);
+        assert!(a.offload_batches > 0);
+        // The schedule must beat the straggler's solo completion.
+        assert!(a.estimated_ct < 80.0);
+    }
+
+    #[test]
+    fn receivers_are_used_at_most_once() {
+        // Three stragglers, two strong clients: one straggler unmatched.
+        let mut perfs: Vec<ClientPerf> = (0..2).map(|i| perf(i, 0.4, 20)).collect();
+        perfs.extend((2..5).map(|i| perf(i, 5.0, 20)));
+        let sched = schedule(&perfs, &no_similarity(5), 0.0, OpVariant::Unimodal);
+        let mut receivers: Vec<usize> = sched.assignments.iter().map(|a| a.receiver).collect();
+        receivers.sort_unstable();
+        receivers.dedup();
+        assert_eq!(receivers.len(), sched.assignments.len(), "receiver reused");
+        assert_eq!(sched.assignments.len() + sched.unmatched_senders.len(), 3);
+    }
+
+    #[test]
+    fn weakest_sender_is_matched_first() {
+        // One strong receiver, two stragglers of different severity (both
+        // above mct = 74): the weaker straggler must get the receiver.
+        let perfs = vec![perf(0, 0.1, 20), perf(1, 5.0, 20), perf(2, 6.0, 20)];
+        let sched = schedule(&perfs, &no_similarity(3), 0.0, OpVariant::Unimodal);
+        assert_eq!(sched.assignments.len(), 1);
+        assert_eq!(sched.assignments[0].sender, 2, "weakest client must be served first");
+        assert_eq!(sched.unmatched_senders, vec![1]);
+    }
+
+    #[test]
+    fn similarity_steers_the_matching() {
+        // Two equal receivers (1, 2); receiver 2's dataset is identical to
+        // the straggler's, receiver 1's is maximally distant.
+        let perfs = vec![perf(0, 4.0, 20), perf(1, 0.5, 20), perf(2, 0.5, 20)];
+        let mut sim = no_similarity(3);
+        sim[0][1] = 9.0;
+        sim[1][0] = 9.0;
+        sim[0][2] = 0.0;
+        // With f = 0 similarity is ignored; ties break on stronger id order.
+        let ignore = schedule(&perfs, &sim, 0.0, OpVariant::Unimodal);
+        assert_eq!(ignore.assignments.len(), 1);
+        // With f = 1 the similar receiver must win.
+        let aware = schedule(&perfs, &sim, 1.0, OpVariant::Unimodal);
+        assert_eq!(aware.assignments[0].receiver, 2);
+    }
+
+    #[test]
+    fn higher_similarity_factor_never_picks_a_more_distant_receiver() {
+        let perfs = vec![perf(0, 4.0, 16), perf(1, 0.6, 16), perf(2, 0.5, 16)];
+        let mut sim = no_similarity(3);
+        sim[0][2] = 5.0; // the slightly faster receiver has alien data
+        sim[2][0] = 5.0;
+        let f0 = schedule(&perfs, &sim, 0.0, OpVariant::Unimodal);
+        let f1 = schedule(&perfs, &sim, 1.0, OpVariant::Unimodal);
+        assert_eq!(f0.assignments[0].receiver, 2, "f=0 goes purely by speed");
+        assert_eq!(f1.assignments[0].receiver, 1, "f=1 trades speed for similarity");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_schedule() {
+        let sched = schedule(&[], &no_similarity(0), 0.5, OpVariant::Unimodal);
+        assert_eq!(sched, OffloadSchedule::default());
+    }
+
+    #[test]
+    fn lookup_helpers_find_assignments() {
+        let perfs = vec![perf(0, 4.0, 20), perf(1, 0.5, 20)];
+        let sched = schedule(&perfs, &no_similarity(2), 0.0, OpVariant::Unimodal);
+        assert!(sched.assignment_for_sender(0).is_some());
+        assert!(sched.assignment_for_receiver(1).is_some());
+        assert!(sched.assignment_for_sender(1).is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Mini-batch iteration over a client's shard.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::synth::Dataset;
+use aergia_tensor::Tensor;
+
+/// Cycles through a client's sample indices in shuffled epochs, yielding
+/// fixed-size mini-batches forever.
+///
+/// Local FL training runs a fixed number of *batch updates* per round
+/// (1600 in the paper, scaled down here), so the iterator wraps around
+/// epoch boundaries transparently, reshuffling at each new epoch.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_data::batcher::Batcher;
+/// use aergia_data::{DataConfig, DatasetSpec};
+///
+/// let (train, _) = DataConfig {
+///     spec: DatasetSpec::MnistLike, train_size: 10, test_size: 2, seed: 0,
+/// }.generate_pair();
+/// let indices: Vec<usize> = (0..10).collect();
+/// let mut batcher = Batcher::new(indices, 4, 1);
+/// let (x, y) = batcher.next_batch(&train);
+/// assert_eq!(x.dims()[0], 4);
+/// assert_eq!(y.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Batcher {
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    rng: StdRng,
+}
+
+impl Batcher {
+    /// Creates a batcher over `indices` with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or `batch_size` is zero.
+    pub fn new(indices: Vec<usize>, batch_size: usize, seed: u64) -> Self {
+        assert!(!indices.is_empty(), "Batcher::new: empty shard");
+        assert!(batch_size > 0, "Batcher::new: zero batch size");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x626174_6368); // "batch"
+        let mut indices = indices;
+        indices.shuffle(&mut rng);
+        Batcher { indices, batch_size, cursor: 0, rng }
+    }
+
+    /// Effective batch size (may exceed the shard, in which case batches
+    /// repeat samples across the wrap).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns the next mini-batch, reshuffling at epoch boundaries.
+    pub fn next_batch(&mut self, dataset: &Dataset) -> (Tensor, Vec<usize>) {
+        let mut picked = Vec::with_capacity(self.batch_size);
+        while picked.len() < self.batch_size {
+            if self.cursor == self.indices.len() {
+                self.indices.shuffle(&mut self.rng);
+                self.cursor = 0;
+            }
+            picked.push(self.indices[self.cursor]);
+            self.cursor += 1;
+        }
+        dataset.batch(&picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use crate::synth::DataConfig;
+
+    fn dataset() -> Dataset {
+        DataConfig { spec: DatasetSpec::MnistLike, train_size: 10, test_size: 1, seed: 2 }
+            .generate_pair()
+            .0
+    }
+
+    #[test]
+    fn one_epoch_visits_every_sample_once() {
+        let ds = dataset();
+        let mut b = Batcher::new((0..10).collect(), 5, 0);
+        let (_, y1) = b.next_batch(&ds);
+        let (_, y2) = b.next_batch(&ds);
+        let mut seen = y1;
+        seen.extend(y2);
+        seen.sort_unstable();
+        let mut expected: Vec<usize> = ds.labels().to_vec();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn wraps_across_epochs() {
+        let ds = dataset();
+        let mut b = Batcher::new((0..10).collect(), 7, 1);
+        for _ in 0..5 {
+            let (x, y) = b.next_batch(&ds);
+            assert_eq!(x.dims()[0], 7);
+            assert_eq!(y.len(), 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let mut a = Batcher::new((0..10).collect(), 3, 9);
+        let mut b = Batcher::new((0..10).collect(), 3, 9);
+        for _ in 0..4 {
+            assert_eq!(a.next_batch(&ds).1, b.next_batch(&ds).1);
+        }
+    }
+
+    #[test]
+    fn batch_larger_than_shard_repeats() {
+        let ds = dataset();
+        let mut b = Batcher::new(vec![0, 1], 5, 3);
+        let (x, y) = b.next_batch(&ds);
+        assert_eq!(x.dims()[0], 5);
+        assert_eq!(y.len(), 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulated trusted execution environment for private dataset-similarity
+//! computation.
+//!
+//! In the paper (§3.1, §4.4), clients send their *encrypted* per-class
+//! label counts to an Intel SGX enclave hosted by the federator; the
+//! enclave — after clients authenticate it via remote attestation —
+//! decrypts the histograms and emits only the pairwise EMD similarity
+//! matrix, so the federator never sees any client's class distribution.
+//!
+//! This crate reproduces that *code path* without real SGX hardware:
+//!
+//! * [`attestation`] — a measurement-check + nonce handshake standing in
+//!   for remote attestation;
+//! * [`sealing`] — a keystream cipher standing in for the attested
+//!   session's authenticated encryption (**not cryptographically secure**;
+//!   see the module docs);
+//! * [`SimilarityEnclave`] — the enclave itself. Plaintext histograms
+//!   exist only inside its private state; the public API exposes nothing
+//!   but the similarity matrix, mirroring the SGX isolation boundary at
+//!   the type level.
+//!
+//! # Examples
+//!
+//! ```
+//! use aergia_enclave::{establish_session, SimilarityEnclave};
+//!
+//! let mut enclave = SimilarityEnclave::new(2, 99);
+//! // Each client attests the enclave, derives a session key and seals its
+//! // private histogram.
+//! for (client, hist) in [(0u32, vec![8u64, 0]), (1, vec![0, 8])].into_iter() {
+//!     let mut session = establish_session(&mut enclave, client, 7).unwrap();
+//!     let blob = session.seal_histogram(&hist);
+//!     enclave.submit(client, blob).unwrap();
+//! }
+//! let matrix = enclave.compute_similarity_matrix().unwrap();
+//! assert!(matrix[0][1] > 0.0); // disjoint class distributions are distant
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod sealing;
+
+mod enclave;
+
+pub use enclave::{establish_session, ClientSession, EnclaveError, SimilarityEnclave};

@@ -1,0 +1,120 @@
+//! Activation layers.
+
+use aergia_tensor::Tensor;
+
+use super::Layer;
+
+/// Rectified linear unit, `y = max(0, x)`, applied elementwise.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::layer::{Layer, Relu};
+/// use aergia_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+/// assert_eq!(relu.forward(&x).data(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        let y = x.map(|v| if v > 0.0 { v } else { 0.0 });
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), dy.numel(), "Relu::backward: gradient size mismatch");
+        let mut dx = dy.clone();
+        for (v, &m) in dx.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, weights: &[Tensor]) {
+        assert!(weights.is_empty(), "Relu::set_params: relu has no parameters");
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn forward_flops(&self, _batch: usize) -> u64 {
+        // Elementwise; negligible next to the matmuls but non-zero. We
+        // cannot know the activation size without an input, so charge ~0.
+        0
+    }
+
+    fn backward_flops(&self, _batch: usize) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]).unwrap();
+        assert_eq!(relu.forward(&x).data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 5.0], &[2]).unwrap();
+        relu.forward(&x);
+        let dy = Tensor::from_vec(vec![10.0, 10.0], &[2]).unwrap();
+        assert_eq!(relu.backward(&dy).data(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_is_not_active() {
+        let mut relu = Relu::new();
+        let x = Tensor::zeros(&[4]);
+        relu.forward(&x);
+        let dy = Tensor::ones(&[4]);
+        assert_eq!(relu.backward(&dy).sum(), 0.0);
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut relu = Relu::new();
+        assert!(relu.params().is_empty());
+        assert!(relu.params_and_grads().is_empty());
+        relu.set_params(&[]);
+    }
+}

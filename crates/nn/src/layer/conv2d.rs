@@ -1,0 +1,235 @@
+//! 2-D convolution layer (im2col + matmul lowering).
+
+use aergia_tensor::conv::{col2im, im2col, nchw_to_rows, rows_to_nchw, ConvGeometry};
+use aergia_tensor::{init, ops, Tensor};
+use rand::Rng;
+
+use super::{check_snapshot, Layer};
+
+/// A 2-D convolution over NCHW inputs with square stride and padding.
+///
+/// Weights are stored as a `[out_channels, in_channels·kh·kw]` matrix (the
+/// im2col lowering), bias as `[out_channels]`.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::layer::{Conv2d, Layer};
+/// use aergia_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(1, 4, 3, 1, 1, 8, 8, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 1, 8, 8]));
+/// assert_eq!(y.dims(), &[2, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_cols: Option<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights.
+    ///
+    /// `in_h`/`in_w` fix the spatial input size (needed for the FLOP model
+    /// and backward geometry); stride and padding are uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input (see
+    /// [`ConvGeometry::new`]) or any size is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv2d: zero size");
+        let geom = ConvGeometry::new(in_h, in_w, kernel, kernel, stride, pad);
+        let ckk = in_channels * kernel * kernel;
+        let mut weight = Tensor::zeros(&[out_channels, ckk]);
+        init::kaiming_uniform(&mut weight, rng, ckk);
+        Conv2d {
+            in_channels,
+            out_channels,
+            geom,
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, ckk]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_cols: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// Output spatial size `(out_h, out_w)`.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.geom.out_h, self.geom.out_w)
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn macs(&self, batch: usize) -> u64 {
+        (batch
+            * self.out_channels
+            * self.geom.out_h
+            * self.geom.out_w
+            * self.in_channels
+            * self.geom.k_h
+            * self.geom.k_w) as u64
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let batch = x.dims()[0];
+        let cols = im2col(x, self.in_channels, &self.geom).expect("Conv2d::forward: bad input");
+        // y_rows[(n,oh,ow), oc] = cols · Wᵀ
+        let mut y_rows = ops::matmul_nt(&cols, &self.weight).expect("conv matmul");
+        ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
+        let y = rows_to_nchw(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w)
+            .expect("conv reshape");
+        self.cached_cols = Some(cols);
+        self.cached_batch = batch;
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cols = self.cached_cols.take().expect("Conv2d::backward before forward");
+        let dy_rows = nchw_to_rows(dy).expect("conv dy reshape");
+        // dW[oc, ckk] = dyᵀ · cols
+        let dw = ops::matmul_tn(&dy_rows, &cols).expect("conv dW");
+        self.grad_weight.add_assign(&dw);
+        let db = ops::sum_rows(&dy_rows).expect("conv db");
+        self.grad_bias.add_assign(&db);
+        // dcols = dy · W
+        let dcols = ops::matmul(&dy_rows, &self.weight).expect("conv dcols");
+        col2im(&dcols, self.cached_batch, self.in_channels, &self.geom).expect("conv dx")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
+    }
+
+    fn set_params(&mut self, weights: &[Tensor]) {
+        check_snapshot("Conv2d", &self.params(), weights);
+        self.weight = weights[0].clone();
+        self.bias = weights[1].clone();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn forward_flops(&self, batch: usize) -> u64 {
+        2 * self.macs(batch)
+    }
+
+    fn backward_flops(&self, batch: usize) -> u64 {
+        // dW and dx are each a matmul of the forward's size.
+        4 * self.macs(batch)
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::finite_diff_input_check;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn forward_shape_and_padding() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 16, 16, &mut rng());
+        let y = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]));
+        assert_eq!(y.dims(), &[2, 8, 16, 16]);
+        let mut conv = Conv2d::new(1, 2, 5, 1, 0, 28, 28, &mut rng());
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 28, 28]));
+        assert_eq!(y.dims(), &[1, 2, 24, 24]);
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 1 input channel, 1 output channel, 2x2 averaging-ish kernel.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 2, 2, &mut rng());
+        conv.set_params(&[
+            Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]).unwrap(),
+            Tensor::from_vec(vec![0.5], &[1]).unwrap(),
+        ]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), &[10.5]);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 5, 5, &mut rng());
+        let mut x = Tensor::zeros(&[1, 2, 5, 5]);
+        init::normal(&mut x, &mut rng(), 0.0, 1.0);
+        finite_diff_input_check(&mut conv, &x, 5e-2);
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_and_zeroes() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 3, 3, &mut rng());
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x);
+        let dy = Tensor::ones(y.dims());
+        conv.backward(&dy);
+        let g1 = conv.params_and_grads()[0].1.clone();
+        assert!(g1.max_abs() > 0.0);
+        conv.forward(&x);
+        conv.backward(&dy);
+        let g2 = conv.params_and_grads()[0].1.clone();
+        assert!((g2.max_abs() - 2.0 * g1.max_abs()).abs() < 1e-4);
+        conv.zero_grads();
+        assert_eq!(conv.params_and_grads()[0].1.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 16, 16, &mut rng());
+        assert_eq!(conv.forward_flops(4), 4 * conv.forward_flops(1));
+        assert_eq!(conv.backward_flops(1), 2 * conv.forward_flops(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 3, 3, &mut rng());
+        conv.backward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+}

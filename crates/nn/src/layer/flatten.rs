@@ -1,0 +1,100 @@
+//! Shape-adapter layer between convolutional and dense sections.
+
+use aergia_tensor::Tensor;
+
+use super::Layer;
+
+/// Flattens `[N, C, H, W]` activations into `[N, C·H·W]` rows.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::layer::{Flatten, Layer};
+/// use aergia_tensor::Tensor;
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(&[2, 3, 4, 4]));
+/// assert_eq!(y.dims(), &[2, 48]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: Vec::new() }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let dims = x.dims().to_vec();
+        assert!(dims.len() >= 2, "Flatten: input must be at least rank 2");
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.cached_dims = dims;
+        x.reshape(&[batch, rest]).expect("Flatten: reshape cannot fail")
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(!self.cached_dims.is_empty(), "Flatten::backward before forward");
+        let dx = dy.reshape(&self.cached_dims).expect("Flatten::backward: size mismatch");
+        self.cached_dims.clear();
+        dx
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, weights: &[Tensor]) {
+        assert!(weights.is_empty(), "Flatten::set_params: flatten has no parameters");
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn forward_flops(&self, _batch: usize) -> u64 {
+        0
+    }
+
+    fn backward_flops(&self, _batch: usize) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shapes() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2, 1]).unwrap();
+        let y = f.forward(&x);
+        assert_eq!(y.dims(), &[2, 6]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.dims(), &[2, 3, 2, 1]);
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        f.backward(&Tensor::zeros(&[2, 6]));
+    }
+}

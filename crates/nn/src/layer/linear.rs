@@ -1,0 +1,181 @@
+//! Fully-connected (dense) layer.
+
+use aergia_tensor::{init, ops, Tensor};
+use rand::Rng;
+
+use super::{check_snapshot, Layer};
+
+/// A dense layer `y = x·Wᵀ + b` over `[batch, in_features]` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::layer::{Layer, Linear};
+/// use aergia_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut fc = Linear::new(8, 3, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(&[4, 8]));
+/// assert_eq!(y.dims(), &[4, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor, // [out, in]
+    bias: Tensor,   // [out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Kaiming-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0, "Linear: zero feature count");
+        let mut weight = Tensor::zeros(&[out_features, in_features]);
+        init::kaiming_uniform(&mut weight, rng, in_features);
+        Linear {
+            in_features,
+            out_features,
+            weight,
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = ops::matmul_nt(x, &self.weight).expect("Linear::forward: bad input");
+        ops::add_bias_rows(&mut y, &self.bias).expect("linear bias");
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("Linear::backward before forward");
+        // dW[out, in] = dyᵀ · x
+        let dw = ops::matmul_tn(dy, &x).expect("linear dW");
+        self.grad_weight.add_assign(&dw);
+        let db = ops::sum_rows(dy).expect("linear db");
+        self.grad_bias.add_assign(&db);
+        // dx = dy · W
+        ops::matmul(dy, &self.weight).expect("linear dx")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
+    }
+
+    fn set_params(&mut self, weights: &[Tensor]) {
+        check_snapshot("Linear", &self.params(), weights);
+        self.weight = weights[0].clone();
+        self.bias = weights[1].clone();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn forward_flops(&self, batch: usize) -> u64 {
+        2 * (batch * self.in_features * self.out_features) as u64
+    }
+
+    fn backward_flops(&self, batch: usize) -> u64 {
+        4 * (batch * self.in_features * self.out_features) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::finite_diff_input_check;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut fc = Linear::new(2, 2, &mut rng());
+        fc.set_params(&[
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+        ]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = fc.forward(&x);
+        // y = [1+2+0.5, 3+4-0.5]
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut fc = Linear::new(6, 4, &mut rng());
+        let mut x = Tensor::zeros(&[3, 6]);
+        init::normal(&mut x, &mut rng(), 0.0, 1.0);
+        finite_diff_input_check(&mut fc, &x, 2e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_outer_product() {
+        let mut fc = Linear::new(2, 1, &mut rng());
+        fc.set_params(&[Tensor::zeros(&[1, 2]), Tensor::zeros(&[1])]);
+        let x = Tensor::from_vec(vec![3.0, -2.0], &[1, 2]).unwrap();
+        fc.forward(&x);
+        let dy = Tensor::from_vec(vec![2.0], &[1, 1]).unwrap();
+        fc.backward(&dy);
+        let binding = fc.params_and_grads();
+        let (gw, gb) = (binding[0].1.data().to_vec(), binding[1].1.data().to_vec());
+        assert_eq!(gw, vec![6.0, -4.0]);
+        assert_eq!(gb, vec![2.0]);
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_shapes() {
+        let mut fc = Linear::new(2, 2, &mut rng());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fc.set_params(&[Tensor::zeros(&[3, 2]), Tensor::zeros(&[2])]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn flops_are_symmetric_in_batch() {
+        let fc = Linear::new(10, 5, &mut rng());
+        assert_eq!(fc.forward_flops(2), 200);
+        assert_eq!(fc.backward_flops(2), 400);
+    }
+}

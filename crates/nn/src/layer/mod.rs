@@ -1,0 +1,146 @@
+//! Network layers.
+//!
+//! Every layer implements the object-safe [`Layer`] trait: a stateful
+//! `forward` that caches whatever `backward` will need, a `backward` that
+//! accumulates parameter gradients and returns the input gradient, access
+//! to parameters/gradients for the optimizer and for weight snapshots, and
+//! an analytic FLOP cost used by the simulation's timing model.
+
+mod activation;
+mod conv2d;
+mod flatten;
+mod linear;
+mod pool;
+mod residual;
+
+pub use activation::Relu;
+pub use conv2d::Conv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use residual::ResidualBlock;
+
+use std::fmt;
+
+use aergia_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// `forward` must be called before `backward`; layers cache activations
+/// between the two calls (so a layer instance is not reentrant). Gradients
+/// accumulate across `backward` calls until [`Layer::zero_grads`].
+///
+/// The trait is object-safe: models store `Box<dyn Layer>` and clone them
+/// through [`Layer::clone_box`].
+pub trait Layer: fmt::Debug + Send {
+    /// Computes the layer output, caching state needed by `backward`.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Back-propagates `dy`, accumulating parameter gradients, and returns
+    /// the gradient with respect to the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Parameter/gradient pairs for the optimizer, in the same order as
+    /// [`Layer::params`].
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Overwrites the layer parameters from a snapshot slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from `self.params().len()` or any
+    /// shape mismatches.
+    fn set_params(&mut self, weights: &[Tensor]);
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grads(&mut self);
+
+    /// Estimated FLOPs of `forward` for a batch of `batch` samples.
+    fn forward_flops(&self, batch: usize) -> u64;
+
+    /// Estimated FLOPs of `backward` for a batch of `batch` samples.
+    fn backward_flops(&self, batch: usize) -> u64;
+
+    /// A short human-readable layer name (`conv2d`, `linear`, …).
+    fn name(&self) -> &'static str;
+
+    /// Clones the layer behind a fresh box (parameters included, caches
+    /// not guaranteed).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Asserts that a snapshot slice matches the layer's parameter list; used
+/// by `set_params` implementations.
+pub(crate) fn check_snapshot(name: &str, params: &[&Tensor], weights: &[Tensor]) {
+    assert_eq!(
+        params.len(),
+        weights.len(),
+        "{name}::set_params: expected {} tensors, got {}",
+        params.len(),
+        weights.len()
+    );
+    for (i, (p, w)) in params.iter().zip(weights).enumerate() {
+        assert_eq!(
+            p.dims(),
+            w.dims(),
+            "{name}::set_params: tensor {i} shape mismatch ({:?} vs {:?})",
+            p.dims(),
+            w.dims()
+        );
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for layer gradient checks.
+
+    use aergia_tensor::Tensor;
+
+    use super::Layer;
+
+    /// Central-difference gradient check: perturbs each input element and
+    /// compares the numeric directional derivative of `sum(forward(x) * w)`
+    /// against the analytic `backward(w)`.
+    pub fn finite_diff_input_check(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+        let y = layer.forward(x);
+        // Random-ish but deterministic cotangent.
+        let cot = Tensor::from_vec(
+            (0..y.numel()).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect(),
+            y.dims(),
+        )
+        .unwrap();
+        let dx = layer.backward(&cot);
+        assert_eq!(dx.dims(), x.dims());
+
+        let eps = 1e-2f32;
+        for i in (0..x.numel()).step_by(x.numel().div_ceil(16).max(1)) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = layer.forward(&xp);
+            let ym = layer.forward(&xm);
+            let fp: f32 = yp.data().iter().zip(cot.data()).map(|(a, b)| a * b).sum();
+            let fm: f32 = ym.data().iter().zip(cot.data()).map(|(a, b)| a * b).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.data()[i];
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + numeric.abs()),
+                "grad check failed at {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

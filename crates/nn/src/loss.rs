@@ -1,0 +1,144 @@
+//! Softmax cross-entropy loss, the paper's classification objective (§2.2).
+
+use aergia_tensor::Tensor;
+
+/// Loss value and logits gradient for one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits, `(softmax − onehot)/N`.
+    pub dlogits: Tensor,
+    /// Number of correctly classified samples (argmax == target).
+    pub correct: usize,
+}
+
+/// Computes mean softmax cross-entropy over a `[batch, classes]` logits
+/// matrix with integer `targets`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, if `targets.len()` differs from the
+/// batch size, or if any target is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::loss::cross_entropy;
+/// use aergia_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]).unwrap();
+/// let out = cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 1e-3);
+/// assert_eq!(out.correct, 1);
+/// ```
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "cross_entropy: rank-2 logits required");
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(targets.len(), batch, "cross_entropy: one target per row required");
+
+    let mut dlogits = Tensor::zeros(&[batch, classes]);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    let src = logits.data();
+    let dst = dlogits.data_mut();
+
+    for (row, &target) in targets.iter().enumerate() {
+        assert!(target < classes, "cross_entropy: target {target} out of {classes} classes");
+        let row_logits = &src[row * classes..(row + 1) * classes];
+        // Numerically stable log-softmax.
+        let max = row_logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum_exp = 0.0f32;
+        for &v in row_logits {
+            sum_exp += (v - max).exp();
+        }
+        let log_z = max + sum_exp.ln();
+        loss += f64::from(log_z - row_logits[target]);
+
+        let argmax = row_logits
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0;
+        if argmax == target {
+            correct += 1;
+        }
+
+        let drow = &mut dst[row * classes..(row + 1) * classes];
+        for (j, d) in drow.iter_mut().enumerate() {
+            let p = (row_logits[j] - log_z).exp();
+            *d = (p - if j == target { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+
+    LossOutput { loss: (loss / batch as f64) as f32, dlogits, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - 10.0_f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = cross_entropy(&logits, &[2, 0]);
+        for row in out.dlogits.data().chunks_exact(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1], &[1, 3]).unwrap();
+        let out = cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &[1]).loss - cross_entropy(&lm, &[1]).loss) / (2.0 * eps);
+            assert!((numeric - out.dlogits.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn counts_correct_predictions() {
+        let logits =
+            Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0, 5.0, 0.0], &[3, 2]).unwrap();
+        let out = cross_entropy(&logits, &[0, 1, 1]);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    fn large_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[1, 2]).unwrap();
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.dlogits.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_bad_target() {
+        let logits = Tensor::zeros(&[1, 2]);
+        cross_entropy(&logits, &[5]);
+    }
+}

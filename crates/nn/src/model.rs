@@ -1,0 +1,537 @@
+//! The sequential CNN with an explicit feature/classifier split.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use aergia_tensor::{Tensor, TensorError};
+
+use crate::layer::Layer;
+use crate::loss::cross_entropy;
+use crate::optim::Sgd;
+use crate::profile::PhaseCost;
+
+/// Errors produced by model construction and training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// The feature/classifier split index is out of range.
+    InvalidSplit {
+        /// Requested split index.
+        split: usize,
+        /// Number of layers in the model.
+        layers: usize,
+    },
+    /// A snapshot had the wrong number of tensors for the target section.
+    SnapshotLength {
+        /// Tensors expected.
+        expected: usize,
+        /// Tensors provided.
+        got: usize,
+    },
+    /// An underlying tensor operation failed (shape mismatch).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidSplit { split, layers } => {
+                write!(f, "split index {split} out of range for {layers} layers")
+            }
+            NnError::SnapshotLength { expected, got } => {
+                write!(f, "weight snapshot has {got} tensors, expected {expected}")
+            }
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Result of training on one mini-batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Mean cross-entropy loss of the batch.
+    pub loss: f32,
+    /// Correctly classified samples.
+    pub correct: usize,
+    /// Samples in the batch.
+    pub batch_size: usize,
+    /// Measured wall-clock seconds per phase.
+    pub seconds: PhaseCost,
+    /// Analytic FLOPs per phase (drives the simulation's virtual clock).
+    pub flops: PhaseCost,
+}
+
+/// A sequential convolutional network split into a *feature* section
+/// (`layers[..split]`) and a *classifier* section (`layers[split..]`),
+/// mirroring the paper's §2.1 decomposition.
+///
+/// The model executes the four training phases of §3.2 separately so that
+/// callers observe per-phase costs, and supports **feature freezing**: when
+/// frozen, the backward feature pass (`bf`) is skipped and feature weights
+/// stop updating — exactly the lighter procedure Aergia's weak clients run
+/// after offloading (§4.1).
+///
+/// Use [`crate::models::ModelArch`] to construct the paper's architectures.
+pub struct Cnn {
+    layers: Vec<Box<dyn Layer>>,
+    split: usize,
+    num_classes: usize,
+    frozen_features: bool,
+    frozen_classifier: bool,
+}
+
+impl fmt::Debug for Cnn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Cnn")
+            .field("layers", &names)
+            .field("split", &self.split)
+            .field("num_classes", &self.num_classes)
+            .field("frozen_features", &self.frozen_features)
+            .field("frozen_classifier", &self.frozen_classifier)
+            .finish()
+    }
+}
+
+impl Clone for Cnn {
+    fn clone(&self) -> Self {
+        Cnn {
+            layers: self.layers.clone(),
+            split: self.split,
+            num_classes: self.num_classes,
+            frozen_features: self.frozen_features,
+            frozen_classifier: self.frozen_classifier,
+        }
+    }
+}
+
+impl Cnn {
+    /// Builds a model from layers and a split index: `layers[..split]` form
+    /// the feature section, the rest the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSplit`] unless `0 < split < layers.len()`.
+    pub fn new(
+        layers: Vec<Box<dyn Layer>>,
+        split: usize,
+        num_classes: usize,
+    ) -> Result<Self, NnError> {
+        if split == 0 || split >= layers.len() {
+            return Err(NnError::InvalidSplit { split, layers: layers.len() });
+        }
+        Ok(Cnn { layers, split, num_classes, frozen_features: false, frozen_classifier: false })
+    }
+
+    /// Number of layers in the feature section.
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Whether the feature section is frozen.
+    pub fn features_frozen(&self) -> bool {
+        self.frozen_features
+    }
+
+    /// Freezes the feature section: subsequent [`Cnn::train_batch`] calls
+    /// skip the backward feature pass and leave feature weights untouched.
+    pub fn freeze_features(&mut self) {
+        self.frozen_features = true;
+    }
+
+    /// Reverses [`Cnn::freeze_features`].
+    pub fn unfreeze_features(&mut self) {
+        self.frozen_features = false;
+    }
+
+    /// Whether the classifier section is frozen.
+    pub fn classifier_frozen(&self) -> bool {
+        self.frozen_classifier
+    }
+
+    /// Freezes the classifier section: its weights stop updating while
+    /// gradients still flow *through* it into the feature layers. This is
+    /// the mode a strong client uses to train the feature layers of an
+    /// offloaded model on its own data (§4.1).
+    pub fn freeze_classifier(&mut self) {
+        self.frozen_classifier = true;
+    }
+
+    /// Reverses [`Cnn::freeze_classifier`].
+    pub fn unfreeze_classifier(&mut self) {
+        self.frozen_classifier = false;
+    }
+
+    /// The layers (read-only), feature section first.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Forward pass through the whole network (inference).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Computes loss and the number of correct predictions without
+    /// touching gradients.
+    pub fn evaluate(&mut self, x: &Tensor, targets: &[usize]) -> (f32, usize) {
+        let logits = self.forward(x);
+        let out = cross_entropy(&logits, targets);
+        (out.loss, out.correct)
+    }
+
+    /// Runs one full training step (the four phases plus the optimizer
+    /// update), returning per-phase costs.
+    ///
+    /// When the feature section is frozen the `bf` phase is skipped and its
+    /// cost reported as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] if `x` does not match the model's
+    /// expected input shape.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        opt: &mut Sgd,
+    ) -> Result<BatchStats, NnError> {
+        let batch = x.dims().first().copied().unwrap_or(0);
+        assert_eq!(targets.len(), batch, "train_batch: one target per sample required");
+        self.zero_grads();
+
+        let flops = self.phase_flops(batch);
+        let mut seconds = PhaseCost::zero();
+
+        // Phase 1: ff.
+        let t = Instant::now();
+        let mut h = x.clone();
+        for layer in &mut self.layers[..self.split] {
+            h = layer.forward(&h);
+        }
+        seconds.ff = t.elapsed().as_secs_f64();
+
+        // Phase 2: fc.
+        let t = Instant::now();
+        for layer in &mut self.layers[self.split..] {
+            h = layer.forward(&h);
+        }
+        seconds.fc = t.elapsed().as_secs_f64();
+
+        // Phase 3: bc (loss gradient + classifier backward).
+        let t = Instant::now();
+        let out = cross_entropy(&h, targets);
+        let mut d = out.dlogits;
+        for layer in self.layers[self.split..].iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        seconds.bc = t.elapsed().as_secs_f64();
+
+        // Phase 4: bf (skipped when frozen).
+        let frozen = self.frozen_features;
+        let t = Instant::now();
+        if !frozen {
+            for layer in self.layers[..self.split].iter_mut().rev() {
+                d = layer.backward(&d);
+            }
+        }
+        seconds.bf = t.elapsed().as_secs_f64();
+
+        opt.apply(self);
+
+        let flops = if frozen { PhaseCost { bf: 0.0, ..flops } } else { flops };
+        Ok(BatchStats { loss: out.loss, correct: out.correct, batch_size: batch, seconds, flops })
+    }
+
+    /// Analytic FLOP cost of each phase for a batch of `batch` samples
+    /// (independent of freezing).
+    pub fn phase_flops(&self, batch: usize) -> PhaseCost {
+        let mut cost = PhaseCost::zero();
+        for layer in &self.layers[..self.split] {
+            cost.ff += layer.forward_flops(batch) as f64;
+            cost.bf += layer.backward_flops(batch) as f64;
+        }
+        for layer in &self.layers[self.split..] {
+            cost.fc += layer.forward_flops(batch) as f64;
+            cost.bc += layer.backward_flops(batch) as f64;
+        }
+        cost
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Snapshot of every parameter tensor (feature section first).
+    pub fn weights(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.params().into_iter().cloned()).collect()
+    }
+
+    /// Snapshot of the feature-section parameters.
+    pub fn feature_weights(&self) -> Vec<Tensor> {
+        self.layers[..self.split].iter().flat_map(|l| l.params().into_iter().cloned()).collect()
+    }
+
+    /// Snapshot of the classifier-section parameters.
+    pub fn classifier_weights(&self) -> Vec<Tensor> {
+        self.layers[self.split..].iter().flat_map(|l| l.params().into_iter().cloned()).collect()
+    }
+
+    fn set_section(&mut self, range: std::ops::Range<usize>, weights: &[Tensor]) -> Result<(), NnError> {
+        let expected: usize = self.layers[range.clone()].iter().map(|l| l.params().len()).sum();
+        if weights.len() != expected {
+            return Err(NnError::SnapshotLength { expected, got: weights.len() });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers[range] {
+            let n = layer.params().len();
+            layer.set_params(&weights[offset..offset + n]);
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Overwrites every parameter from a full snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLength`] on count mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tensor in the snapshot has the wrong shape.
+    pub fn set_weights(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
+        self.set_section(0..self.layers.len(), weights)
+    }
+
+    /// Overwrites the feature-section parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLength`] on count mismatch.
+    pub fn set_feature_weights(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
+        self.set_section(0..self.split, weights)
+    }
+
+    /// Overwrites the classifier-section parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLength`] on count mismatch.
+    pub fn set_classifier_weights(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
+        self.set_section(self.split..self.layers.len(), weights)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().flat_map(|l| l.params()).map(|p| p.numel()).sum()
+    }
+
+    /// Number of scalar parameters in the feature section.
+    pub fn num_feature_params(&self) -> usize {
+        self.layers[..self.split].iter().flat_map(|l| l.params()).map(|p| p.numel()).sum()
+    }
+
+    /// Visits `(global_param_index, param, grad)` for every *trainable*
+    /// parameter (skipping the feature section when frozen). The global
+    /// index is stable across freezing so optimizer state stays aligned.
+    pub(crate) fn for_each_trainable(&mut self, f: &mut dyn FnMut(usize, &mut Tensor, &Tensor)) {
+        let mut index = 0usize;
+        let split = self.split;
+        let frozen_features = self.frozen_features;
+        let frozen_classifier = self.frozen_classifier;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let in_frozen_section =
+                (frozen_features && li < split) || (frozen_classifier && li >= split);
+            for (param, grad) in layer.params_and_grads() {
+                if !in_frozen_section {
+                    f(index, param, grad);
+                }
+                index += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+    use crate::optim::{Sgd, SgdConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Cnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, 8, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2, 2, 8, 8)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4 * 4, 3, &mut rng)),
+        ];
+        Cnn::new(layers, 3, 3).unwrap()
+    }
+
+    fn batch(seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::zeros(&[6, 1, 8, 8]);
+        aergia_tensor::init::normal(&mut x, &mut rng, 0.0, 1.0);
+        (x, vec![0, 1, 2, 0, 1, 2])
+    }
+
+    #[test]
+    fn split_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layers: Vec<Box<dyn Layer>> =
+            vec![Box::new(Flatten::new()), Box::new(Linear::new(4, 2, &mut rng))];
+        assert!(Cnn::new(layers, 0, 2).is_err());
+    }
+
+    #[test]
+    fn train_batch_reduces_loss_over_steps() {
+        let mut model = tiny_model(1);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, ..SgdConfig::default() });
+        let (x, y) = batch(2);
+        let first = model.train_batch(&x, &y, &mut opt).unwrap().loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.train_batch(&x, &y, &mut opt).unwrap().loss;
+        }
+        assert!(last < first * 0.8, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn freezing_pins_feature_weights_and_skips_bf() {
+        let mut model = tiny_model(3);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let (x, y) = batch(4);
+        model.freeze_features();
+        let before = model.feature_weights();
+        let clf_before = model.classifier_weights();
+        let stats = model.train_batch(&x, &y, &mut opt).unwrap();
+        assert_eq!(stats.flops.bf, 0.0);
+        assert_eq!(model.feature_weights(), before, "frozen feature weights moved");
+        assert_ne!(model.classifier_weights(), clf_before, "classifier should update");
+        model.unfreeze_features();
+        let stats = model.train_batch(&x, &y, &mut opt).unwrap();
+        assert!(stats.flops.bf > 0.0);
+        assert_ne!(model.feature_weights(), before);
+    }
+
+    #[test]
+    fn snapshot_round_trip_full_and_sections() {
+        let model_a = tiny_model(10);
+        let mut model_b = tiny_model(11);
+        assert_ne!(model_a.weights(), model_b.weights());
+        model_b.set_weights(&model_a.weights()).unwrap();
+        assert_eq!(model_a.weights(), model_b.weights());
+
+        let mut model_c = tiny_model(12);
+        model_c.set_feature_weights(&model_a.feature_weights()).unwrap();
+        model_c.set_classifier_weights(&model_a.classifier_weights()).unwrap();
+        assert_eq!(model_c.weights(), model_a.weights());
+    }
+
+    #[test]
+    fn snapshot_length_is_validated() {
+        let mut model = tiny_model(13);
+        assert!(matches!(
+            model.set_weights(&[Tensor::zeros(&[1])]),
+            Err(NnError::SnapshotLength { .. })
+        ));
+    }
+
+    #[test]
+    fn recombination_matches_paper_aggregation_rule() {
+        // Features from a "strong" client, classifier from a "weak" one.
+        let strong = tiny_model(20);
+        let weak = tiny_model(21);
+        let mut combined = tiny_model(22);
+        combined.set_feature_weights(&strong.feature_weights()).unwrap();
+        combined.set_classifier_weights(&weak.classifier_weights()).unwrap();
+        assert_eq!(combined.feature_weights(), strong.feature_weights());
+        assert_eq!(combined.classifier_weights(), weak.classifier_weights());
+    }
+
+    #[test]
+    fn phase_flops_are_positive_and_bf_dominates_ff() {
+        let model = tiny_model(30);
+        let cost = model.phase_flops(8);
+        assert!(cost.ff > 0.0 && cost.fc > 0.0 && cost.bc > 0.0 && cost.bf > 0.0);
+        assert!(cost.bf == 2.0 * cost.ff + model.layers[2].backward_flops(8) as f64 - 2.0 * model.layers[2].forward_flops(8) as f64 || cost.bf > cost.ff);
+    }
+
+    #[test]
+    fn param_counts_split_correctly() {
+        let model = tiny_model(31);
+        assert_eq!(
+            model.num_params(),
+            model.num_feature_params()
+                + model.classifier_weights().iter().map(|t| t.numel()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let model = tiny_model(40);
+        let mut cloned = model.clone();
+        let w = model.weights();
+        cloned.set_weights(&w.iter().map(|t| t.map(|v| v + 1.0)).collect::<Vec<_>>()).unwrap();
+        assert_eq!(model.weights(), w, "mutating a clone must not affect the original");
+    }
+
+    #[test]
+    fn classifier_freezing_pins_classifier_but_trains_features() {
+        let mut model = tiny_model(60);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let (x, y) = batch(61);
+        model.freeze_classifier();
+        assert!(model.classifier_frozen());
+        let clf_before = model.classifier_weights();
+        let feat_before = model.feature_weights();
+        model.train_batch(&x, &y, &mut opt).unwrap();
+        assert_eq!(model.classifier_weights(), clf_before, "frozen classifier moved");
+        assert_ne!(model.feature_weights(), feat_before, "features should update");
+        model.unfreeze_classifier();
+        model.train_batch(&x, &y, &mut opt).unwrap();
+        assert_ne!(model.classifier_weights(), clf_before);
+    }
+
+    #[test]
+    fn evaluate_counts_correct() {
+        let mut model = tiny_model(50);
+        let (x, y) = batch(51);
+        let (loss, correct) = model.evaluate(&x, &y);
+        assert!(loss.is_finite());
+        assert!(correct <= y.len());
+    }
+}

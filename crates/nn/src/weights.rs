@@ -1,0 +1,254 @@
+//! Weight snapshots: aggregation math and a compact wire encoding.
+//!
+//! FL strategies operate on `Vec<Tensor>` snapshots taken with
+//! [`crate::Cnn::weights`]; this module provides the arithmetic the
+//! aggregation rules need (weighted averaging for FedAvg, normalized
+//! deltas for FedNova, squared distances for FedProx analysis) plus a
+//! little-endian binary encoding used to size and ship model transfers in
+//! the network simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use aergia_tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced when decoding a weight snapshot from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A declared dimension or count was implausibly large.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "unexpected end of weight buffer"),
+            WireError::Corrupt(what) => write!(f, "corrupt weight buffer: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Upper bound on tensors/dims/elements honoured by [`decode`]; prevents
+/// pathological allocations from corrupt buffers.
+const SANITY_LIMIT: u64 = 1 << 31;
+
+/// Serializes a weight snapshot into a compact little-endian buffer.
+///
+/// Layout: `u32 tensor_count`, then per tensor `u32 rank`, `u32 dims[rank]`,
+/// `f32 data[numel]`.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_nn::weights::{decode, encode};
+/// use aergia_tensor::Tensor;
+///
+/// let snapshot = vec![Tensor::ones(&[2, 3])];
+/// let bytes = encode(&snapshot);
+/// assert_eq!(decode(&bytes).unwrap(), snapshot);
+/// ```
+pub fn encode(weights: &[Tensor]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(byte_size(weights));
+    buf.put_u32_le(weights.len() as u32);
+    for t in weights {
+        buf.put_u32_le(t.dims().len() as u32);
+        for &d in t.dims() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a snapshot from [`encode`]'s format.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] or [`WireError::Corrupt`] on malformed
+/// input.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<Tensor>, WireError> {
+    fn need(buf: &[u8], n: usize) -> Result<(), WireError> {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(buf, 4)?;
+    let count = buf.get_u32_le() as u64;
+    if count > SANITY_LIMIT {
+        return Err(WireError::Corrupt("tensor count"));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        need(buf, 4)?;
+        let rank = buf.get_u32_le() as usize;
+        if rank as u64 > 16 {
+            return Err(WireError::Corrupt("rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel: u64 = 1;
+        for _ in 0..rank {
+            need(buf, 4)?;
+            let d = buf.get_u32_le() as u64;
+            numel = numel.saturating_mul(d.max(1));
+            if numel > SANITY_LIMIT {
+                return Err(WireError::Corrupt("element count"));
+            }
+            dims.push(d as usize);
+        }
+        let numel: usize = dims.iter().product();
+        need(buf, 4 * numel)?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        let t = Tensor::from_vec(data, &dims).map_err(|_| WireError::Corrupt("shape"))?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Exact size in bytes of [`encode`]'s output for `weights`; the network
+/// simulation charges transfers by this size.
+pub fn byte_size(weights: &[Tensor]) -> usize {
+    4 + weights.iter().map(|t| 4 + 4 * t.dims().len() + 4 * t.numel()).sum::<usize>()
+}
+
+/// Weighted average of snapshots: `Σ wᵢ·sᵢ / Σ wᵢ` — FedAvg's aggregation
+/// rule (§2.2).
+///
+/// # Panics
+///
+/// Panics if `snapshots` is empty, the weights sum to zero, or the
+/// snapshots disagree in structure.
+pub fn weighted_average(snapshots: &[(f32, Vec<Tensor>)]) -> Vec<Tensor> {
+    assert!(!snapshots.is_empty(), "weighted_average: no snapshots");
+    let total: f32 = snapshots.iter().map(|(w, _)| w).sum();
+    assert!(total > 0.0, "weighted_average: weights sum to {total}");
+    let mut acc: Vec<Tensor> =
+        snapshots[0].1.iter().map(|t| Tensor::zeros(t.dims())).collect();
+    for (w, snap) in snapshots {
+        assert_eq!(snap.len(), acc.len(), "weighted_average: snapshot structure mismatch");
+        for (a, s) in acc.iter_mut().zip(snap) {
+            a.axpy(w / total, s);
+        }
+    }
+    acc
+}
+
+/// `a − b`, elementwise across the snapshot.
+///
+/// # Panics
+///
+/// Panics on structure mismatch.
+pub fn delta(a: &[Tensor], b: &[Tensor]) -> Vec<Tensor> {
+    assert_eq!(a.len(), b.len(), "delta: snapshot structure mismatch");
+    a.iter().zip(b).map(|(x, y)| x.sub(y)).collect()
+}
+
+/// `base + alpha·step`, elementwise across the snapshot.
+///
+/// # Panics
+///
+/// Panics on structure mismatch.
+pub fn add_scaled(base: &[Tensor], alpha: f32, step: &[Tensor]) -> Vec<Tensor> {
+    assert_eq!(base.len(), step.len(), "add_scaled: snapshot structure mismatch");
+    base.iter()
+        .zip(step)
+        .map(|(b, s)| {
+            let mut out = b.clone();
+            out.axpy(alpha, s);
+            out
+        })
+        .collect()
+}
+
+/// Squared L2 distance between two snapshots viewed as one flat vector.
+///
+/// # Panics
+///
+/// Panics on structure mismatch.
+pub fn sq_distance(a: &[Tensor], b: &[Tensor]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_distance: snapshot structure mismatch");
+    a.iter().zip(b).map(|(x, y)| x.sub(y).sq_norm()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(vals: &[f32]) -> Vec<Tensor> {
+        vec![Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap()]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let w = vec![Tensor::ones(&[2, 3]), Tensor::from_vec(vec![-1.5], &[1]).unwrap()];
+        let bytes = encode(&w);
+        assert_eq!(bytes.len(), byte_size(&w));
+        assert_eq!(decode(&bytes).unwrap(), w);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let w = vec![Tensor::ones(&[4])];
+        let bytes = encode(&w);
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_rank() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u32_le(99); // absurd rank
+        assert_eq!(decode(&buf).unwrap_err(), WireError::Corrupt("rank"));
+    }
+
+    #[test]
+    fn weighted_average_of_equal_weights_is_mean() {
+        let avg = weighted_average(&[(1.0, snap(&[0.0, 2.0])), (1.0, snap(&[4.0, 6.0]))]);
+        assert_eq!(avg[0].data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        // FedAvg weighting n_k / Σ n_k: 3:1 ratio.
+        let avg = weighted_average(&[(3.0, snap(&[4.0])), (1.0, snap(&[0.0]))]);
+        assert_eq!(avg[0].data(), &[3.0]);
+    }
+
+    #[test]
+    fn delta_and_add_scaled_invert() {
+        let a = snap(&[5.0, 1.0]);
+        let b = snap(&[2.0, -1.0]);
+        let d = delta(&a, &b);
+        let restored = add_scaled(&b, 1.0, &d);
+        assert_eq!(restored, a);
+    }
+
+    #[test]
+    fn sq_distance_is_symmetric_and_zero_on_self() {
+        let a = snap(&[1.0, 2.0]);
+        let b = snap(&[-1.0, 0.0]);
+        assert_eq!(sq_distance(&a, &a), 0.0);
+        assert_eq!(sq_distance(&a, &b), sq_distance(&b, &a));
+        assert_eq!(sq_distance(&a, &b), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn weighted_average_rejects_empty() {
+        weighted_average(&[]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the network stack: wire-format round trips,
+//! aggregation algebra, freezing invariants and loss behaviour.
+
+use aergia_nn::layer::{Flatten, Layer, Linear};
+use aergia_nn::loss::cross_entropy;
+use aergia_nn::optim::{Sgd, SgdConfig};
+use aergia_nn::weights::{add_scaled, byte_size, decode, delta, encode, weighted_average};
+use aergia_nn::Cnn;
+use aergia_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn snapshot_strategy() -> impl Strategy<Value = Vec<Tensor>> {
+    proptest::collection::vec(
+        (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-3.0f32..3.0, r * c)
+                .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("sized"))
+        }),
+        1..4,
+    )
+}
+
+fn tiny_model(seed: u64) -> Cnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Linear::new(6, 8, &mut rng)),
+        Box::new(aergia_nn::layer::Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8, 4, &mut rng)),
+    ];
+    Cnn::new(layers, 2, 4).expect("valid split")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wire_round_trip(snap in snapshot_strategy()) {
+        let bytes = encode(&snap);
+        prop_assert_eq!(bytes.len(), byte_size(&snap));
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncated_buffers_never_decode(snap in snapshot_strategy(), frac in 0.0f64..0.99) {
+        let bytes = encode(&snap);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn average_of_identical_snapshots_is_identity(snap in snapshot_strategy(), n in 1usize..5) {
+        let group: Vec<(f32, Vec<Tensor>)> = (0..n).map(|i| ((i + 1) as f32, snap.clone())).collect();
+        let avg = weighted_average(&group);
+        for (a, s) in avg.iter().zip(&snap) {
+            for (x, y) in a.data().iter().zip(s.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn average_stays_within_convex_hull(a in snapshot_strategy(), w1 in 0.1f32..5.0, w2 in 0.1f32..5.0) {
+        // Build b = a + 1 elementwise; average must lie between them.
+        let b: Vec<Tensor> = a.iter().map(|t| t.map(|v| v + 1.0)).collect();
+        let avg = weighted_average(&[(w1, a.clone()), (w2, b.clone())]);
+        for (av, (lo, hi)) in avg.iter().zip(a.iter().zip(&b)) {
+            for ((x, l), h) in av.data().iter().zip(lo.data()).zip(hi.data()) {
+                prop_assert!(*x >= l - 1e-4 && *x <= h + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_add_scaled_round_trip(a in snapshot_strategy()) {
+        let b: Vec<Tensor> = a.iter().map(|t| t.map(|v| v * 0.5 - 1.0)).collect();
+        let d = delta(&a, &b);
+        let restored = add_scaled(&b, 1.0, &d);
+        for (r, orig) in restored.iter().zip(&a) {
+            for (x, y) in r.data().iter().zip(orig.data()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_with_prob_gradient(
+        logits in proptest::collection::vec(-5.0f32..5.0, 8),
+        t0 in 0usize..4, t1 in 0usize..4,
+    ) {
+        let logits = Tensor::from_vec(logits, &[2, 4]).unwrap();
+        let out = cross_entropy(&logits, &[t0, t1]);
+        prop_assert!(out.loss >= 0.0);
+        // Per-row gradient sums to zero.
+        for row in out.dlogits.data().chunks_exact(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn frozen_feature_weights_never_move(seed in 0u64..1000, steps in 1usize..5) {
+        let mut model = tiny_model(seed);
+        model.freeze_features();
+        let before = model.feature_weights();
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, ..SgdConfig::default() });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..steps {
+            let mut x = Tensor::zeros(&[3, 6]);
+            aergia_tensor::init::normal(&mut x, &mut rng, 0.0, 1.0);
+            model.train_batch(&x, &[0, 1, 2], &mut opt).unwrap();
+        }
+        prop_assert_eq!(model.feature_weights(), before);
+    }
+
+    #[test]
+    fn training_keeps_weights_finite(seed in 0u64..500) {
+        let mut model = tiny_model(seed);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, ..SgdConfig::default() });
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let mut x = Tensor::zeros(&[2, 6]);
+            aergia_tensor::init::normal(&mut x, &mut rng, 0.0, 1.0);
+            let stats = model.train_batch(&x, &[1, 3], &mut opt).unwrap();
+            prop_assert!(stats.loss.is_finite());
+        }
+        for w in model.weights() {
+            prop_assert!(w.is_finite());
+        }
+    }
+}

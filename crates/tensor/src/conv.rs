@@ -1,0 +1,322 @@
+//! Convolution lowering: `im2col`, `col2im` and NCHW layout shuffles.
+//!
+//! Convolutions are computed as matrix products over patch matrices, the
+//! same lowering PyTorch's CPU path uses. For a batch of `N` images of
+//! shape `C×H×W`, a `kh×kw` kernel with stride `s` and zero padding `p`
+//! produces an output of `OH×OW` with
+//! `OH = (H + 2p − kh)/s + 1` (likewise `OW`), and the patch matrix has one
+//! row per output pixel `(n, oh, ow)` and one column per kernel input
+//! `(c, i, j)`.
+
+use crate::{Tensor, TensorError};
+
+/// Geometry of a 2-D convolution or pooling window.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::conv::ConvGeometry;
+/// let g = ConvGeometry::new(28, 28, 5, 5, 1, 2);
+/// assert_eq!((g.out_h, g.out_w), (28, 28));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Computes output dimensions for the given window parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the padded input at least once or
+    /// if `stride == 0`.
+    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "ConvGeometry: stride must be positive");
+        assert!(
+            in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w,
+            "ConvGeometry: kernel {k_h}x{k_w} larger than padded input {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad,
+        );
+        let out_h = (in_h + 2 * pad - k_h) / stride + 1;
+        let out_w = (in_w + 2 * pad - k_w) / stride + 1;
+        ConvGeometry { in_h, in_w, k_h, k_w, stride, pad, out_h, out_w }
+    }
+}
+
+/// Lowers a batched NCHW tensor into its patch matrix.
+///
+/// Returns a `[N·OH·OW, C·kh·kw]` matrix whose row `(n, oh, ow)` holds the
+/// receptive field feeding output pixel `(oh, ow)` of image `n` (zeros where
+/// the window overlaps the padding).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `input` is rank 4 and
+/// [`TensorError::ShapeMismatch`] if its spatial dims disagree with `geom`.
+pub fn im2col(input: &Tensor, channels: usize, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    let dims = input.dims();
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "im2col", expected: 4, got: dims.len() });
+    }
+    if dims[1] != channels || dims[2] != geom.in_h || dims[3] != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: dims.to_vec(),
+            rhs: vec![dims[0], channels, geom.in_h, geom.in_w],
+        });
+    }
+    let n = dims[0];
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let ckk = channels * geom.k_h * geom.k_w;
+    let mut out = Tensor::zeros(&[n * oh * ow, ckk]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let img_stride = channels * geom.in_h * geom.in_w;
+    let chan_stride = geom.in_h * geom.in_w;
+
+    for img in 0..n {
+        let src_img = &src[img * img_stride..(img + 1) * img_stride];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * ckk;
+                let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+                let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+                let mut col = 0usize;
+                for c in 0..channels {
+                    let src_chan = &src_img[c * chan_stride..(c + 1) * chan_stride];
+                    for ky in 0..geom.k_h {
+                        let y = base_y + ky as isize;
+                        if y < 0 || y >= geom.in_h as isize {
+                            col += geom.k_w;
+                            continue;
+                        }
+                        let src_row = &src_chan[y as usize * geom.in_w..(y as usize + 1) * geom.in_w];
+                        for kx in 0..geom.k_w {
+                            let x = base_x + kx as isize;
+                            if x >= 0 && x < geom.in_w as isize {
+                                dst[row + col] = src_row[x as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scatters a patch-matrix gradient back onto the padded input (the adjoint
+/// of [`im2col`]): overlapping windows accumulate.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` is not the
+/// `[N·OH·OW, C·kh·kw]` matrix matching `batch`, `channels` and `geom`.
+pub fn col2im(
+    cols: &Tensor,
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    let ckk = channels * geom.k_h * geom.k_w;
+    let rows = batch * geom.out_h * geom.out_w;
+    if cols.dims() != [rows, ckk] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: vec![rows, ckk],
+        });
+    }
+    let mut out = Tensor::zeros(&[batch, channels, geom.in_h, geom.in_w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let img_stride = channels * geom.in_h * geom.in_w;
+    let chan_stride = geom.in_h * geom.in_w;
+
+    for img in 0..batch {
+        let dst_img = &mut dst[img * img_stride..(img + 1) * img_stride];
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let row = ((img * geom.out_h + oy) * geom.out_w + ox) * ckk;
+                let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+                let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+                let mut col = 0usize;
+                for c in 0..channels {
+                    for ky in 0..geom.k_h {
+                        let y = base_y + ky as isize;
+                        if y < 0 || y >= geom.in_h as isize {
+                            col += geom.k_w;
+                            continue;
+                        }
+                        let dst_off = c * chan_stride + y as usize * geom.in_w;
+                        for kx in 0..geom.k_w {
+                            let x = base_x + kx as isize;
+                            if x >= 0 && x < geom.in_w as isize {
+                                dst_img[dst_off + x as usize] += src[row + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reorders `[N, C, H, W]` activations into the `[N·H·W, C]` row matrix used
+/// around the convolution matmul.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs.
+pub fn nchw_to_rows(input: &Tensor) -> Result<Tensor, TensorError> {
+    let dims = input.dims();
+    if dims.len() != 4 {
+        return Err(TensorError::RankMismatch { op: "nchw_to_rows", expected: 4, got: dims.len() });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut out = Tensor::zeros(&[n * h * w, c]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let hw = h * w;
+    for img in 0..n {
+        for ch in 0..c {
+            let src_chan = &src[(img * c + ch) * hw..(img * c + ch + 1) * hw];
+            for (pix, &v) in src_chan.iter().enumerate() {
+                dst[(img * hw + pix) * c + ch] = v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`nchw_to_rows`]: reorders a `[N·H·W, C]` row matrix into
+/// `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `rows` does not have
+/// `n·h·w` rows of `c` columns.
+pub fn rows_to_nchw(
+    rows: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, TensorError> {
+    if rows.dims() != [n * h * w, c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "rows_to_nchw",
+            lhs: rows.dims().to_vec(),
+            rhs: vec![n * h * w, c],
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = rows.data();
+    let dst = out.data_mut();
+    let hw = h * w;
+    for img in 0..n {
+        for ch in 0..c {
+            let dst_chan = &mut dst[(img * c + ch) * hw..(img * c + ch + 1) * hw];
+            for (pix, d) in dst_chan.iter_mut().enumerate() {
+                *d = src[(img * hw + pix) * c + ch];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_formula() {
+        let g = ConvGeometry::new(32, 32, 3, 3, 1, 1);
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        let g = ConvGeometry::new(28, 28, 5, 5, 1, 0);
+        assert_eq!((g.out_h, g.out_w), (24, 24));
+        let g = ConvGeometry::new(8, 8, 2, 2, 2, 0);
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn geometry_rejects_oversized_kernel() {
+        let _ = ConvGeometry::new(2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_on_single_pixel_windows() {
+        // 1x1 kernel: patch matrix is just the pixel values, row per pixel.
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let g = ConvGeometry::new(2, 2, 1, 1, 1, 0);
+        let cols = im2col(&x, 2, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 2]);
+        // Row (oh,ow)=(0,0) holds channel values at pixel (0,0): 0 and 4.
+        assert_eq!(&cols.data()[0..2], &[0.0, 4.0]);
+        assert_eq!(&cols.data()[6..8], &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_respects_zero_padding() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = ConvGeometry::new(2, 2, 3, 3, 1, 1);
+        let cols = im2col(&x, 1, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output pixel: kernel overlaps top and left padding.
+        let row = &cols.data()[0..9];
+        assert_eq!(row, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_on_ones() {
+        // For all-ones cols, col2im counts how many windows cover each pixel.
+        let g = ConvGeometry::new(3, 3, 2, 2, 1, 0);
+        let cols = Tensor::ones(&[4, 4]);
+        let im = col2im(&cols, 1, 1, &g).unwrap();
+        // Corner pixels covered once, edges twice, center four times.
+        assert_eq!(
+            im.data(),
+            &[1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn nchw_rows_round_trip() {
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let rows = nchw_to_rows(&x).unwrap();
+        assert_eq!(rows.dims(), &[8, 3]);
+        let back = rows_to_nchw(&rows, 2, 3, 2, 2).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let x = Tensor::zeros(&[2, 2]);
+        assert!(im2col(&x, 1, &ConvGeometry::new(2, 2, 1, 1, 1, 0)).is_err());
+        assert!(nchw_to_rows(&x).is_err());
+        let cols = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&cols, 1, 1, &ConvGeometry::new(3, 3, 2, 2, 1, 0)).is_err());
+        assert!(rows_to_nchw(&cols, 1, 2, 2, 2).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Matrix operations: multiplication, transposition, bias broadcast.
+//!
+//! These free functions implement the handful of dense linear-algebra
+//! primitives the network stack needs. `matmul` is a straightforward
+//! `i-k-j` loop ordering (unit-stride inner loop over the output row) which
+//! is cache-friendly enough for the layer sizes used in the paper's models.
+
+use crate::{Tensor, TensorError};
+
+fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorError> {
+    let dims = t.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, got: dims.len() });
+    }
+    Ok((dims[0], dims[1]))
+}
+
+/// Dense matrix product `A (m×k) · B (k×n) → C (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), aergia_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(ops::matmul(&a, &b)?.data(), a.data());
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = require_rank2("matmul", a)?;
+    let (kb, n) = require_rank2("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `Aᵀ (k×m) · B (k×n) → C (m×n)` without materialising the transpose.
+///
+/// Used for weight gradients (`xᵀ · dy`).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`], with the shared dimension being the
+/// *rows* of both operands.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ka, m) = require_rank2("matmul_tn", a)?;
+    let (kb, n) = require_rank2("matmul_tn", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `A (m×k) · Bᵀ (n×k) → C (m×n)` without materialising the transpose.
+///
+/// Used for input gradients (`dy · Wᵀ`).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`], with the shared dimension being the
+/// *columns* of both operands.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = require_rank2("matmul_nt", a)?;
+    let (n, kb) = require_rank2("matmul_nt", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * ka..(j + 1) * ka];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Transpose of a 2-D tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, n) = require_rank2("transpose", a)?;
+    let mut out = Tensor::zeros(&[n, m]);
+    let ad = a.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = ad[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+/// Adds a length-`n` bias row to every row of an `m×n` matrix, in place.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias` is not `[n]`.
+pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) -> Result<(), TensorError> {
+    let (_, n) = require_rank2("add_bias_rows", a)?;
+    if bias.dims() != [n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias_rows",
+            lhs: a.dims().to_vec(),
+            rhs: bias.dims().to_vec(),
+        });
+    }
+    let bd = bias.data().to_vec();
+    for row in a.data_mut().chunks_exact_mut(n) {
+        for (x, b) in row.iter_mut().zip(&bd) {
+            *x += b;
+        }
+    }
+    Ok(())
+}
+
+/// Sums an `m×n` matrix over its rows, producing a length-`n` vector.
+///
+/// This is the bias gradient for a batched linear layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn sum_rows(a: &Tensor) -> Result<Tensor, TensorError> {
+    let (_, n) = require_rank2("sum_rows", a)?;
+    let mut out = Tensor::zeros(&[n]);
+    let od = out.data_mut();
+    for row in a.data().chunks_exact(n) {
+        for (o, &x) in od.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 6], &[2, 3]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+        let v = t(vec![0.0; 3], &[3]);
+        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(vec![1.0, -1.0, 0.5, 2.0, 0.0, 1.0], &[3, 2]);
+        let via_t = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        let direct = matmul_tn(&a, &b).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![0.5, -1.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]);
+        let via_t = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        let direct = matmul_nt(&a, &b).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn bias_and_sum_rows_round_trip() {
+        let mut a = Tensor::zeros(&[3, 2]);
+        let bias = t(vec![1.0, -2.0], &[2]);
+        add_bias_rows(&mut a, &bias).unwrap();
+        let s = sum_rows(&a).unwrap();
+        assert_eq!(s.data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn bias_shape_is_checked() {
+        let mut a = Tensor::zeros(&[3, 2]);
+        let bias = Tensor::zeros(&[3]);
+        assert!(add_bias_rows(&mut a, &bias).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! The owned dense tensor type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{Shape, TensorError};
+
+/// An owned, row-major, dense `f32` tensor.
+///
+/// `Tensor` is the value type that flows through the whole Aergia stack:
+/// images, activations, gradients and model weights are all `Tensor`s. The
+/// representation is a flat `Vec<f32>` plus a validated [`Shape`]; element
+/// `(i, j, k)` of a rank-3 tensor lives at `data[i*s0 + j*s1 + k]` with
+/// row-major strides.
+///
+/// Construction validates shapes; arithmetic methods **panic** on shape
+/// mismatch (they are used in inner training loops where a `Result` would be
+/// unwieldy) while the fallible entry points ([`Tensor::from_vec`],
+/// [`Tensor::reshape`]) return [`TensorError`].
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::Tensor;
+///
+/// # fn main() -> Result<(), aergia_tensor::TensorError> {
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// t.fill(1.5);
+/// assert_eq!(t.sum(), 9.0);
+/// let u = t.reshape(&[3, 2])?;
+/// assert_eq!(u.shape().dims(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension; use [`Shape::new`] to
+    /// validate untrusted dimension lists first.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims).expect("Tensor::zeros: invalid shape");
+        let numel = shape.numel();
+        Tensor { data: vec![0.0; numel], shape }
+    }
+
+    /// Creates a tensor filled with ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims).expect("Tensor::full: invalid shape");
+        let numel = shape.numel();
+        Tensor { data: vec![value; numel], shape }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer in a tensor of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the number of elements `dims` describes, or [`TensorError::ZeroDim`]
+    /// for invalid dims.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.numel() });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimensions as a plain slice (outermost first).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                len: self.data.len(),
+                expected: shape.numel(),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape })
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Largest absolute element, or 0.0 for the empty product of dims.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm of the tensor viewed as a flat vector.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "Tensor::add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "Tensor::sub_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Elementwise `self *= other` (Hadamard product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "Tensor::mul_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// BLAS-style `self += alpha * other`; the workhorse of SGD updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "Tensor::axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Returns `self + other` as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Returns `self - other` as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Index of the maximum element in each row of a 2-D tensor.
+    ///
+    /// Used to turn `[batch, classes]` logits into predicted labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.rank(), 2, "Tensor::argmax_rows: rank-2 tensor required");
+        let cols = self.dims()[1];
+        self.data
+            .chunks_exact(cols)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// True when every element is finite (no NaN/Inf); handy in tests and
+    /// divergence checks.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// A scalar zero tensor (shape `[]`, one element).
+    fn default() -> Self {
+        Tensor { data: vec![0.0], shape: Shape::new(&[]).expect("scalar shape") }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} n={}", self.shape, self.numel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_fill() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        assert_eq!(t.sum(), 0.0);
+        t.fill(2.0);
+        assert_eq!(t.sum(), 8.0);
+        assert_eq!(t.mean(), 2.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let u = t.reshape(&[4]).unwrap();
+        assert_eq!(u.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.sum(), 3.0);
+        assert_eq!(i.data()[4], 1.0);
+        assert_eq!(i.data()[1], 0.0);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(-0.5, &b);
+        assert_eq!(a.data(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn hadamard_and_sub() {
+        let a = Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0], &[2]).unwrap();
+        let mut c = a.clone();
+        c.mul_assign(&b);
+        assert_eq!(c.data(), &[8.0, 15.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_assign_panics_on_mismatch() {
+        let mut a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.5, 7.0, -1.0], &[3, 2]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn sq_norm_and_max_abs() {
+        let t = Tensor::from_vec(vec![-3.0, 4.0], &[2]).unwrap();
+        assert_eq!(t.sq_norm(), 25.0);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.is_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn default_is_scalar_zero() {
+        let t = Tensor::default();
+        assert_eq!(t.numel(), 1);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_via_display_debug() {
+        // Serialize/Deserialize derive compiles and Display is non-empty.
+        let t = Tensor::ones(&[2, 2]);
+        assert!(!format!("{t}").is_empty());
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for tensor algebra: matmul laws against a naive
+//! reference, transpose involution, im2col/col2im adjointness.
+
+use aergia_tensor::conv::{col2im, im2col, nchw_to_rows, rows_to_nchw, ConvGeometry};
+use aergia_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-4;
+
+fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
+}
+
+/// Naive triple-loop matmul used as the oracle.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.data()[i * k + l] * b.data()[l * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("sized vec"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_naive(
+        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec((0..m * k).map(|_| rng.random_range(-1.0..1.0)).collect(), &[m, k]).unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|_| rng.random_range(-1.0..1.0)).collect(), &[k, n]).unwrap();
+        let fast = ops::matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        prop_assert!(approx_eq(&fast, &slow, EPS));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(3, 4), c in matrix(4, 2)) {
+        let lhs = ops::matmul(&a.add(&b), &c).unwrap();
+        let rhs = ops::matmul(&a, &c).unwrap().add(&ops::matmul(&b, &c).unwrap());
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_nt_agree_with_transposes(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
+        let tn = ops::matmul_tn(&a, &b).unwrap();
+        let tn_ref = ops::matmul(&ops::transpose(&a).unwrap(), &b).unwrap();
+        prop_assert!(approx_eq(&tn, &tn_ref, EPS));
+
+        let d = matrix_from(&a); // (4,3)
+        let nt = ops::matmul_nt(&d, &c).unwrap();
+        let nt_ref = ops::matmul(&d, &ops::transpose(&c).unwrap()).unwrap();
+        prop_assert!(approx_eq(&nt, &nt_ref, EPS));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(3, 5)) {
+        let tt = ops::transpose(&ops::transpose(&a).unwrap()).unwrap();
+        prop_assert!(approx_eq(&a, &tt, 0.0));
+    }
+
+    #[test]
+    fn axpy_then_inverse_restores(a in matrix(2, 6), b in matrix(2, 6), alpha in -2.0f32..2.0) {
+        let mut x = a.clone();
+        x.axpy(alpha, &b);
+        x.axpy(-alpha, &b);
+        prop_assert!(approx_eq(&x, &a, 1e-4));
+    }
+
+    #[test]
+    fn nchw_rows_round_trip(
+        n in 1usize..3, c in 1usize..4, h in 1usize..5, w in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_vec(
+            (0..n * c * h * w).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[n, c, h, w],
+        ).unwrap();
+        let back = rows_to_nchw(&nchw_to_rows(&x).unwrap(), n, c, h, w).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    /// <x, col2im(y)> == <im2col(x), y>: col2im is the exact adjoint of im2col.
+    #[test]
+    fn col2im_is_adjoint_of_im2col(
+        n in 1usize..3, c in 1usize..3,
+        hw in 3usize..7, k in 1usize..4, pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        prop_assume!(hw + 2 * pad >= k);
+        let geom = ConvGeometry::new(hw, hw, k, k, 1, pad);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_vec(
+            (0..n * c * hw * hw).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[n, c, hw, hw],
+        ).unwrap();
+        let rows = n * geom.out_h * geom.out_w;
+        let ckk = c * k * k;
+        let y = Tensor::from_vec(
+            (0..rows * ckk).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[rows, ckk],
+        ).unwrap();
+
+        let ix = im2col(&x, c, &geom).unwrap();
+        let cy = col2im(&y, n, c, &geom).unwrap();
+        let lhs: f32 = ix.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(cy.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn reshape_round_trip(a in matrix(4, 6)) {
+        let flat = a.reshape(&[24]).unwrap();
+        let back = flat.reshape(&[4, 6]).unwrap();
+        prop_assert_eq!(back, a);
+    }
+}
+
+fn matrix_from(t: &Tensor) -> Tensor {
+    t.clone()
+}

@@ -1,0 +1,3 @@
+//! Workspace umbrella crate: hosts the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`. See the individual crates
+//! (`aergia`, `aergia-nn`, ...) for the library APIs.

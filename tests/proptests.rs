@@ -1,0 +1,165 @@
+//! Workspace-level property tests: scheduler invariants under arbitrary
+//! performance profiles and engine invariants in timing mode.
+
+use aergia::config::{ExperimentConfig, Mode};
+use aergia::engine::Engine;
+use aergia::scheduler::{calc_op, schedule, ClientPerf, OpVariant};
+use aergia::strategy::Strategy as FlStrategy;
+use aergia_data::{partition::Scheme, DataConfig, DatasetSpec};
+use aergia_nn::models::ModelArch;
+use proptest::prelude::*;
+
+fn perf_strategy(n: usize) -> impl Strategy<Value = Vec<ClientPerf>> {
+    proptest::collection::vec((0.01f64..2.0, 1u32..64), n..=n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, (full, remaining))| ClientPerf {
+                id,
+                t123: 0.4 * full,
+                t4: 0.6 * full,
+                feature_only: 0.8 * full,
+                remaining,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 invariants for arbitrary clusters: receivers are used at
+    /// most once, senders are exactly the above-mct clients, and every
+    /// offload point respects the remaining-update bounds.
+    #[test]
+    fn scheduler_invariants(perfs in perf_strategy(9), f in 0.0f64..2.0) {
+        let n = perfs.len();
+        let sim: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| ((i * 7 + j * 13) % 5) as f64 / 2.0).collect()).collect();
+        let sched = schedule(&perfs, &sim, f, OpVariant::Unimodal);
+
+        // mct really is the mean.
+        let mean = perfs.iter().map(|p| p.estimated_completion()).sum::<f64>() / n as f64;
+        prop_assert!((sched.mct - mean).abs() < 1e-9 * (1.0 + mean));
+
+        // Each receiver serves at most one straggler; nobody sends to self.
+        let mut receivers: Vec<usize> = sched.assignments.iter().map(|a| a.receiver).collect();
+        receivers.sort_unstable();
+        let before = receivers.len();
+        receivers.dedup();
+        prop_assert_eq!(receivers.len(), before, "receiver reused");
+        for a in &sched.assignments {
+            prop_assert_ne!(a.sender, a.receiver);
+            let sender = &perfs[a.sender];
+            let receiver = &perfs[a.receiver];
+            prop_assert!(sender.estimated_completion() > sched.mct, "sender below mct");
+            prop_assert!(receiver.estimated_completion() <= sched.mct, "receiver above mct");
+            prop_assert!(a.offload_batches >= 1);
+            prop_assert!(a.offload_batches <= sender.remaining.min(receiver.remaining));
+        }
+
+        // Senders ∪ unmatched = the above-mct set, exactly once each.
+        let mut touched: Vec<usize> = sched
+            .assignments
+            .iter()
+            .map(|a| a.sender)
+            .chain(sched.unmatched_senders.iter().copied())
+            .collect();
+        touched.sort_unstable();
+        let mut expected: Vec<usize> = perfs
+            .iter()
+            .filter(|p| p.estimated_completion() > sched.mct)
+            .map(|p| p.id)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(touched, expected);
+    }
+
+    /// The unimodal calc_op truly minimises its objective over all d.
+    #[test]
+    fn calc_op_is_optimal(
+        ta in 0.01f64..2.0, tb in 0.01f64..2.0, xb_frac in 0.1f64..1.0,
+        ra in 1u32..200, rb in 1u32..200,
+    ) {
+        let xb = tb * xb_frac;
+        let (ct, d) = calc_op(ta, tb, xb, ra, rb);
+        prop_assert!(d >= 1 && d <= ra.min(rb));
+        let objective = |d: u32| {
+            (f64::from(ra - d) * ta).max(f64::from(rb) * tb + f64::from(d) * xb)
+        };
+        prop_assert!((ct - objective(d)).abs() < 1e-9 * (1.0 + ct));
+        for cand in 1..=ra.min(rb) {
+            prop_assert!(ct <= objective(cand) + 1e-9, "d={cand} beats reported optimum");
+        }
+    }
+
+    /// Timing-mode engine: round durations never increase when every
+    /// client gets uniformly faster.
+    #[test]
+    fn faster_cluster_is_never_slower(seed in 0u64..50, boost in 1.05f64..3.0) {
+        let base_speeds = vec![0.2, 0.3, 0.4, 0.5];
+        let config = |speeds: Vec<f64>| ExperimentConfig {
+            dataset: DataConfig {
+                spec: DatasetSpec::MnistLike,
+                train_size: 96,
+                test_size: 16,
+                seed,
+            },
+            arch: ModelArch::MnistCnn,
+            partition: Scheme::Iid,
+            num_clients: 4,
+            clients_per_round: 4,
+            rounds: 2,
+            local_updates: 8,
+            batch_size: 8,
+            speeds,
+            mode: Mode::Timing,
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let slow =
+            Engine::new(config(base_speeds.clone()), FlStrategy::FedAvg).unwrap().run().unwrap();
+        let fast_speeds: Vec<f64> =
+            base_speeds.iter().map(|s| (s * boost).min(1.0)).collect();
+        let fast = Engine::new(config(fast_speeds), FlStrategy::FedAvg).unwrap().run().unwrap();
+        prop_assert!(fast.total_time() <= slow.total_time());
+    }
+
+    /// Aergia in timing mode never takes longer than FedAvg on the same
+    /// cluster (offloading can only shorten the critical path; when it
+    /// cannot help, nothing is offloaded).
+    #[test]
+    fn aergia_is_never_slower_than_fedavg(seed in 0u64..30) {
+        let speeds = aergia_simnet::cluster::uniform_speeds(6, 0.1, 1.0, seed);
+        let config = ExperimentConfig {
+            dataset: DataConfig {
+                spec: DatasetSpec::MnistLike,
+                train_size: 96,
+                test_size: 16,
+                seed,
+            },
+            arch: ModelArch::MnistCnn,
+            partition: Scheme::Iid,
+            num_clients: 6,
+            clients_per_round: 6,
+            rounds: 3,
+            local_updates: 32,
+            batch_size: 8,
+            speeds,
+            mode: Mode::Timing,
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let fedavg =
+            Engine::new(config.clone(), FlStrategy::FedAvg).unwrap().run().unwrap();
+        let aergia =
+            Engine::new(config, FlStrategy::aergia_default()).unwrap().run().unwrap();
+        // Allow a tiny tolerance for the extra control messages.
+        let tolerance = 1.02;
+        prop_assert!(
+            aergia.total_time().as_secs_f64() <= fedavg.total_time().as_secs_f64() * tolerance,
+            "Aergia {} vs FedAvg {}",
+            aergia.total_time(),
+            fedavg.total_time()
+        );
+    }
+}
