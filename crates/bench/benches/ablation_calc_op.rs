@@ -22,8 +22,7 @@ fn main() {
     let jobs: Vec<_> = variants
         .iter()
         .map(|&(_, v)| {
-            let mut config =
-                base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 99);
+            let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 99);
             config.mode = Mode::Timing;
             config.partition = Scheme::paper_non_iid();
             config.rounds = (scale.rounds() * 2).max(6);
@@ -37,10 +36,7 @@ fn main() {
         .collect();
     let results = run_parallel(jobs);
 
-    println!(
-        "{:<12}{:>16}{:>16}{:>12}",
-        "variant", "total time", "mean round", "offloads"
-    );
+    println!("{:<12}{:>16}{:>16}{:>12}", "variant", "total time", "mean round", "offloads");
     for ((name, _), result) in variants.iter().zip(&results) {
         println!(
             "{:<12}{:>16}{:>16}{:>12}",

@@ -15,14 +15,15 @@ fn main() {
     header("Ablation (profiling window)", "offload benefit vs window length");
 
     let updates = scale.local_updates().max(16);
-    let windows: Vec<u32> =
-        vec![1, updates / 16, updates / 8, updates / 4, updates / 2].into_iter().map(|w| w.max(1)).collect();
+    let windows: Vec<u32> = vec![1, updates / 16, updates / 8, updates / 4, updates / 2]
+        .into_iter()
+        .map(|w| w.max(1))
+        .collect();
 
     let jobs: Vec<_> = windows
         .iter()
         .map(|&w| {
-            let mut config =
-                base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 111);
+            let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 111);
             config.mode = Mode::Timing;
             config.local_updates = updates;
             config.rounds = (scale.rounds() * 2).max(6);

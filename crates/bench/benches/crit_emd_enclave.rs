@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn histograms(clients: usize, classes: usize) -> Vec<Vec<u64>> {
-    (0..clients)
-        .map(|c| (0..classes).map(|k| ((c * 31 + k * 17) % 97) as u64).collect())
-        .collect()
+    (0..clients).map(|c| (0..classes).map(|k| ((c * 31 + k * 17) % 97) as u64).collect()).collect()
 }
 
 fn bench_similarity_matrix(c: &mut Criterion) {

@@ -29,12 +29,8 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_timing_round(c: &mut Criterion) {
     c.bench_function("engine/timing_mode_full_run_8_clients", |b| {
         b.iter(|| {
-            let mut config = base_config(
-                Scale::Smoke,
-                DatasetSpec::FmnistLike,
-                ModelArch::FmnistCnn,
-                5,
-            );
+            let mut config =
+                base_config(Scale::Smoke, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 5);
             config.mode = Mode::Timing;
             config.num_clients = 8;
             config.clients_per_round = 8;

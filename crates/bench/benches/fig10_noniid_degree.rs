@@ -29,8 +29,7 @@ fn main() {
     let jobs: Vec<_> = degrees
         .iter()
         .map(|&(_, scheme)| {
-            let mut config =
-                base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 77);
+            let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 77);
             config.partition = scheme;
             (config, strategy)
         })
@@ -47,10 +46,7 @@ fn main() {
     }
 
     println!();
-    println!(
-        "{:<14}{:>16}{:>14}",
-        "degree", "final accuracy", "total time"
-    );
+    println!("{:<14}{:>16}{:>14}", "degree", "final accuracy", "total time");
     for ((name, _), result) in degrees.iter().zip(&results) {
         println!(
             "{:<14}{:>16}{:>14}",

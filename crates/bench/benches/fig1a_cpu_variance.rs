@@ -15,10 +15,7 @@ use aergia_simnet::cluster::random_speeds_with_variance;
 
 fn main() {
     let scale = Scale::from_env();
-    header(
-        "Figure 1(a)",
-        "round-duration multiplier vs variance of client CPU speeds (mean 0.5)",
-    );
+    header("Figure 1(a)", "round-duration multiplier vs variance of client CPU speeds (mean 0.5)");
 
     // Mean speed 0.5 bounds the feasible variance (speeds clip at 0.05),
     // so we sweep the feasible part of the paper's 0–0.5 axis.
@@ -43,8 +40,7 @@ fn main() {
                 config.clients_per_round = clients;
                 config.rounds = 2;
                 config.mode = Mode::Timing;
-                config.speeds =
-                    random_speeds_with_variance(clients, 0.5, variance, draw * 7 + 1);
+                config.speeds = random_speeds_with_variance(clients, 0.5, variance, draw * 7 + 1);
                 mean_round += run(config, Strategy::FedAvg).mean_round_secs();
             }
             mean_round /= draws as f64;

@@ -43,9 +43,7 @@ fn main() {
             let strategy = if frac.is_infinite() {
                 Strategy::FedAvg
             } else {
-                Strategy::DeadlineFedAvg {
-                    deadline: SimDuration::from_secs_f64(round_secs * frac),
-                }
+                Strategy::DeadlineFedAvg { deadline: SimDuration::from_secs_f64(round_secs * frac) }
             };
             (make(21), strategy)
         })
@@ -57,11 +55,7 @@ fn main() {
         "deadline", "total time", "accuracy", "dropped", "rounds"
     );
     for (&frac, result) in fractions.iter().zip(&results) {
-        let label = if frac.is_infinite() {
-            "inf".to_string()
-        } else {
-            secs(round_secs * frac)
-        };
+        let label = if frac.is_infinite() { "inf".to_string() } else { secs(round_secs * frac) };
         println!(
             "{:<12}{:>16}{:>16}{:>14}{:>12}",
             label,

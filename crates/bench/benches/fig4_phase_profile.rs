@@ -41,13 +41,9 @@ fn main() {
     println!("{:<20}{:^32}   {:^32}", "", "measured wall-clock", "FLOP cost model");
 
     for arch in ModelArch::ALL {
-        let (train, _) = DataConfig {
-            spec: spec_for(arch),
-            train_size: 8 * batches,
-            test_size: 1,
-            seed: 5,
-        }
-        .generate_pair();
+        let (train, _) =
+            DataConfig { spec: spec_for(arch), train_size: 8 * batches, test_size: 1, seed: 5 }
+                .generate_pair();
         let mut model = arch.build(9);
         let mut opt = Sgd::new(SgdConfig::default());
         let mut measured = PhaseCost::zero();
@@ -62,8 +58,14 @@ fn main() {
         println!(
             "{:<20}{:>8.1}{:>8.1}{:>8.1}{:>8.1}   {:>8.1}{:>8.1}{:>8.1}{:>8.1}",
             arch.name(),
-            m[0], m[1], m[2], m[3],
-            f[0], f[1], f[2], f[3],
+            m[0],
+            m[1],
+            m[2],
+            m[3],
+            f[0],
+            f[1],
+            f[2],
+            f[3],
         );
     }
 

@@ -13,8 +13,7 @@ fn main() {
 
     for (spec, arch) in eval_pairs() {
         let algos = algorithms(scale);
-        let jobs: Vec<_> =
-            algos.iter().map(|&s| (base_config(scale, spec, arch, 33), s)).collect();
+        let jobs: Vec<_> = algos.iter().map(|&s| (base_config(scale, spec, arch, 33), s)).collect();
         let results = run_parallel(jobs);
 
         println!();

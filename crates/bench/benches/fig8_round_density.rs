@@ -21,8 +21,7 @@ fn main() {
     let jobs: Vec<_> = algos
         .iter()
         .map(|&s| {
-            let mut config =
-                base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 55);
+            let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 55);
             config.mode = Mode::Timing;
             config.num_clients = clients;
             config.clients_per_round = 3.min(clients);

@@ -19,8 +19,7 @@ fn main() {
     let jobs: Vec<_> = factors
         .iter()
         .map(|&f| {
-            let mut config =
-                base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 66);
+            let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 66);
             config.partition = Scheme::NonIid { classes_per_client: 2 };
             // The paper's §5.3 setting selects 3 of the cluster per round.
             config.clients_per_round = 3.min(config.num_clients);
@@ -35,10 +34,7 @@ fn main() {
         .collect();
     let results = run_parallel(jobs);
 
-    println!(
-        "{:<12}{:>14}{:>16}{:>12}",
-        "factor f", "accuracy", "mean round", "offloads"
-    );
+    println!("{:<12}{:>14}{:>16}{:>12}", "factor f", "accuracy", "mean round", "offloads");
     for (&f, result) in factors.iter().zip(&results) {
         println!(
             "{:<12}{:>14}{:>16}{:>12}",

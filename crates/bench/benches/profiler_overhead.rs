@@ -21,11 +21,8 @@ fn main() {
     // (i) Protocol-level overhead: report messages on the virtual clock.
     let mut total_with = 0.0;
     let mut total_without = 0.0;
-    for (window, total) in
-        [(scale.profile_batches(), &mut total_with), (1, &mut total_without)]
-    {
-        let mut config =
-            base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 88);
+    for (window, total) in [(scale.profile_batches(), &mut total_with), (1, &mut total_without)] {
+        let mut config = base_config(scale, DatasetSpec::FmnistLike, ModelArch::FmnistCnn, 88);
         config.mode = Mode::Timing;
         let strategy = Strategy::Aergia {
             similarity_factor: 1.0,

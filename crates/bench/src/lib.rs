@@ -109,7 +109,12 @@ pub fn algorithms(scale: Scale) -> Vec<Strategy> {
 }
 
 /// A baseline experiment configuration for the comparison figures.
-pub fn base_config(scale: Scale, spec: DatasetSpec, arch: ModelArch, seed: u64) -> ExperimentConfig {
+pub fn base_config(
+    scale: Scale,
+    spec: DatasetSpec,
+    arch: ModelArch,
+    seed: u64,
+) -> ExperimentConfig {
     let clients = scale.clients();
     // CIFAR-scale convolutions are ~8× heavier; shrink the workload so the
     // suite stays laptop-fast while the relative comparisons survive.
@@ -162,9 +167,9 @@ pub fn run_parallel(jobs: Vec<(ExperimentConfig, Strategy)>) -> Vec<RunResult> {
         jobs.into_iter().enumerate().map(|(i, (c, s))| (i, c, s)).rev().collect(),
     );
     let results_mx = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..2 {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let job = queue.lock().expect("queue lock").pop();
                 match job {
                     Some((i, config, strategy)) => {
@@ -175,8 +180,7 @@ pub fn run_parallel(jobs: Vec<(ExperimentConfig, Strategy)>) -> Vec<RunResult> {
                 }
             });
         }
-    })
-    .expect("benchmark worker panicked");
+    });
     results.into_iter().map(|r| r.expect("every job ran")).collect()
 }
 
@@ -214,4 +218,57 @@ pub fn f3(x: f64) -> String {
 /// Formats seconds with 1 decimal.
 pub fn secs(x: f64) -> String {
     format!("{x:.1}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All `AERGIA_SCALE` parsing cases live in one test: the variable is
+    /// process-global, so spreading set/remove across parallel tests
+    /// would race.
+    #[test]
+    fn scale_from_env_parses_every_variant() {
+        std::env::set_var("AERGIA_SCALE", "smoke");
+        assert_eq!(Scale::from_env(), Scale::Smoke);
+
+        std::env::set_var("AERGIA_SCALE", "paper");
+        assert_eq!(Scale::from_env(), Scale::Paper);
+
+        std::env::set_var("AERGIA_SCALE", "default");
+        assert_eq!(Scale::from_env(), Scale::Default);
+
+        // Unknown values and the empty string fall back to the default
+        // scale rather than failing the whole benchmark run.
+        for junk in ["SMOKE", "Paper", "huge", "1", ""] {
+            std::env::set_var("AERGIA_SCALE", junk);
+            assert_eq!(Scale::from_env(), Scale::Default, "junk value {junk:?}");
+        }
+
+        std::env::remove_var("AERGIA_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Default, "unset variable");
+    }
+
+    #[test]
+    fn scaled_applies_factor_and_floor() {
+        assert_eq!(Scale::Smoke.scaled(80, 24), 40);
+        assert_eq!(Scale::Default.scaled(80, 24), 80);
+        assert_eq!(Scale::Paper.scaled(80, 24), 240);
+        // The floor wins when halving would undershoot it.
+        assert_eq!(Scale::Smoke.scaled(10, 24), 24);
+    }
+
+    #[test]
+    fn scales_are_ordered_smoke_to_paper() {
+        let scales = [Scale::Smoke, Scale::Default, Scale::Paper];
+        assert!(scales.windows(2).all(|w| w[0].clients() < w[1].clients()));
+        assert!(scales.windows(2).all(|w| w[0].rounds() < w[1].rounds()));
+        assert!(scales.windows(2).all(|w| w[0].local_updates() < w[1].local_updates()));
+    }
+
+    #[test]
+    fn profile_window_is_a_sixteenth_with_floor_one() {
+        assert_eq!(Scale::Paper.profile_batches(), Scale::Paper.local_updates() / 16);
+        assert!(Scale::Smoke.profile_batches() >= 1);
+    }
 }

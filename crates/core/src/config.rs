@@ -194,10 +194,8 @@ mod tests {
 
     #[test]
     fn speed_range_is_checked() {
-        let cfg = ExperimentConfig {
-            speeds: vec![0.5, 0.0, 0.5, 0.5],
-            ..ExperimentConfig::default()
-        };
+        let cfg =
+            ExperimentConfig { speeds: vec![0.5, 0.0, 0.5, 0.5], ..ExperimentConfig::default() };
         assert!(matches!(cfg.validate(), Err(ConfigError::BadSpeed(_))));
     }
 
@@ -211,10 +209,7 @@ mod tests {
 
     #[test]
     fn arch_dataset_mismatch_is_checked() {
-        let cfg = ExperimentConfig {
-            arch: ModelArch::Cifar100Vgg,
-            ..ExperimentConfig::default()
-        };
+        let cfg = ExperimentConfig { arch: ModelArch::Cifar100Vgg, ..ExperimentConfig::default() };
         assert!(matches!(cfg.validate(), Err(ConfigError::ArchMismatch { .. })));
     }
 

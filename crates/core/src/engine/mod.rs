@@ -157,8 +157,7 @@ impl Engine {
     pub fn new(config: ExperimentConfig, strategy: Strategy) -> Result<Self, EngineError> {
         config.validate()?;
         let (train, test) = config.dataset.generate_pair();
-        let partition =
-            Partition::split(&train, config.num_clients, config.partition, config.seed);
+        let partition = Partition::split(&train, config.num_clients, config.partition, config.seed);
 
         // Dataset similarity, computed privately in the enclave before
         // training starts (§4.4). Every client participates once.
@@ -256,7 +255,11 @@ impl Engine {
     /// Overrides the federator→client downlink (e.g. to model a slow
     /// control path in robustness tests).
     pub fn set_federator_link(&mut self, to: usize, link: LinkModel) {
-        self.network.set_link(aergia_simnet::NodeId::FEDERATOR, aergia_simnet::NodeId(to as u32), link);
+        self.network.set_link(
+            aergia_simnet::NodeId::FEDERATOR,
+            aergia_simnet::NodeId(to as u32),
+            link,
+        );
     }
 
     /// The configured speed fraction of `client`.
@@ -350,11 +353,7 @@ impl Engine {
     /// # Errors
     ///
     /// See [`Engine::run`].
-    pub fn run_round(
-        &mut self,
-        round: u32,
-        now: &mut SimTime,
-    ) -> Result<RoundRecord, EngineError> {
+    pub fn run_round(&mut self, round: u32, now: &mut SimTime) -> Result<RoundRecord, EngineError> {
         let participants = self.select_participants(round);
         let outcome = round::simulate_round(self, round, *now, &participants)?;
         let duration = self.finalize_round(round, &outcome)?;
@@ -415,8 +414,7 @@ impl Engine {
             if update.arrived > cutoff {
                 continue;
             }
-            let mut weights =
-                update.weights.clone().expect("real mode carries weights");
+            let mut weights = update.weights.clone().expect("real mode carries weights");
             // Aergia recombination: feature layers from the strong client,
             // classifier from the straggler (§3.3 "Model aggregation").
             if let Some(features) = outcome.offload_features_for(update.client) {
@@ -495,17 +493,10 @@ impl Engine {
 /// FedNova normalized aggregation (Wang et al. 2020):
 /// `w ← w_g − τ_eff · Σ p_i · d_i` with `d_i = (w_g − w_i)/τ_i`,
 /// `τ_eff = Σ p_i · τ_i` and `p_i = n_i / Σ n_j`.
-fn fednova_aggregate(
-    global: &[Tensor],
-    contributions: &[(f32, Vec<Tensor>, u32)],
-) -> Vec<Tensor> {
+fn fednova_aggregate(global: &[Tensor], contributions: &[(f32, Vec<Tensor>, u32)]) -> Vec<Tensor> {
     let total_n: f32 = contributions.iter().map(|(n, _, _)| n).sum();
-    let tau_eff: f32 = contributions
-        .iter()
-        .map(|(n, _, tau)| (n / total_n) * (*tau as f32))
-        .sum();
-    let mut combined_delta: Vec<Tensor> =
-        global.iter().map(|t| Tensor::zeros(t.dims())).collect();
+    let tau_eff: f32 = contributions.iter().map(|(n, _, tau)| (n / total_n) * (*tau as f32)).sum();
+    let mut combined_delta: Vec<Tensor> = global.iter().map(|t| Tensor::zeros(t.dims())).collect();
     for (n, weights_i, tau) in contributions {
         let p = n / total_n;
         let tau = (*tau).max(1) as f32;
@@ -538,10 +529,7 @@ mod tests {
     #[test]
     fn fednova_with_equal_tau_matches_fedavg() {
         let global = snap(&[1.0, 1.0]);
-        let contributions = vec![
-            (1.0, snap(&[0.0, 2.0]), 4u32),
-            (1.0, snap(&[2.0, 0.0]), 4u32),
-        ];
+        let contributions = vec![(1.0, snap(&[0.0, 2.0]), 4u32), (1.0, snap(&[2.0, 0.0]), 4u32)];
         let nova = fednova_aggregate(&global, &contributions);
         // FedAvg average = [1.0, 1.0]; with equal tau FedNova agrees.
         assert!((nova[0].data()[0] - 1.0).abs() < 1e-6);
@@ -552,10 +540,7 @@ mod tests {
     fn fednova_downweights_many_step_clients() {
         let global = snap(&[1.0]);
         // Client A moved to 0.0 in 10 steps, client B to 0.0 in 1 step.
-        let contributions = vec![
-            (1.0, snap(&[0.0]), 10u32),
-            (1.0, snap(&[1.0]), 1u32),
-        ];
+        let contributions = vec![(1.0, snap(&[0.0]), 10u32), (1.0, snap(&[1.0]), 1u32)];
         let nova = fednova_aggregate(&global, &contributions);
         // Per-step delta of A is 0.1, of B is 0; tau_eff = 5.5 →
         // w = 1 − 5.5 · (0.5·0.1 + 0.5·0) = 0.725.
@@ -592,10 +577,7 @@ mod tests {
 
     #[test]
     fn similarity_matrix_has_cluster_dimensions() {
-        let config = ExperimentConfig {
-            mode: Mode::Timing,
-            ..ExperimentConfig::default()
-        };
+        let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
         let engine = Engine::new(config, Strategy::FedAvg).unwrap();
         assert_eq!(engine.similarity_matrix().len(), 4);
         assert_eq!(engine.similarity_matrix()[0].len(), 4);
@@ -605,9 +587,6 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let config = ExperimentConfig { rounds: 0, ..ExperimentConfig::default() };
-        assert!(matches!(
-            Engine::new(config, Strategy::FedAvg),
-            Err(EngineError::Config(_))
-        ));
+        assert!(matches!(Engine::new(config, Strategy::FedAvg), Err(EngineError::Config(_))));
     }
 }

@@ -84,10 +84,7 @@ impl RoundOutcome {
     /// Trained feature weights for `client`'s model, if a strong client
     /// returned them this round.
     pub(crate) fn offload_features_for(&self, client: usize) -> Option<&Vec<Tensor>> {
-        self.offload_results
-            .iter()
-            .find(|r| r.weak == client)
-            .and_then(|r| r.features.as_ref())
+        self.offload_results.iter().find(|r| r.weak == client).and_then(|r| r.features.as_ref())
     }
 
     /// Arrival time of the offloaded features for `client`.
@@ -202,8 +199,7 @@ pub(crate) fn simulate_round(
                 rc.active = true;
                 if mode == Mode::Real {
                     let mut model = engine.template.clone();
-                    model
-                        .set_weights(weights.as_ref().expect("real mode carries weights"))?;
+                    model.set_weights(weights.as_ref().expect("real mode carries weights"))?;
                     rc.model = Some(model);
                 }
                 if profile_window > 0 {

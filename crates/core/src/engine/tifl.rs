@@ -53,12 +53,8 @@ impl TiflState {
 
         // Adaptive probabilities: weight ∝ (A* − A_t + ε); unknown tiers
         // (never selected) get the maximal weight so every tier is probed.
-        let known_max = self
-            .accuracy
-            .iter()
-            .copied()
-            .filter(|a| a.is_finite())
-            .fold(0.0_f64, f64::max);
+        let known_max =
+            self.accuracy.iter().copied().filter(|a| a.is_finite()).fold(0.0_f64, f64::max);
         let weights: Vec<f64> = pool
             .iter()
             .map(|&t| {

@@ -48,8 +48,7 @@ impl RunResult {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.duration.as_secs_f64()).sum::<f64>()
-            / self.rounds.len() as f64
+        self.rounds.iter().map(|r| r.duration.as_secs_f64()).sum::<f64>() / self.rounds.len() as f64
     }
 
     /// `(elapsed_seconds, accuracy)` pairs — the curves of Figure 10.

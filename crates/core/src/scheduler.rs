@@ -105,8 +105,7 @@ pub fn calc_op(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32) {
     let mut ct = f64::INFINITY;
     let mut best_d = 0u32;
     for d in 1..=ra.min(rb) {
-        let current =
-            (f64::from(ra - d) * ta).max(f64::from(rb) * tb + f64::from(d) * xb);
+        let current = (f64::from(ra - d) * ta).max(f64::from(rb) * tb + f64::from(d) * xb);
         if current > ct {
             return (ct, best_d);
         }
@@ -122,8 +121,7 @@ pub fn calc_op_printed(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32
     let mut ct = f64::INFINITY;
     let mut best_d = 0u32;
     for d in 1..=ra.min(rb) {
-        let current = (f64::from(ra - d) * ta + f64::from(d) * xb)
-            .max(f64::from(rb - d) * tb);
+        let current = (f64::from(ra - d) * ta + f64::from(d) * xb).max(f64::from(rb - d) * tb);
         if current > ct {
             return (ct, best_d);
         }
@@ -247,13 +245,7 @@ mod tests {
 
     fn perf(id: usize, full: f64, remaining: u32) -> ClientPerf {
         // Typical CNN shape: bf ≈ 60% of a batch, features ≈ 80%.
-        ClientPerf {
-            id,
-            t123: 0.4 * full,
-            t4: 0.6 * full,
-            feature_only: 0.8 * full,
-            remaining,
-        }
+        ClientPerf { id, t123: 0.4 * full, t4: 0.6 * full, feature_only: 0.8 * full, remaining }
     }
 
     fn no_similarity(n: usize) -> Vec<Vec<f64>> {

@@ -46,7 +46,7 @@ impl Batcher {
     pub fn new(indices: Vec<usize>, batch_size: usize, seed: u64) -> Self {
         assert!(!indices.is_empty(), "Batcher::new: empty shard");
         assert!(batch_size > 0, "Batcher::new: zero batch size");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x626174_6368); // "batch"
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0062_6174_6368); // "batch"
         let mut indices = indices;
         indices.shuffle(&mut rng);
         Batcher { indices, batch_size, cursor: 0, rng }

@@ -136,10 +136,7 @@ mod tests {
         let far = normalize(&[0, 0, 0, 5]);
         assert!(emd(&base, &near) < emd(&base, &far));
         // Total variation cannot see the difference.
-        assert_eq!(
-            total_variation(&base, &near),
-            total_variation(&base, &far)
-        );
+        assert_eq!(total_variation(&base, &near), total_variation(&base, &far));
     }
 
     #[test]
@@ -152,10 +149,10 @@ mod tests {
     fn matrix_is_symmetric_with_zero_diagonal() {
         let hists = vec![vec![3, 0, 1], vec![0, 4, 0], vec![1, 1, 1]];
         let m = similarity_matrix(&hists);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, value) in row.iter().enumerate() {
+                assert_eq!(*value, m[j][i]);
             }
         }
         assert!(m[0][1] > 0.0);

@@ -54,7 +54,7 @@ impl Partition {
         assert!(clients > 0, "Partition::split: need at least one client");
         assert!(!dataset.is_empty(), "Partition::split: empty dataset");
         let num_classes = dataset.num_classes();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x706172_74); // "part" tag
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_7274); // "part" tag
 
         let client_indices = match scheme {
             Scheme::Iid => {

@@ -109,9 +109,7 @@ mod tests {
         assert!(DatasetSpec::MnistLike.noise_std() < DatasetSpec::FmnistLike.noise_std());
         assert!(DatasetSpec::FmnistLike.noise_std() < DatasetSpec::Cifar10Like.noise_std());
         assert!(DatasetSpec::MnistLike.class_overlap() < DatasetSpec::FmnistLike.class_overlap());
-        assert!(
-            DatasetSpec::FmnistLike.class_overlap() < DatasetSpec::Cifar10Like.class_overlap()
-        );
+        assert!(DatasetSpec::FmnistLike.class_overlap() < DatasetSpec::Cifar10Like.class_overlap());
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Prototypes {
     /// Generates prototypes for `spec` from a master seed.
     pub fn generate(spec: DatasetSpec, seed: u64) -> Self {
         let (c, h, w) = spec.dims();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x70726f_746f); // "proto" tag
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_726f_746f); // "proto" tag
         let background = random_blob_image(&mut rng, c, h, w, 4);
         let overlap = spec.class_overlap();
         let images = (0..spec.num_classes())
@@ -81,10 +81,11 @@ fn random_blob_image(rng: &mut StdRng, c: usize, h: usize, w: usize, blobs: usiz
     let mut img = vec![0.0f32; c * h * w];
     for chan in 0..c {
         for _ in 0..blobs {
-            let cy: f32 = rng.random_range(0.15..0.85) * h as f32;
-            let cx: f32 = rng.random_range(0.15..0.85) * w as f32;
-            let sigma: f32 = rng.random_range(0.08..0.25) * h as f32;
-            let amp: f32 = rng.random_range(0.6..1.4) * if rng.random_bool(0.3) { -1.0 } else { 1.0 };
+            let cy: f32 = rng.random_range(0.15f32..0.85) * h as f32;
+            let cx: f32 = rng.random_range(0.15f32..0.85) * w as f32;
+            let sigma: f32 = rng.random_range(0.08f32..0.25) * h as f32;
+            let amp: f32 =
+                rng.random_range(0.6f32..1.4) * if rng.random_bool(0.3) { -1.0 } else { 1.0 };
             let base = chan * h * w;
             for y in 0..h {
                 for x in 0..w {
@@ -162,10 +163,7 @@ impl Dataset {
     ) -> Self {
         let (c, h, w) = dims;
         assert_eq!(images.len(), labels.len() * c * h * w, "Dataset::from_raw: size mismatch");
-        assert!(
-            labels.iter().all(|&l| l < num_classes),
-            "Dataset::from_raw: label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < num_classes), "Dataset::from_raw: label out of range");
         Dataset { images, labels, dims, num_classes }
     }
 
@@ -303,13 +301,9 @@ mod tests {
 
     #[test]
     fn cifar_like_has_three_channels() {
-        let (train, _) = DataConfig {
-            spec: DatasetSpec::Cifar10Like,
-            train_size: 4,
-            test_size: 2,
-            seed: 1,
-        }
-        .generate_pair();
+        let (train, _) =
+            DataConfig { spec: DatasetSpec::Cifar10Like, train_size: 4, test_size: 2, seed: 1 }
+                .generate_pair();
         assert_eq!(train.dims(), (3, 32, 32));
     }
 
@@ -334,19 +328,14 @@ mod tests {
         use aergia_nn::models::ModelArch;
         use aergia_nn::optim::{Sgd, SgdConfig};
 
-        let (train, test) = DataConfig {
-            spec: DatasetSpec::MnistLike,
-            train_size: 256,
-            test_size: 128,
-            seed: 11,
-        }
-        .generate_pair();
+        let (train, test) =
+            DataConfig { spec: DatasetSpec::MnistLike, train_size: 256, test_size: 128, seed: 11 }
+                .generate_pair();
         let mut model = ModelArch::MnistCnn.build(0);
         let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() });
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..40 {
-            let idx: Vec<usize> =
-                (0..16).map(|_| rng.random_range(0..train.len())).collect();
+            let idx: Vec<usize> = (0..16).map(|_| rng.random_range(0..train.len())).collect();
             let (x, y) = train.batch(&idx);
             model.train_batch(&x, &y, &mut opt).unwrap();
         }

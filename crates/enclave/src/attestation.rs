@@ -47,7 +47,9 @@ impl AttestationReport {
     pub fn answer(measurement: Measurement, nonce: u64) -> Self {
         AttestationReport {
             measurement,
-            nonce_binding: measurement_hash(&[measurement.0.to_le_bytes(), nonce.to_le_bytes()].concat()),
+            nonce_binding: measurement_hash(
+                &[measurement.0.to_le_bytes(), nonce.to_le_bytes()].concat(),
+            ),
         }
     }
 

@@ -110,9 +110,7 @@ impl SimilarityEnclave {
     /// agreement of an attested channel.
     fn derive_key(&self, client: u32, client_nonce: u64) -> SessionKey {
         SessionKey(
-            self.secret
-                .rotate_left(13)
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            self.secret.rotate_left(13).wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 ^ u64::from(client).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
                 ^ client_nonce,
         )
@@ -165,8 +163,7 @@ impl SimilarityEnclave {
             return Err(EnclaveError::NotEnoughClients { have: self.histograms.len() });
         }
         let order = self.client_order();
-        let hists: Vec<Vec<u64>> =
-            order.iter().map(|id| self.histograms[id].clone()).collect();
+        let hists: Vec<Vec<u64>> = order.iter().map(|id| self.histograms[id].clone()).collect();
         Ok(emd::similarity_matrix(&hists))
     }
 
@@ -309,10 +306,7 @@ mod tests {
         let other = SimilarityEnclave::new(2, 9);
         let mut session = ClientSession::establish(&other, 0, 1).unwrap().session;
         let blob = session.seal_histogram(&[1, 2]);
-        assert_eq!(
-            enclave.submit(0, blob).unwrap_err(),
-            EnclaveError::UnknownClient { client: 0 }
-        );
+        assert_eq!(enclave.submit(0, blob).unwrap_err(), EnclaveError::UnknownClient { client: 0 });
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub fn encode_histogram(hist: &[u64]) -> Vec<u8> {
 /// Inverse of [`encode_histogram`]; `None` if the length is not a multiple
 /// of 8.
 pub fn decode_histogram(bytes: &[u8]) -> Option<Vec<u64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return None;
     }
     Some(

@@ -158,11 +158,8 @@ mod tests {
     #[test]
     fn multi_channel_independence() {
         let mut pool = MaxPool2d::new(2, 2, 2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0], &[1, 2, 2, 2])
+            .unwrap();
         let y = pool.forward(&x);
         assert_eq!(y.data(), &[4.0, -1.0]);
     }

@@ -59,13 +59,16 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
         let argmax = row_logits
             .iter()
             .enumerate()
-            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            })
+            .fold(
+                (0usize, f32::NEG_INFINITY),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            )
             .0;
         if argmax == target {
             correct += 1;
@@ -94,8 +97,7 @@ mod tests {
 
     #[test]
     fn gradient_sums_to_zero_per_row() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
         let out = cross_entropy(&logits, &[2, 0]);
         for row in out.dlogits.data().chunks_exact(3) {
             let s: f32 = row.iter().sum();
@@ -121,8 +123,7 @@ mod tests {
 
     #[test]
     fn counts_correct_predictions() {
-        let logits =
-            Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0, 5.0, 0.0], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0, 5.0, 0.0], &[3, 2]).unwrap();
         let out = cross_entropy(&logits, &[0, 1, 1]);
         assert_eq!(out.correct, 2);
     }

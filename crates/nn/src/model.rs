@@ -305,7 +305,11 @@ impl Cnn {
         self.layers[self.split..].iter().flat_map(|l| l.params().into_iter().cloned()).collect()
     }
 
-    fn set_section(&mut self, range: std::ops::Range<usize>, weights: &[Tensor]) -> Result<(), NnError> {
+    fn set_section(
+        &mut self,
+        range: std::ops::Range<usize>,
+        weights: &[Tensor],
+    ) -> Result<(), NnError> {
         let expected: usize = self.layers[range.clone()].iter().map(|l| l.params().len()).sum();
         if weights.len() != expected {
             return Err(NnError::SnapshotLength { expected, got: weights.len() });
@@ -487,7 +491,12 @@ mod tests {
         let model = tiny_model(30);
         let cost = model.phase_flops(8);
         assert!(cost.ff > 0.0 && cost.fc > 0.0 && cost.bc > 0.0 && cost.bf > 0.0);
-        assert!(cost.bf == 2.0 * cost.ff + model.layers[2].backward_flops(8) as f64 - 2.0 * model.layers[2].forward_flops(8) as f64 || cost.bf > cost.ff);
+        assert!(
+            cost.bf
+                == 2.0 * cost.ff + model.layers[2].backward_flops(8) as f64
+                    - 2.0 * model.layers[2].forward_flops(8) as f64
+                || cost.bf > cost.ff
+        );
     }
 
     #[test]

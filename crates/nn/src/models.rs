@@ -194,11 +194,7 @@ mod tests {
             let (c, h, w) = arch.input_dims();
             let x = Tensor::zeros(&[2, c, h, w]);
             let logits = model.forward(&x);
-            assert_eq!(
-                logits.dims(),
-                &[2, arch.num_classes()],
-                "wrong logits shape for {arch}"
-            );
+            assert_eq!(logits.dims(), &[2, arch.num_classes()], "wrong logits shape for {arch}");
             assert!(logits.is_finite(), "non-finite logits for {arch}");
         }
     }
@@ -253,7 +249,11 @@ mod tests {
         for arch in ModelArch::ALL {
             let model = arch.build(0);
             let cost = model.phase_flops(4);
-            for phase in [crate::Phase::ForwardFeatures, crate::Phase::ForwardClassifier, crate::Phase::BackwardClassifier] {
+            for phase in [
+                crate::Phase::ForwardFeatures,
+                crate::Phase::ForwardClassifier,
+                crate::Phase::BackwardClassifier,
+            ] {
                 assert!(
                     cost.bf > cost.get(phase),
                     "{arch}: bf ({}) not dominant over {phase} ({})",

@@ -164,9 +164,8 @@ mod tests {
             one_step(&mut plain, &mut opt_plain);
             one_step(&mut heavy, &mut opt_heavy);
         }
-        let dist = |w: &[Tensor]| -> f32 {
-            w.iter().zip(&start).map(|(a, b)| a.sub(b).sq_norm()).sum()
-        };
+        let dist =
+            |w: &[Tensor]| -> f32 { w.iter().zip(&start).map(|(a, b)| a.sub(b).sq_norm()).sum() };
         assert!(dist(&heavy.weights()) > dist(&plain.weights()));
     }
 
@@ -177,8 +176,7 @@ mod tests {
         let mut model = linear_model(3);
         model.zero_grads();
         let before = model.weights();
-        let mut opt =
-            Sgd::new(SgdConfig { lr: 0.1, weight_decay: 0.5, ..SgdConfig::default() });
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, weight_decay: 0.5, ..SgdConfig::default() });
         opt.apply(&mut model);
         for (b, a) in before.iter().zip(model.weights()) {
             for (x, y) in b.data().iter().zip(a.data()) {

@@ -134,8 +134,7 @@ pub fn weighted_average(snapshots: &[(f32, Vec<Tensor>)]) -> Vec<Tensor> {
     assert!(!snapshots.is_empty(), "weighted_average: no snapshots");
     let total: f32 = snapshots.iter().map(|(w, _)| w).sum();
     assert!(total > 0.0, "weighted_average: weights sum to {total}");
-    let mut acc: Vec<Tensor> =
-        snapshots[0].1.iter().map(|t| Tensor::zeros(t.dims())).collect();
+    let mut acc: Vec<Tensor> = snapshots[0].1.iter().map(|t| Tensor::zeros(t.dims())).collect();
     for (w, snap) in snapshots {
         assert_eq!(snap.len(), acc.len(), "weighted_average: snapshot structure mismatch");
         for (a, s) in acc.iter_mut().zip(snap) {

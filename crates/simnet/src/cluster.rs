@@ -24,7 +24,7 @@ use rand::{RngExt as _, SeedableRng};
 /// ```
 pub fn uniform_speeds(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
     assert!(lo > 0.0 && lo <= hi && hi <= 1.0, "uniform_speeds: bad range [{lo}, {hi}]");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x73706565_64); // "speed"
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0073_7065_6564); // "speed"
     (0..n).map(|_| rng.random_range(lo..=hi)).collect()
 }
 
@@ -40,10 +40,7 @@ pub fn speeds_with_variance(n: usize, mean: f64, variance: f64) -> Vec<f64> {
     assert!(variance >= 0.0, "speeds_with_variance: negative variance");
     let d = variance.sqrt();
     let (lo, hi) = (mean - d, mean + d);
-    assert!(
-        lo > 0.0 && hi <= 1.0,
-        "speeds_with_variance: mean {mean} ± {d} leaves (0, 1]"
-    );
+    assert!(lo > 0.0 && hi <= 1.0, "speeds_with_variance: mean {mean} ± {d} leaves (0, 1]");
     let mut speeds = Vec::with_capacity(n);
     for i in 0..n {
         if n % 2 == 1 && i == n - 1 {
@@ -73,7 +70,7 @@ pub fn random_speeds_with_variance(n: usize, mean: f64, variance: f64, seed: u64
     assert!(variance >= 0.0, "random_speeds_with_variance: negative variance");
     assert!(mean > 0.0 && mean <= 1.0, "random_speeds_with_variance: mean {mean} outside (0, 1]");
     let sd = variance.sqrt();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x72737065_6564); // "rspeed"
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7273_7065_6564); // "rspeed"
     (0..n)
         .map(|_| {
             // Box–Muller standard normal.

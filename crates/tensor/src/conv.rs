@@ -46,7 +46,14 @@ impl ConvGeometry {
     ///
     /// Panics if the window does not fit the padded input at least once or
     /// if `stride == 0`.
-    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert!(stride > 0, "ConvGeometry: stride must be positive");
         assert!(
             in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w,
@@ -107,7 +114,8 @@ pub fn im2col(input: &Tensor, channels: usize, geom: &ConvGeometry) -> Result<Te
                             col += geom.k_w;
                             continue;
                         }
-                        let src_row = &src_chan[y as usize * geom.in_w..(y as usize + 1) * geom.in_w];
+                        let src_row =
+                            &src_chan[y as usize * geom.in_w..(y as usize + 1) * geom.in_w];
                         for kx in 0..geom.k_w {
                             let x = base_x + kx as isize;
                             if x >= 0 && x < geom.in_w as isize {
@@ -295,10 +303,7 @@ mod tests {
         let cols = Tensor::ones(&[4, 4]);
         let im = col2im(&cols, 1, 1, &g).unwrap();
         // Corner pixels covered once, edges twice, center four times.
-        assert_eq!(
-            im.data(),
-            &[1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]
-        );
+        assert_eq!(im.data(), &[1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]);
     }
 
     #[test]

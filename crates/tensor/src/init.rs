@@ -73,8 +73,8 @@ mod tests {
         let mut t = Tensor::zeros(&[10_000]);
         normal(&mut t, &mut rng, 1.0, 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / (t.numel() - 1) as f32;
+        let var =
+            t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / (t.numel() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -266,13 +266,16 @@ impl Tensor {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                        if v > bv {
-                            (i, v)
-                        } else {
-                            (bi, bv)
-                        }
-                    })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |(bi, bv), (i, &v)| {
+                            if v > bv {
+                                (i, v)
+                            } else {
+                                (bi, bv)
+                            }
+                        },
+                    )
                     .0
             })
             .collect()

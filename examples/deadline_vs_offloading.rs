@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Engine::new(probe, Strategy::FedAvg)?.run()?.mean_round_secs()
     };
 
-    println!("{:<22}{:>14}{:>12}{:>12}{:>10}", "strategy", "total time", "accuracy", "dropped", "offloads");
+    println!(
+        "{:<22}{:>14}{:>12}{:>12}{:>10}",
+        "strategy", "total time", "accuracy", "dropped", "offloads"
+    );
     for strategy in [
         Strategy::FedAvg,
         Strategy::DeadlineFedAvg { deadline: SimDuration::from_secs_f64(fast_round * 1.2) },

@@ -38,16 +38,18 @@ fn config(speeds: &[f64]) -> ExperimentConfig {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speeds = cluster::uniform_speeds(8, 0.1, 1.0, 23);
-    println!("cluster speeds: {:?}", speeds.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "cluster speeds: {:?}",
+        speeds.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!();
-    println!("{:<18}{:>14}{:>14}{:>12}{:>12}", "algorithm", "total time", "mean round", "accuracy", "offloads");
+    println!(
+        "{:<18}{:>14}{:>14}{:>12}{:>12}",
+        "algorithm", "total time", "mean round", "accuracy", "offloads"
+    );
 
     let mut fedavg_total = None;
-    for strategy in [
-        Strategy::FedAvg,
-        Strategy::tifl_default(),
-        Strategy::aergia_default(),
-    ] {
+    for strategy in [Strategy::FedAvg, Strategy::tifl_default(), Strategy::aergia_default()] {
         let result = Engine::new(config(&speeds), strategy)?.run()?;
         let total = result.total_time().as_secs_f64();
         println!(

@@ -13,13 +13,9 @@ use aergia_enclave::{establish_session, SimilarityEnclave};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A non-IID split: each of 6 clients owns 2 of the 10 classes.
-    let (train, _) = DataConfig {
-        spec: DatasetSpec::FmnistLike,
-        train_size: 600,
-        test_size: 10,
-        seed: 3,
-    }
-    .generate_pair();
+    let (train, _) =
+        DataConfig { spec: DatasetSpec::FmnistLike, train_size: 600, test_size: 10, seed: 3 }
+            .generate_pair();
     let partition = Partition::split(&train, 6, Scheme::NonIid { classes_per_client: 2 }, 5);
 
     // Every client attests the enclave and submits its sealed histogram;
@@ -36,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("EMD similarity matrix (0 = identical distributions):");
     for row in &matrix {
-        println!(
-            "  {}",
-            row.iter().map(|d| format!("{d:5.2}")).collect::<Vec<_>>().join(" ")
-        );
+        println!("  {}", row.iter().map(|d| format!("{d:5.2}")).collect::<Vec<_>>().join(" "));
     }
 
     // A straggler (client 0) and five potential receivers of equal speed:

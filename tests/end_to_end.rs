@@ -12,12 +12,7 @@ use aergia_simnet::SimDuration;
 
 fn small_config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
-        dataset: DataConfig {
-            spec: DatasetSpec::MnistLike,
-            train_size: 240,
-            test_size: 120,
-            seed,
-        },
+        dataset: DataConfig { spec: DatasetSpec::MnistLike, train_size: 240, test_size: 120, seed },
         arch: ModelArch::MnistCnn,
         partition: Scheme::Iid,
         num_clients: 4,
@@ -68,9 +63,17 @@ fn runs_are_deterministic_given_a_seed() {
         assert_eq!(ra.test_accuracy, rb.test_accuracy);
     }
     // Different seeds change data and init, hence the accuracy trajectory
-    // (round *durations* may coincide: they depend only on speeds).
+    // (round *durations* may coincide: they depend only on speeds). Late
+    // rounds can saturate at 1.0 on the small synthetic set, so compare
+    // the whole trajectory, not just the final value.
     let c = Engine::new(small_config(56), Strategy::aergia_default()).unwrap().run().unwrap();
-    assert_ne!(a.final_accuracy, c.final_accuracy, "different seeds should differ");
+    let trajectory =
+        |r: &[aergia::RoundRecord]| -> Vec<f64> { r.iter().map(|x| x.test_accuracy).collect() };
+    assert_ne!(
+        trajectory(&a.rounds),
+        trajectory(&c.rounds),
+        "different seeds should differ somewhere in the trajectory"
+    );
 }
 
 #[test]
@@ -155,11 +158,13 @@ fn offloaded_rounds_record_sender_receiver_pairs() {
 #[test]
 fn fednova_and_fedprox_change_the_trajectory_but_stay_sound() {
     let fedavg = Engine::new(small_config(7), Strategy::FedAvg).unwrap().run().unwrap();
-    let prox =
-        Engine::new(small_config(7), Strategy::FedProx { mu: 0.5 }).unwrap().run().unwrap();
+    let prox = Engine::new(small_config(7), Strategy::FedProx { mu: 0.5 }).unwrap().run().unwrap();
     // A strong proximal term restrains local drift, so the trajectories
-    // must actually differ while both remain sound.
-    assert_ne!(fedavg.final_accuracy, prox.final_accuracy);
+    // must actually differ while both remain sound. Both can saturate at
+    // 1.0 by the last round, so compare round by round.
+    let accuracies =
+        |r: &aergia::RunResult| -> Vec<f64> { r.rounds.iter().map(|x| x.test_accuracy).collect() };
+    assert_ne!(accuracies(&fedavg), accuracies(&prox));
     assert!(prox.final_accuracy > 0.15);
 }
 
@@ -184,10 +189,7 @@ fn slower_clusters_take_proportionally_longer() {
     let fast = run_with_speed(1.0);
     let slow = run_with_speed(0.25);
     let ratio = slow / fast;
-    assert!(
-        (3.0..5.0).contains(&ratio),
-        "expected ≈4× slowdown at quarter speed, got {ratio:.2}×"
-    );
+    assert!((3.0..5.0).contains(&ratio), "expected ≈4× slowdown at quarter speed, got {ratio:.2}×");
 }
 
 #[test]

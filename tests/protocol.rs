@@ -14,12 +14,7 @@ use aergia_simnet::SimDuration;
 
 fn timing_config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
-        dataset: DataConfig {
-            spec: DatasetSpec::MnistLike,
-            train_size: 160,
-            test_size: 40,
-            seed,
-        },
+        dataset: DataConfig { spec: DatasetSpec::MnistLike, train_size: 160, test_size: 40, seed },
         arch: ModelArch::MnistCnn,
         partition: Scheme::Iid,
         num_clients: 6,
@@ -36,8 +31,7 @@ fn timing_config(seed: u64) -> ExperimentConfig {
 
 #[test]
 fn schedule_signatures_reject_forgery_and_replay() {
-    let assignment =
-        Assignment { sender: 0, receiver: 5, offload_batches: 7, estimated_ct: 3.0 };
+    let assignment = Assignment { sender: 0, receiver: 5, offload_batches: 7, estimated_ct: 3.0 };
     let signed = SignedAssignment::sign(0xfeed, 3, assignment);
     assert!(signed.verify(0xfeed, 3));
     assert!(!signed.verify(0xbeef, 3), "wrong federator secret accepted");
@@ -90,13 +84,9 @@ fn slow_scheduling_path_degrades_gracefully_to_no_offload() {
 
 #[test]
 fn enclave_rejects_histograms_from_unattested_clients() {
-    let (train, _) = DataConfig {
-        spec: DatasetSpec::MnistLike,
-        train_size: 100,
-        test_size: 10,
-        seed: 4,
-    }
-    .generate_pair();
+    let (train, _) =
+        DataConfig { spec: DatasetSpec::MnistLike, train_size: 100, test_size: 10, seed: 4 }
+            .generate_pair();
     let partition = Partition::split(&train, 3, Scheme::paper_non_iid(), 8);
 
     let mut enclave = SimilarityEnclave::new(train.num_classes(), 42);
@@ -121,9 +111,8 @@ fn engine_similarity_matrix_matches_direct_emd_on_histograms() {
     let engine = Engine::new(config, Strategy::aergia_default()).unwrap();
     let matrix = engine.similarity_matrix();
     // Recompute from the public partition histograms.
-    let hists: Vec<Vec<u64>> = (0..6)
-        .map(|c| engine.partition().class_histogram(train_of(&engine), c))
-        .collect();
+    let hists: Vec<Vec<u64>> =
+        (0..6).map(|c| engine.partition().class_histogram(train_of(&engine), c)).collect();
     let expected = aergia_data::emd::similarity_matrix(&hists);
     assert_eq!(matrix, expected.as_slice());
 }

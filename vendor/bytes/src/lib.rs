@@ -1,0 +1,196 @@
+//! Vendored, offline subset of the `bytes` crate.
+//!
+//! Backs the weight wire-format in `aergia-nn::weights`. Only the
+//! little-endian cursor surface that module uses is provided: [`Buf`] on
+//! byte slices, [`BufMut`] on [`BytesMut`], and a freeze into the
+//! immutable [`Bytes`]. Both buffer types are plain `Vec<u8>` wrappers —
+//! no refcounted zero-copy splitting, which the simulation never needs.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (here: a frozen `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte source; getters consume from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next `N` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `N` bytes remain.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow: {} < {N}", self.len());
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returns exactly N bytes")
+    }
+}
+
+/// Write cursor; putters append to the back.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u32_le(7);
+        buf.put_f32_le(-1.5);
+        buf.put_u64_le(u64::MAX - 3);
+        let bytes = buf.freeze();
+        assert_eq!(bytes.len(), 16);
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.get_f32_le(), -1.5);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn short_read_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

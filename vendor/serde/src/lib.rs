@@ -1,0 +1,75 @@
+//! Vendored, offline subset of `serde`.
+//!
+//! The Aergia workspace derives `Serialize`/`Deserialize` on its config
+//! and message types to document the wire-facing surface, but nothing in
+//! the tree performs actual serialization yet (the simulation encodes
+//! weights with its own little-endian format in `aergia-nn::weights`).
+//! Since the build container cannot reach crates.io, this shim provides
+//! the two traits as markers plus derive macros, so the annotations keep
+//! compiling and can be swapped for the real `serde` without source
+//! changes once a registry is available.
+
+// Lets the derive-emitted `::serde::...` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (see module docs).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (see module docs).
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    //! Compile-time regression checks for the derive macros: each shape
+    //! below must expand to a well-formed marker impl.
+
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Message {
+        _A,
+        _B(u8),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        _value: T,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Bounded<T: Clone + Default> {
+        _value: T,
+    }
+
+    // The `->` arrow inside a bound must not be mistaken for the closing
+    // angle bracket of the generics list.
+    #[derive(Serialize, Deserialize)]
+    struct FnBound<F: Fn() -> u32> {
+        _f: F,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct WithLifetime<'a, T> {
+        _value: &'a T,
+    }
+
+    fn assert_impls<T: Serialize + Deserialize>() {}
+
+    #[test]
+    fn derived_types_implement_the_markers() {
+        assert_impls::<Plain>();
+        assert_impls::<Message>();
+        assert_impls::<Generic<u8>>();
+        assert_impls::<Bounded<String>>();
+        assert_impls::<FnBound<fn() -> u32>>();
+        assert_impls::<WithLifetime<'static, u8>>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits, so deriving
+//! them only requires naming the type: the macros parse the item header
+//! out of the raw token stream (no `syn`/`quote` in the offline
+//! container) and emit an empty trait impl. Generic parameters are
+//! carried over by splicing the original tokens — never re-stringified,
+//! which would break `'a` lifetimes and `->` arrows apart.
+
+use proc_macro::{Delimiter, Group, Punct, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = parse_item_header(input)
+        .unwrap_or_else(|| panic!("#[derive({trait_name})]: unsupported item shape"));
+    // impl <generics> ::serde::Trait for Name <params> {}
+    let mut out: Vec<TokenTree> = str_tokens("impl");
+    if !generics.is_empty() {
+        out.push(punct('<'));
+        out.extend(generics.iter().cloned());
+        out.push(punct('>'));
+    }
+    out.extend(str_tokens(&format!("::serde::{trait_name} for {name}")));
+    let params = param_names(&generics);
+    if !params.is_empty() {
+        out.push(punct('<'));
+        for param in params {
+            out.extend(param);
+            out.push(punct(','));
+        }
+        out.push(punct('>'));
+    }
+    out.push(TokenTree::Group(Group::new(Delimiter::Brace, TokenStream::new())));
+    out.into_iter().collect()
+}
+
+fn punct(c: char) -> TokenTree {
+    TokenTree::Punct(Punct::new(c, Spacing::Alone))
+}
+
+fn str_tokens(src: &str) -> Vec<TokenTree> {
+    src.parse::<TokenStream>().expect("static token text must parse").into_iter().collect()
+}
+
+/// Extracts the type name and raw generic parameter tokens from a
+/// `struct`/`enum`/`union` definition.
+fn parse_item_header(input: TokenStream) -> Option<(String, Vec<TokenTree>)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`) and visibility (`pub`, `pub (...)`).
+    let name = loop {
+        match tokens.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute body
+            }
+            TokenTree::Ident(kw)
+                if kw.to_string() == "struct"
+                    || kw.to_string() == "enum"
+                    || kw.to_string() == "union" =>
+            {
+                match tokens.next()? {
+                    TokenTree::Ident(name) => break name.to_string(),
+                    _ => return None,
+                }
+            }
+            _ => {}
+        }
+    };
+    // Collect `<...>` generics if present (depth-tracked so nested angle
+    // brackets in bounds/defaults stay inside; the `>` of an `->` arrow
+    // in an `Fn() -> T` bound is not a closing bracket).
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut after_minus = false;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' if !after_minus => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    after_minus = p.as_char() == '-';
+                } else {
+                    after_minus = false;
+                }
+                generics.push(tt);
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+/// Extracts each generic parameter's name tokens (`'a`, `T`, `N`) from
+/// the raw parameter list, dropping bounds, defaults and the `const`
+/// keyword — exactly what belongs in the `Type<...>` position.
+fn param_names(generics: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    let mut in_bound = false;
+    let mut after_minus = false;
+    for tt in generics {
+        let was_after_minus = after_minus;
+        after_minus = matches!(tt, TokenTree::Punct(p) if p.as_char() == '-');
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !was_after_minus => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        params.push(std::mem::take(&mut current));
+                    }
+                    in_bound = false;
+                    continue;
+                }
+                ':' | '=' if depth == 0 => {
+                    in_bound = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if in_bound {
+            continue;
+        }
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "const" => {}
+            _ => current.push(tt.clone()),
+        }
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    params
+}
