@@ -1,0 +1,128 @@
+//! Times every figure harness at `AERGIA_SCALE=smoke` and gates wall-time
+//! regressions — the driver behind the `bench-regression` CI job.
+//!
+//! ```sh
+//! cargo run --release -p aergia-bench --bin bench_smoke -- \
+//!     --out BENCH_smoke.json \
+//!     --baseline crates/bench/baselines/BENCH_smoke.json
+//! ```
+//!
+//! The binary shells out to `cargo bench --bench <figure>` per harness
+//! (after one untimed `cargo bench --no-run` so compilation never pollutes
+//! a measurement), writes the wall-times as flat JSON, and exits non-zero
+//! if any harness runs more than `--max-regression` (default 2.0) times
+//! slower than its entry in the checked-in baseline. Refresh the baseline
+//! by copying a green run's artifact over
+//! `crates/bench/baselines/BENCH_smoke.json`.
+
+use std::process::Command;
+use std::time::Instant;
+
+use aergia_bench::regression::{from_json, regressions, to_json, BenchReport};
+
+/// The figure/table harnesses the gate tracks (criterion micro-benches are
+/// excluded: their wall-time is dominated by criterion's sampling loop).
+const HARNESSES: &[&str] = &[
+    "fig1a_cpu_variance",
+    "fig1bc_deadlines",
+    "fig4_phase_profile",
+    "fig6_iid",
+    "fig7_noniid",
+    "fig8_round_density",
+    "fig9_similarity_factor",
+    "fig10_noniid_degree",
+    "table1_feature_matrix",
+];
+
+struct Options {
+    out: Option<String>,
+    baseline: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options { out: None, baseline: None, max_regression: 2.0 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => options.out = Some(value("--out")?),
+            "--baseline" => options.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                options.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
+    cmd.env("AERGIA_SCALE", "smoke");
+    cmd
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_smoke: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Build every bench target untimed so the measurements below are pure
+    // harness wall-time.
+    eprintln!("bench_smoke: pre-building bench targets");
+    let status = cargo().args(["bench", "--no-run"]).status().expect("spawn cargo bench --no-run");
+    assert!(status.success(), "cargo bench --no-run failed");
+
+    let mut report = BenchReport::new();
+    for &name in HARNESSES {
+        eprintln!("bench_smoke: running {name}");
+        let started = Instant::now();
+        let status = cargo()
+            .args(["bench", "--bench", name])
+            .status()
+            .unwrap_or_else(|e| panic!("spawn cargo bench --bench {name}: {e}"));
+        let secs = started.elapsed().as_secs_f64();
+        assert!(status.success(), "bench --bench {name} exited with {status}");
+        report.insert(name.to_string(), secs);
+        eprintln!("bench_smoke: {name} took {secs:.3}s");
+    }
+
+    let json = to_json(&report);
+    print!("{json}");
+    if let Some(path) = &options.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("bench_smoke: wrote {path}");
+    }
+
+    let Some(baseline_path) = &options.baseline else { return };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline =
+        from_json(&baseline_text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    let found = regressions(&baseline, &report, options.max_regression);
+    if found.is_empty() {
+        eprintln!(
+            "bench_smoke: no harness regressed more than {:.1}x against {baseline_path}",
+            options.max_regression
+        );
+        return;
+    }
+    for r in &found {
+        eprintln!(
+            "bench_smoke: REGRESSION {}: {:.3}s vs baseline {:.3}s ({:.1}x, limit {:.1}x)",
+            r.name,
+            r.current_secs,
+            r.baseline_secs,
+            r.current_secs / r.baseline_secs,
+            options.max_regression
+        );
+    }
+    std::process::exit(1);
+}

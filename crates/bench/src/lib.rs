@@ -10,6 +10,8 @@
 //! * `default` — the documented default, minutes for the full suite;
 //! * `paper` — paper-sized clusters and round counts (hours).
 
+pub mod regression;
+
 use std::fmt::Display;
 
 use aergia::config::{ExperimentConfig, Mode};
@@ -84,6 +86,15 @@ impl Scale {
     }
 }
 
+/// Engine-level parallelism for benchmark configurations, read from
+/// `AERGIA_THREADS` (the same variable that sizes the global
+/// [`aergia_runtime`] pool): unset or unparsable means `0` — one
+/// work-stealing task per client. `AERGIA_THREADS=1` forces fully serial
+/// rounds, which is how the determinism suite produces its reference run.
+pub fn engine_parallelism() -> usize {
+    std::env::var("AERGIA_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 /// The paper's dataset/architecture pairings for Figures 6 and 7.
 pub fn eval_pairs() -> Vec<(DatasetSpec, ModelArch)> {
     vec![
@@ -141,6 +152,7 @@ pub fn base_config(
         speeds: aergia_simnet::cluster::uniform_speeds(clients, 0.1, 1.0, seed ^ 0x5eed),
         eval_samples: scale.scaled(256, 64),
         mode: Mode::Real,
+        parallelism: engine_parallelism(),
         seed,
         ..ExperimentConfig::default()
     }

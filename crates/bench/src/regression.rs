@@ -1,0 +1,160 @@
+//! Wall-time bookkeeping for the `bench-regression` CI gate.
+//!
+//! The `bench_smoke` binary times every figure harness at
+//! `AERGIA_SCALE=smoke`, records the wall-times in a flat JSON object
+//! (`BENCH_smoke.json`, figure name → seconds) and compares them against
+//! the checked-in baseline: any entry slower than `baseline ×
+//! max_regression` fails the job. The format is deliberately trivial —
+//! the workspace is offline, so both the writer and the parser live here
+//! instead of pulling in `serde_json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Figure-name → wall-time-seconds map, ordered for stable output.
+pub type BenchReport = BTreeMap<String, f64>;
+
+/// Renders a report as the flat JSON object the CI artifact carries.
+#[must_use]
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, secs)) in report.iter().enumerate() {
+        let comma = if i + 1 == report.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{name}\": {secs:.3}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat JSON object produced by [`to_json`].
+///
+/// Accepts exactly the subset this crate writes — one `"key": number`
+/// pair per entry, string keys without escapes — which keeps the offline
+/// parser small while still round-tripping every report byte-for-byte.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn from_json(text: &str) -> Result<BenchReport, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "expected a top-level JSON object".to_string())?;
+    let mut report = BenchReport::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) =
+            pair.split_once(':').ok_or_else(|| format!("missing ':' in entry {pair:?}"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("key is not a JSON string: {key:?}"))?;
+        if key.contains(['"', '\\']) {
+            return Err(format!("escaped keys are not supported: {key:?}"));
+        }
+        let value: f64 =
+            value.trim().parse().map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        report.insert(key.to_string(), value);
+    }
+    Ok(report)
+}
+
+/// One benchmark whose current wall-time breaches the regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Figure harness name.
+    pub name: String,
+    /// Baseline wall-time, seconds.
+    pub baseline_secs: f64,
+    /// Current wall-time, seconds.
+    pub current_secs: f64,
+}
+
+/// Compares a fresh report against the baseline: an entry regresses when
+/// it is more than `max_ratio` times slower than its baseline. Entries
+/// only present on one side are ignored (new figures don't need a
+/// lockstep baseline update; retired figures don't block).
+///
+/// A small absolute floor (0.5 s) keeps sub-second harnesses from
+/// tripping the gate on scheduler noise.
+#[must_use]
+pub fn regressions(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    max_ratio: f64,
+) -> Vec<Regression> {
+    const NOISE_FLOOR_SECS: f64 = 0.5;
+    let mut out = Vec::new();
+    for (name, &current_secs) in current {
+        let Some(&baseline_secs) = baseline.get(name) else { continue };
+        let limit = (baseline_secs * max_ratio).max(NOISE_FLOOR_SECS);
+        if current_secs > limit {
+            out.push(Regression { name: name.clone(), baseline_secs, current_secs });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> BenchReport {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(&[("fig6_iid", 12.345), ("fig8_round_density", 0.125), ("table1", 3.0)]);
+        let parsed = from_json(&to_json(&r)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert!((parsed["fig6_iid"] - 12.345).abs() < 1e-9);
+        assert!((parsed["fig8_round_density"] - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        assert_eq!(from_json(&to_json(&BenchReport::new())).unwrap(), BenchReport::new());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"a\" 1.0}").unwrap_err().contains(':'));
+        assert!(from_json("{\"a\": x}").unwrap_err().contains("bad number"));
+        assert!(from_json("{a: 1.0}").is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires_only_above_the_ratio() {
+        let baseline = report(&[("fig6_iid", 10.0), ("fig7_noniid", 8.0)]);
+        let ok = report(&[("fig6_iid", 19.9), ("fig7_noniid", 8.1)]);
+        assert!(regressions(&baseline, &ok, 2.0).is_empty());
+
+        let bad = report(&[("fig6_iid", 20.1), ("fig7_noniid", 8.1)]);
+        let found = regressions(&baseline, &bad, 2.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "fig6_iid");
+    }
+
+    #[test]
+    fn unmatched_entries_do_not_gate() {
+        let baseline = report(&[("retired_figure", 5.0)]);
+        let current = report(&[("brand_new_figure", 500.0)]);
+        assert!(regressions(&baseline, &current, 2.0).is_empty());
+    }
+
+    #[test]
+    fn noise_floor_shields_subsecond_harnesses() {
+        let baseline = report(&[("ablation", 0.01)]);
+        let current = report(&[("ablation", 0.4)]);
+        assert!(regressions(&baseline, &current, 2.0).is_empty(), "0.4s is under the 0.5s floor");
+        let current = report(&[("ablation", 0.6)]);
+        assert_eq!(regressions(&baseline, &current, 2.0).len(), 1);
+    }
+}

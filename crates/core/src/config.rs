@@ -53,6 +53,16 @@ pub struct ExperimentConfig {
     pub eval_samples: usize,
     /// Real training vs timing-only simulation.
     pub mode: Mode,
+    /// Maximum clients whose local training executes concurrently on the
+    /// [`aergia_runtime`] pool in [`Mode::Real`] rounds: `0` = one task
+    /// per participant (fully work-stealing), `1` = serial execution on
+    /// the calling thread, `n` = at most `n` concurrent clients.
+    ///
+    /// The knob trades wall-clock for nothing else: parallel runs are
+    /// **bit-identical** to serial runs (every client trains on private
+    /// state and results are folded in fixed client order), a guarantee
+    /// enforced by the workspace determinism suite.
+    pub parallelism: usize,
     /// Master seed (selection, batching, model init all derive from it).
     pub seed: u64,
 }
@@ -78,6 +88,7 @@ impl Default for ExperimentConfig {
             sgd: SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() },
             eval_samples: 128,
             mode: Mode::Real,
+            parallelism: 0,
             seed: 7,
         }
     }

@@ -4,7 +4,8 @@
 //! simulated cluster: it generates the synthetic dataset, partitions it,
 //! sets up the enclave similarity matrix (for Aergia), then simulates `T`
 //! synchronous rounds on a virtual clock. Each round is an event-driven
-//! simulation ([`round`]): model downloads, per-batch training progress,
+//! simulation (the `round` module): model downloads, per-batch training
+//! progress,
 //! profile reports, scheduling messages, client-to-client offloads and
 //! update uploads all flow through the [`aergia_simnet::Network`] with
 //! explicit byte sizes and latencies.
@@ -12,6 +13,13 @@
 //! In [`Mode::Real`] clients train actual [`aergia_nn::Cnn`] models so
 //! accuracy curves are meaningful; in [`Mode::Timing`] only the virtual
 //! clock advances (for the timing-shape figures).
+//!
+//! Real-mode rounds execute the participating clients' local training
+//! concurrently on the [`aergia_runtime`] work-stealing pool (see the
+//! `round` module for the plan/execute split and the
+//! [`crate::config::ExperimentConfig::parallelism`] knob); aggregation
+//! folds the results in fixed client order, so parallel runs are
+//! bit-identical to serial ones.
 
 mod round;
 mod tifl;

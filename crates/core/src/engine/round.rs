@@ -6,10 +6,31 @@
 //! message transfers go through the simulated network with explicit byte
 //! sizes; all compute advances the virtual clock through the per-client
 //! phase cost model.
+//!
+//! # Plan, then execute
+//!
+//! The round runs in two stages. The *event stage* walks the virtual
+//! clock exactly as before but carries no tensors: its timing depends
+//! only on the per-client phase costs and the network model, never on
+//! the gradient values, so it can run first and record a [`ClientPlan`]
+//! per client — how many local batches ran, after which batch the
+//! feature section froze, and which offloaded model was trained for how
+//! many batches. The *execution stage* (real mode only) then replays the
+//! numeric work those plans describe. Each client's work — its own
+//! batches, then any offloaded batches — touches only private state (its
+//! model clone, optimizer and batcher), so the plans execute
+//! concurrently on the [`aergia_runtime`] work-stealing pool, bounded by
+//! [`crate::config::ExperimentConfig::parallelism`].
+//!
+//! Results are folded back in fixed client order, which makes a parallel
+//! round **bit-identical** to a serial one: the workspace determinism
+//! suite asserts equality of per-round losses, accuracies and final
+//! weights across `parallelism` settings.
 
 use std::collections::HashMap;
 
-use aergia_nn::Cnn;
+use aergia_nn::optim::Sgd;
+use aergia_nn::NnError;
 use aergia_simnet::network::Delivery;
 use aergia_simnet::{EventQueue, NodeId, SimDuration, SimTime};
 use aergia_tensor::Tensor;
@@ -20,7 +41,7 @@ use crate::profiler::{OnlineProfiler, ProfileReport};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
 
-use super::{Engine, EngineError};
+use super::{ClientNode, Engine, EngineError};
 
 /// Where an event is delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,38 +119,64 @@ impl RoundOutcome {
     }
 }
 
-/// Per-round, per-client state machine.
+/// Per-round, per-client state machine (virtual time only — the numeric
+/// training it implies is captured in the [`ClientPlan`]).
 struct RClient {
     active: bool,
-    model: Option<Cnn>,
-    opt: aergia_nn::optim::Sgd,
     profiler: Option<OnlineProfiler>,
     batches_done: u32,
     frozen: bool,
+    /// Number of own batches completed when the freeze instruction landed.
+    frozen_at: Option<u32>,
     own_done: bool,
     // Receiver-side offload state.
     notice: Option<SignedAssignment>,
-    offload_model: Option<(usize, Option<Cnn>)>,
+    /// The straggler whose model this client received for training.
+    offload_from: Option<usize>,
+    /// Offloaded batches actually executed (virtual clock charged).
+    offload_batches_run: u32,
     offload_remaining: u32,
     offload_running: bool,
 }
 
 impl RClient {
-    fn idle(opt: aergia_nn::optim::Sgd) -> Self {
+    fn idle() -> Self {
         RClient {
             active: false,
-            model: None,
-            opt,
             profiler: None,
             batches_done: 0,
             frozen: false,
+            frozen_at: None,
             own_done: false,
             notice: None,
-            offload_model: None,
+            offload_from: None,
+            offload_batches_run: 0,
             offload_remaining: 0,
             offload_running: false,
         }
     }
+}
+
+/// The numeric work one client must perform for the round, as dictated by
+/// the event trace.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientPlan {
+    /// Local batches trained on the client's own shard.
+    own_batches: u32,
+    /// Freeze the feature section before this (0-based) batch index.
+    freeze_after: Option<u32>,
+    /// Whether another client trains this client's frozen snapshot (so the
+    /// snapshot must be captured at the freeze point).
+    snapshot_wanted: bool,
+    /// Offloaded training this client performs for a straggler.
+    offload: Option<OffloadPlan>,
+}
+
+/// Receiver-side offload work: train `weak`'s frozen model for `batches`.
+#[derive(Debug, Clone, Copy)]
+struct OffloadPlan {
+    weak: usize,
+    batches: u32,
 }
 
 fn node(id: usize) -> NodeId {
@@ -156,7 +203,7 @@ pub(crate) fn simulate_round(
 
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut rclients: Vec<RClient> =
-        (0..engine.config.num_clients).map(|_| RClient::idle(engine.make_optimizer())).collect();
+        (0..engine.config.num_clients).map(|_| RClient::idle()).collect();
 
     // Federator round state.
     let mut reports: HashMap<usize, ProfileReport> = HashMap::new();
@@ -164,14 +211,13 @@ pub(crate) fn simulate_round(
     let mut updates: Vec<UpdateArrival> = Vec::new();
     let mut offload_results: Vec<OffloadResultArrival> = Vec::new();
     let mut offloads_activated: Vec<(usize, usize)> = Vec::new();
-    let mut losses: Vec<f32> = Vec::new();
 
-    // Kick off: ship the global model to every participant.
+    // Kick off: ship the global model to every participant. Weight
+    // payloads never ride the event stage (wire sizes are explicit), so
+    // even real-mode messages carry `None` here; the execution stage
+    // attaches the tensors afterwards.
     for &p in participants {
-        let msg = Message::StartRound {
-            round,
-            weights: (mode == Mode::Real).then(|| engine.global.clone()),
-        };
+        let msg = Message::StartRound { round, weights: None };
         let size = msg.wire_size(engine.full_model_bytes, engine.feature_bytes);
         if let Delivery::After(d) = engine.network.send(NodeId::FEDERATOR, node(p), size) {
             queue.push(start + d, Ev::Deliver(Dest::Client(p), msg));
@@ -191,17 +237,12 @@ pub(crate) fn simulate_round(
 
     while let Some((now, ev)) = queue.pop() {
         match ev {
-            Ev::Deliver(Dest::Client(c), Message::StartRound { round: r, weights }) => {
+            Ev::Deliver(Dest::Client(c), Message::StartRound { round: r, .. }) => {
                 if r != round {
                     continue; // stale start (cannot happen without faults)
                 }
                 let rc = &mut rclients[c];
                 rc.active = true;
-                if mode == Mode::Real {
-                    let mut model = engine.template.clone();
-                    model.set_weights(weights.as_ref().expect("real mode carries weights"))?;
-                    rc.model = Some(model);
-                }
                 if profile_window > 0 {
                     rc.profiler = Some(OnlineProfiler::new(profile_window));
                 }
@@ -209,17 +250,6 @@ pub(crate) fn simulate_round(
             }
 
             Ev::BatchDone(c) => {
-                // Real gradient work (virtual cost already charged by the
-                // event's timestamp).
-                if mode == Mode::Real {
-                    let (x, y) = engine.clients[c].batcher.next_batch(&engine.train);
-                    let rc = &mut rclients[c];
-                    let model = rc.model.as_mut().expect("active client has a model");
-                    let stats = model
-                        .train_batch(&x, &y, &mut rc.opt)
-                        .expect("batch matches model input shape");
-                    losses.push(stats.loss);
-                }
                 let rc = &mut rclients[c];
                 rc.batches_done += 1;
 
@@ -248,7 +278,6 @@ pub(crate) fn simulate_round(
 
                 if rc.batches_done >= local_updates {
                     rc.own_done = true;
-                    let weights = rc.model.as_ref().map(|m| m.weights());
                     send!(
                         now,
                         node(c),
@@ -257,7 +286,7 @@ pub(crate) fn simulate_round(
                         Message::ClientUpdate {
                             round,
                             client: c,
-                            weights,
+                            weights: None,
                             num_samples: engine.clients[c].shard_len,
                             tau: rc.batches_done,
                         }
@@ -333,17 +362,14 @@ pub(crate) fn simulate_round(
                     continue; // too late to benefit from freezing
                 }
                 rc.frozen = true;
-                let weights = rc.model.as_mut().map(|m| {
-                    m.freeze_features();
-                    m.weights()
-                });
+                rc.frozen_at = Some(rc.batches_done);
                 offloads_activated.push((c, signed.assignment.receiver));
                 send!(
                     now,
                     node(c),
                     node(signed.assignment.receiver),
                     Dest::Client(signed.assignment.receiver),
-                    Message::OffloadModel { round, from: c, weights }
+                    Message::OffloadModel { round, from: c, weights: None }
                 );
             }
 
@@ -359,49 +385,29 @@ pub(crate) fn simulate_round(
                 }
             }
 
-            Ev::Deliver(Dest::Client(c), Message::OffloadModel { round: r, from, weights }) => {
+            Ev::Deliver(Dest::Client(c), Message::OffloadModel { round: r, from, .. }) => {
                 if r != round {
                     continue;
                 }
-                let model = match (mode, weights) {
-                    (Mode::Real, Some(w_in)) => {
-                        let mut m = engine.template.clone();
-                        m.set_weights(&w_in)?;
-                        // Train only the feature section on the receiver's
-                        // data; the straggler's classifier stays fixed.
-                        m.freeze_classifier();
-                        Some(m)
-                    }
-                    _ => None,
-                };
-                rclients[c].offload_model = Some((from, model));
+                rclients[c].offload_from = Some(from);
                 if can_start_offload(&rclients[c]) {
                     start_offload(&mut rclients[c], &mut queue, engine, c, now);
                 }
             }
 
             Ev::OffloadBatchDone(c) => {
-                if mode == Mode::Real {
-                    let (x, y) = engine.clients[c].batcher.next_batch(&engine.train);
-                    let rc = &mut rclients[c];
-                    let (_, model) = rc.offload_model.as_mut().expect("offload in progress");
-                    let model = model.as_mut().expect("real mode offload model");
-                    model
-                        .train_batch(&x, &y, &mut rc.opt)
-                        .expect("offload batch matches model input shape");
-                }
                 let rc = &mut rclients[c];
+                rc.offload_batches_run += 1;
                 rc.offload_remaining -= 1;
                 if rc.offload_remaining == 0 {
                     rc.offload_running = false;
-                    let (weak, model) = rc.offload_model.take().expect("offload in progress");
-                    let features = model.map(|m| m.feature_weights());
+                    let weak = rc.offload_from.expect("offload in progress");
                     send!(
                         now,
                         node(c),
                         NodeId::FEDERATOR,
                         Dest::Federator,
-                        Message::OffloadedResult { round, weak, features }
+                        Message::OffloadedResult { round, weak, features: None }
                     );
                 } else {
                     queue.push(now + engine.clients[c].feature_batch(), Ev::OffloadBatchDone(c));
@@ -432,6 +438,31 @@ pub(crate) fn simulate_round(
             }
         }
     }
+
+    // The event trace is complete: derive every client's numeric workload
+    // and (real mode) execute it, possibly in parallel.
+    let losses = if mode == Mode::Real {
+        let mut plans: Vec<ClientPlan> = rclients
+            .iter()
+            .map(|rc| ClientPlan {
+                own_batches: rc.batches_done,
+                freeze_after: rc.frozen_at,
+                snapshot_wanted: false,
+                offload: rc
+                    .offload_from
+                    .filter(|_| rc.offload_batches_run > 0)
+                    .map(|weak| OffloadPlan { weak, batches: rc.offload_batches_run }),
+            })
+            .collect();
+        for c in 0..plans.len() {
+            if let Some(offload) = plans[c].offload {
+                plans[offload.weak].snapshot_wanted = true;
+            }
+        }
+        execute_plans(engine, participants, &plans, &mut updates, &mut offload_results)?
+    } else {
+        Vec::new()
+    };
 
     // Round duration: from the start of the round to the last message the
     // federator waits for (§2.4), capped by the strategy's deadline.
@@ -464,12 +495,170 @@ pub(crate) fn simulate_round(
     })
 }
 
+/// One client's slice of the execution stage: exclusive access to its
+/// persistent node state plus everything its plan produces.
+struct ClientTask<'a> {
+    id: usize,
+    node: &'a mut ClientNode,
+    plan: ClientPlan,
+    opt: Sgd,
+    final_weights: Option<Vec<Tensor>>,
+    snapshot: Option<Vec<Tensor>>,
+    offload_features: Option<Vec<Tensor>>,
+    losses: Vec<f32>,
+    error: Option<NnError>,
+}
+
+/// Runs `f` over the tasks honouring the `parallelism` knob: `1` stays on
+/// the calling thread (and never touches the pool), anything else fans
+/// out on the global pool with at most `parallelism` concurrent tasks
+/// (`0` = one task per client).
+fn run_tasks(
+    tasks: &mut [ClientTask<'_>],
+    parallelism: usize,
+    f: impl Fn(&mut ClientTask<'_>) + Sync,
+) {
+    if parallelism == 1 {
+        for task in tasks {
+            f(task);
+        }
+    } else {
+        aergia_runtime::par_for_each_mut(tasks, parallelism, f);
+    }
+}
+
+/// Executes the round's numeric training per the recorded plans and
+/// attaches the resulting tensors to the federator's arrivals.
+///
+/// Stage 1 trains every participant's own batches concurrently (capturing
+/// the frozen snapshot where a receiver needs it); stage 2 — after a
+/// barrier, because receivers consume stage-1 snapshots — trains the
+/// offloaded feature sections. Within one client the batcher/optimizer
+/// order (own batches, then offloaded batches) matches the virtual event
+/// order exactly, so results are independent of the parallelism setting.
+fn execute_plans(
+    engine: &mut Engine,
+    participants: &[usize],
+    plans: &[ClientPlan],
+    updates: &mut [UpdateArrival],
+    offload_results: &mut [OffloadResultArrival],
+) -> Result<Vec<f32>, EngineError> {
+    // Optimizers must be built before `engine.clients` is mutably split.
+    let opts: Vec<Sgd> = participants.iter().map(|_| engine.make_optimizer()).collect();
+    let parallelism = engine.config.parallelism;
+    let template = &engine.template;
+    let global = &engine.global;
+    let train = &engine.train;
+
+    let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
+    let mut tasks: Vec<ClientTask<'_>> = participants
+        .iter()
+        .zip(opts)
+        .filter(|(&p, _)| plans[p].own_batches > 0)
+        .map(|(&p, opt)| ClientTask {
+            id: p,
+            node: slots[p].take().expect("participant ids are unique"),
+            plan: plans[p],
+            opt,
+            final_weights: None,
+            snapshot: None,
+            offload_features: None,
+            losses: Vec::new(),
+            error: None,
+        })
+        .collect();
+
+    // Stage 1: every client's own local training.
+    run_tasks(&mut tasks, parallelism, |task| {
+        let mut model = template.clone();
+        if let Err(e) = model.set_weights(global) {
+            task.error = Some(e);
+            return;
+        }
+        for batch in 0..task.plan.own_batches {
+            if task.plan.freeze_after == Some(batch) {
+                model.freeze_features();
+                if task.plan.snapshot_wanted {
+                    task.snapshot = Some(model.weights());
+                }
+            }
+            let (x, y) = task.node.batcher.next_batch(train);
+            match model.train_batch(&x, &y, &mut task.opt) {
+                Ok(stats) => task.losses.push(stats.loss),
+                Err(e) => {
+                    task.error = Some(e);
+                    return;
+                }
+            }
+        }
+        task.final_weights = Some(model.weights());
+    });
+
+    // Stage 2: offloaded feature training on the receivers (barrier: the
+    // straggler snapshots come out of stage 1).
+    let snapshots: HashMap<usize, Vec<Tensor>> =
+        tasks.iter_mut().filter_map(|t| t.snapshot.take().map(|s| (t.id, s))).collect();
+    run_tasks(&mut tasks, parallelism, |task| {
+        if task.error.is_some() {
+            return;
+        }
+        let Some(offload) = task.plan.offload else { return };
+        let snapshot = snapshots
+            .get(&offload.weak)
+            .expect("offload causality: the straggler froze and snapshotted in stage 1");
+        let mut model = template.clone();
+        if let Err(e) = model.set_weights(snapshot) {
+            task.error = Some(e);
+            return;
+        }
+        // Train only the feature section on the receiver's data; the
+        // straggler's classifier stays fixed (§4.1).
+        model.freeze_classifier();
+        for _ in 0..offload.batches {
+            let (x, y) = task.node.batcher.next_batch(train);
+            if let Err(e) = model.train_batch(&x, &y, &mut task.opt) {
+                task.error = Some(e);
+                return;
+            }
+        }
+        task.offload_features = Some(model.feature_weights());
+    });
+
+    // Fold results in participant order — fixed, whatever the pool did.
+    let mut losses = Vec::new();
+    let mut final_weights: HashMap<usize, Vec<Tensor>> = HashMap::new();
+    let mut features: HashMap<usize, Vec<Tensor>> = HashMap::new();
+    for task in &mut tasks {
+        if let Some(e) = task.error.take() {
+            return Err(e.into());
+        }
+        losses.append(&mut task.losses);
+        if let Some(weights) = task.final_weights.take() {
+            final_weights.insert(task.id, weights);
+        }
+        if let (Some(feat), Some(offload)) = (task.offload_features.take(), task.plan.offload) {
+            features.insert(offload.weak, feat);
+        }
+    }
+
+    for update in updates.iter_mut() {
+        update.weights = Some(
+            final_weights.remove(&update.client).expect("every update sender trained this round"),
+        );
+    }
+    for result in offload_results.iter_mut() {
+        result.features =
+            Some(features.remove(&result.weak).expect("every offload result was trained"));
+    }
+    Ok(losses)
+}
+
 fn can_start_offload(rc: &RClient) -> bool {
     rc.own_done
         && !rc.offload_running
         && rc.offload_remaining > 0
         && rc.notice.is_some()
-        && rc.offload_model.is_some()
+        && rc.offload_from.is_some()
 }
 
 fn start_offload(

@@ -98,10 +98,68 @@ impl OffloadSchedule {
 /// Algorithm 2, unimodal form: the optimal number of offloaded batches
 /// between straggler `a` and receiver `b`.
 ///
-/// Scans `d = 1..=min(ra, rb)` and stops as soon as the cost rises,
-/// returning `(best_ct, best_d)`. Returns `(∞, 0)` when either side has no
-/// remaining updates.
+/// Semantically identical to [`calc_op_reference`] — scan `d = 1..=min(ra,
+/// rb)` and stop as soon as the cost rises — but instead of walking from
+/// `d = 1` it jumps to just below the crossing of the falling sender line
+/// `(r_a − d)·t_a` and the rising receiver line `r_b·t_b + d·x_b` and scans
+/// the last few candidates from there, making the common case O(1) instead
+/// of O(min(ra, rb)). The scan before the jump point is provably
+/// non-increasing (`d < θ − 1` keeps the falling branch strictly dominant
+/// by more than one `t_a + x_b` step, far above f32/f64 rounding), so the
+/// two functions return bit-identical `(ct, d)` — a property test sweeps
+/// random inputs against the reference.
+///
+/// Returns `(∞, 0)` when either side has no remaining updates.
 pub fn calc_op(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32) {
+    calc_op_from_base(ta, xb, ra, rb, f64::from(rb) * tb)
+}
+
+/// [`calc_op`] with the receiver's fixed base load `r_b·t_b` precomputed —
+/// [`schedule`] hoists that product out of its sender × receiver loop.
+fn calc_op_from_base(ta: f64, xb: f64, ra: u32, rb: u32, base: f64) -> (f64, u32) {
+    let dmax = ra.min(rb);
+    if dmax == 0 {
+        return (f64::INFINITY, 0);
+    }
+    // Exactly the reference recurrence; `base` replaces `rb·tb`.
+    let cost = |d: u32| (f64::from(ra - d) * ta).max(base + f64::from(d) * xb);
+
+    // First d where the cost can start rising: the crossing point of the
+    // two branches, θ = (ra·ta − base − xb)/(ta + xb). Two steps of slack
+    // absorb floating-point error in θ itself; the subsequent scan uses
+    // the exact reference arithmetic, so the early start never changes
+    // the result, only skips provably non-increasing prefix work.
+    let denominator = ta + xb;
+    let mut d = 1u32;
+    let mut ct = f64::INFINITY;
+    let mut best_d = 0u32;
+    if denominator > 0.0 && denominator.is_finite() {
+        let theta = (f64::from(ra) * ta - base - xb) / denominator;
+        if theta.is_finite() && theta >= 3.0 {
+            // f64-to-u32 casts saturate, so huge θ clamps to dmax.
+            let start = ((theta as u32).saturating_sub(2)).min(dmax);
+            if start > 1 {
+                d = start;
+                best_d = start - 1;
+                ct = cost(start - 1);
+            }
+        }
+    }
+    while d <= dmax {
+        let current = cost(d);
+        if current > ct {
+            return (ct, best_d);
+        }
+        ct = current;
+        best_d = d;
+        d += 1;
+    }
+    (ct, best_d)
+}
+
+/// The original linear-scan form of [`calc_op`], kept as the oracle for
+/// the jump-start optimisation (and for the ablation benches' baseline).
+pub fn calc_op_reference(ta: f64, tb: f64, xb: f64, ra: u32, rb: u32) -> (f64, u32) {
     let mut ct = f64::INFINITY;
     let mut best_d = 0u32;
     for d in 1..=ra.min(rb) {
@@ -180,28 +238,50 @@ pub fn schedule(
         a.estimated_completion().total_cmp(&b.estimated_completion()).then(a.id.cmp(&b.id))
     });
 
+    // Every per-receiver quantity the matching loop needs — including the
+    // running base load `r_b·t_b` that `calc_op` compares against — is
+    // derived once here instead of once per (sender, receiver) pair. With
+    // the jump-start `calc_op` the greedy match is O(senders × receivers)
+    // instead of the previous O(senders × receivers × remaining).
+    struct Receiver {
+        id: usize,
+        full_batch: f64,
+        feature_only: f64,
+        remaining: u32,
+        base_load: f64,
+        used: bool,
+    }
+    let mut receivers: Vec<Receiver> = receiving
+        .iter()
+        .map(|r| Receiver {
+            id: r.id,
+            full_batch: r.full_batch(),
+            feature_only: r.feature_only,
+            remaining: r.remaining,
+            base_load: f64::from(r.remaining) * r.full_batch(),
+            used: false,
+        })
+        .collect();
+
     let mut assignments = Vec::new();
     let mut unmatched = Vec::new();
 
     for sender in &sending {
-        if receiving.is_empty() {
-            unmatched.push(sender.id);
-            continue;
-        }
+        let sender_full = sender.full_batch();
         let mut selected: Option<(usize, Assignment)> = None;
         let mut best_cost = f64::INFINITY;
-        for (slot, receiver) in receiving.iter().enumerate() {
+        for (slot, receiver) in receivers.iter().enumerate().filter(|(_, r)| !r.used) {
             let (ct, d) = match variant {
-                OpVariant::Unimodal => calc_op(
-                    sender.full_batch(),
-                    receiver.full_batch(),
+                OpVariant::Unimodal => calc_op_from_base(
+                    sender_full,
                     receiver.feature_only,
                     sender.remaining,
                     receiver.remaining,
+                    receiver.base_load,
                 ),
                 OpVariant::Printed => calc_op_printed(
-                    sender.full_batch(),
-                    receiver.full_batch(),
+                    sender_full,
+                    receiver.full_batch,
                     receiver.feature_only,
                     sender.remaining,
                     receiver.remaining,
@@ -229,7 +309,7 @@ pub fn schedule(
         match selected {
             Some((slot, assignment)) => {
                 // Line 29: a strong client serves at most one straggler.
-                receiving.remove(slot);
+                receivers[slot].used = true;
                 assignments.push(assignment);
             }
             None => unmatched.push(sender.id),
@@ -268,6 +348,61 @@ mod tests {
     fn calc_op_zero_updates_is_infinite() {
         assert_eq!(calc_op(1.0, 1.0, 0.5, 0, 10), (f64::INFINITY, 0));
         assert_eq!(calc_op(1.0, 1.0, 0.5, 10, 0), (f64::INFINITY, 0));
+        assert_eq!(calc_op_reference(1.0, 1.0, 0.5, 0, 10), (f64::INFINITY, 0));
+    }
+
+    /// The jump-start `calc_op` must return *bit-identical* `(ct, d)` to
+    /// the linear-scan reference: a seeded sweep over magnitudes from
+    /// degenerate (zero costs) to paper-scale (1600 remaining updates).
+    #[test]
+    fn calc_op_matches_reference_on_random_sweep() {
+        use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x0ca1c);
+        for case in 0..20_000 {
+            let scale = 10f64.powi(rng.random_range(-6..7));
+            let ta = rng.random_range(0.0..scale);
+            let tb = rng.random_range(0.0..scale);
+            // xb spans "free" (0) through "dearer than a full batch".
+            let xb = match case % 4 {
+                0 => 0.0,
+                1 => rng.random_range(0.0..1e-9) * scale,
+                _ => rng.random_range(0.0..1.5) * ta.max(tb),
+            };
+            let ra = rng.random_range(0u32..2000);
+            let rb = rng.random_range(0u32..2000);
+            let fast = calc_op(ta, tb, xb, ra, rb);
+            let slow = calc_op_reference(ta, tb, xb, ra, rb);
+            assert_eq!(
+                fast.0.to_bits(),
+                slow.0.to_bits(),
+                "ct diverged for ta={ta:e} tb={tb:e} xb={xb:e} ra={ra} rb={rb}"
+            );
+            assert_eq!(
+                fast.1, slow.1,
+                "d diverged for ta={ta:e} tb={tb:e} xb={xb:e} ra={ra} rb={rb}"
+            );
+        }
+    }
+
+    #[test]
+    fn calc_op_matches_reference_on_adversarial_corners() {
+        for (ta, tb, xb, ra, rb) in [
+            (0.0, 0.0, 0.0, 50, 50),
+            (1.0, 0.0, 0.0, 1000, 1000),
+            (0.0, 1.0, 0.5, 100, 3),
+            (2.0, 0.5, 0.4, 10, 10),
+            (1e-300, 1.0, 1e-300, 1999, 1999),
+            (1e300, 1e300, 1e300, 2000, 2000),
+            (1.0, 1.0, f64::MIN_POSITIVE, 500, 500),
+            (5.0, 0.1, 0.1, 1, 1),
+            (5.0, 0.1, 0.1, 2, 1600),
+        ] {
+            assert_eq!(
+                calc_op(ta, tb, xb, ra, rb),
+                calc_op_reference(ta, tb, xb, ra, rb),
+                "corner ta={ta:e} tb={tb:e} xb={xb:e} ra={ra} rb={rb}"
+            );
+        }
     }
 
     #[test]

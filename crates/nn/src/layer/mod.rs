@@ -31,8 +31,10 @@ use aergia_tensor::Tensor;
 /// accumulate across `backward` calls until [`Layer::zero_grads`].
 ///
 /// The trait is object-safe: models store `Box<dyn Layer>` and clone them
-/// through [`Layer::clone_box`].
-pub trait Layer: fmt::Debug + Send {
+/// through [`Layer::clone_box`]. Layers are plain owned data (`Send +
+/// Sync`), so a model template can be shared immutably across the
+/// parallel-round worker threads and cloned per client.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Computes the layer output, caching state needed by `backward`.
     fn forward(&mut self, x: &Tensor) -> Tensor;
 

@@ -1,0 +1,570 @@
+//! Work-stealing scoped thread pool for the Aergia workspace.
+//!
+//! The build containers are offline, so this crate is the vendored stand-in
+//! for [rayon](https://docs.rs/rayon): it implements the small API subset the
+//! workspace needs — [`scope`]/[`Scope::spawn`], [`join`] and the slice
+//! helpers [`ThreadPool::par_chunks_mut`] / [`ThreadPool::par_for_each_mut`]
+//! — with compatible semantics, so `[workspace.dependencies]` stays the swap
+//! point for the real crate.
+//!
+//! # Design
+//!
+//! Each worker owns a deque: it pushes and pops its own work LIFO (hot
+//! caches for nested spawns) and steals FIFO from the shared injector or
+//! from other workers when its deque runs dry. Threads that *wait* on a
+//! scope — including pool workers executing a task that opened a nested
+//! scope, e.g. a parallel matmul inside a parallel client round — do not
+//! block: they keep executing queued jobs until their own latch opens, so
+//! nested parallelism cannot deadlock the pool.
+//!
+//! # Determinism
+//!
+//! The pool schedules *where* and *when* independent jobs run, never *what*
+//! they compute: every helper hands each job a disjoint slice of the data
+//! with an index derived from the input order. Callers that keep jobs free
+//! of shared mutable state (all workspace callers do) therefore get results
+//! that are bit-identical across pool sizes, including the single-threaded
+//! inline pool.
+//!
+//! # Sizing
+//!
+//! [`ThreadPool::global`] sizes itself from `AERGIA_THREADS` when set and
+//! from [`std::thread::available_parallelism`] otherwise. A size of 1 spawns
+//! no workers at all: every operation degenerates to an inline loop on the
+//! calling thread.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+thread_local! {
+    /// `(pool identity, worker index)` when this thread is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Queues shared between the workers, the spawners and the helpers.
+struct Shared {
+    /// Jobs pushed from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: owner pops LIFO, thieves steal FIFO.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards the sleep/wake protocol (never held while running a job).
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// The current thread's worker index *in this pool*, if any.
+    fn own_index(self: &Arc<Self>) -> Option<usize> {
+        WORKER.with(Cell::get).filter(|&(pool, _)| pool == self.id()).map(|(_, i)| i)
+    }
+
+    fn push(self: &Arc<Self>, job: Job) {
+        match self.own_index() {
+            Some(i) => self.locals[i].lock().expect("local deque").push_back(job),
+            None => self.injector.lock().expect("injector").push_back(job),
+        }
+        // Serialise with a sleeper's "scan, then wait" sequence: acquiring
+        // the sleep lock here means any worker that scanned before this
+        // push is either already waiting (the notify lands) or will re-scan
+        // under the lock and see the job.
+        drop(self.sleep.lock().expect("sleep lock"));
+        self.wake.notify_one();
+    }
+
+    /// Pops the next job: own deque first (LIFO), then the injector, then a
+    /// steal sweep over the other workers (FIFO).
+    fn find_job(&self, own: Option<usize>) -> Option<Job> {
+        if let Some(i) = own {
+            if let Some(job) = self.locals[i].lock().expect("local deque").pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("injector").pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        let start = own.map_or(0, |i| i + 1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == own {
+                continue;
+            }
+            if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        !self.injector.lock().expect("injector").is_empty()
+            || self.locals.iter().any(|q| !q.lock().expect("local deque").is_empty())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((shared.id(), index))));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.sleep.lock().expect("sleep lock");
+        if shared.has_work() || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        // The timeout is a belt-and-braces liveness backstop; the paired
+        // lock in `push` already prevents the classic missed wake-up.
+        let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
+    }
+}
+
+/// Counts outstanding jobs of one scope and wakes its waiter.
+struct Latch {
+    count: Mutex<usize>,
+    open: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch { count: Mutex::new(0), open: Condvar::new() })
+    }
+
+    fn add_one(&self) {
+        *self.count.lock().expect("latch") += 1;
+    }
+
+    fn done_one(&self) {
+        let mut count = self.count.lock().expect("latch");
+        *count -= 1;
+        if *count == 0 {
+            self.open.notify_all();
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        *self.count.lock().expect("latch") == 0
+    }
+
+    fn wait_briefly(&self) {
+        let count = self.count.lock().expect("latch");
+        if *count > 0 {
+            let _ = self.open.wait_timeout(count, Duration::from_millis(1));
+        }
+    }
+}
+
+/// A work-stealing thread pool.
+///
+/// Construct explicitly with [`ThreadPool::new`] (tests, custom sizing) or
+/// use the process-wide [`ThreadPool::global`].
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` workers. `threads <= 1` creates an
+    /// *inline* pool: no threads are spawned and every spawn runs
+    /// immediately on the caller.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let worker_count = if threads <= 1 { 0 } else { threads };
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..worker_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aergia-rt-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers, threads: threads.max(1) }
+    }
+
+    /// The process-wide pool, created on first use. Sized by the
+    /// `AERGIA_THREADS` environment variable when set (and ≥ 1), otherwise
+    /// by [`std::thread::available_parallelism`].
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// The pool's parallelism (1 for an inline pool).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn is_inline(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs `op` with a [`Scope`] on which tasks borrowing local state can
+    /// be spawned; returns only after every spawned task has completed.
+    ///
+    /// # Panics
+    ///
+    /// If `op` or any spawned task panics, the panic is resumed on the
+    /// caller after all tasks have finished (the first task payload wins).
+    pub fn scope<'scope, R>(&'scope self, op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            latch: Latch::new(),
+            panic: Arc::new(Mutex::new(None)),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Wait (helping with queued work) even when `op` panicked: spawned
+        // jobs hold borrows into the caller's stack and must finish first.
+        self.wait_help(&scope.latch);
+        if let Some(payload) = scope.panic.lock().expect("panic slot").take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Executes queued jobs until `latch` opens: waiters are extra workers,
+    /// which is what makes nested scopes deadlock-free.
+    fn wait_help(&self, latch: &Arc<Latch>) {
+        if self.is_inline() {
+            return;
+        }
+        let own = self.shared.own_index();
+        while !latch.is_open() {
+            match self.shared.find_job(own) {
+                Some(job) => job(),
+                None => latch.wait_briefly(),
+            }
+        }
+    }
+
+    /// Splits `data` into chunks of `chunk_len` elements and runs
+    /// `f(chunk_index, chunk)` for each, in parallel. Chunk boundaries
+    /// depend only on `chunk_len`, never on the pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero, or propagates the first panic raised
+    /// inside `f`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+        if self.is_inline() || data.len() <= chunk_len {
+            for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(index, chunk);
+            }
+            return;
+        }
+        let f = &f;
+        self.scope(|s| {
+            for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                s.spawn(move || f(index, chunk));
+            }
+        });
+    }
+
+    /// Runs `f` on every item, in parallel, using at most `max_tasks`
+    /// concurrent tasks (`0` = one task per item). Items are grouped into
+    /// contiguous runs, so outputs are independent of the pool size.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn par_for_each_mut<T, F>(&self, items: &mut [T], max_tasks: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let tasks = if max_tasks == 0 { items.len() } else { max_tasks.min(items.len()) };
+        if tasks <= 1 || self.is_inline() {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let group = items.len().div_ceil(tasks);
+        let f = &f;
+        self.scope(|s| {
+            for chunk in items.chunks_mut(group) {
+                s.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.sleep.lock().expect("sleep lock"));
+        self.wake_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ThreadPool {
+    fn wake_all(&self) {
+        self.shared.wake.notify_all();
+    }
+}
+
+/// A spawn handle tied to one [`ThreadPool::scope`] invocation.
+///
+/// Mirrors `rayon::Scope`: tasks may borrow anything that outlives the
+/// `scope` call.
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    latch: Arc<Latch>,
+    panic: Arc<Mutex<Option<PanicPayload>>>,
+    /// Invariant over `'scope` and `!Sync`, like `std::thread::Scope`.
+    _marker: PhantomData<Cell<&'scope mut &'scope ()>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. On an inline pool, runs it immediately.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.pool.is_inline() {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                self.panic.lock().expect("panic slot").get_or_insert(payload);
+            }
+            return;
+        }
+        self.latch.add_one();
+        let latch = Arc::clone(&self.latch);
+        let panic_slot = Arc::clone(&self.panic);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = panic_slot.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            latch.done_one();
+        });
+        // SAFETY: `ThreadPool::scope` blocks on the latch until this job has
+        // run to completion, so every `'scope` borrow captured by the job
+        // strictly outlives its execution; erasing the lifetime is sound.
+        let job: Job = unsafe {
+            mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        self.pool.shared.push(job);
+    }
+}
+
+fn default_threads() -> usize {
+    match std::env::var("AERGIA_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// [`ThreadPool::scope`] on the global pool.
+pub fn scope<'scope, R>(op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    ThreadPool::global().scope(op)
+}
+
+/// The global pool's parallelism (1 when parallelism is unavailable or
+/// disabled via `AERGIA_THREADS=1`).
+#[must_use]
+pub fn parallelism() -> usize {
+    ThreadPool::global().threads()
+}
+
+/// [`ThreadPool::par_chunks_mut`] on the global pool.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    ThreadPool::global().par_chunks_mut(data, chunk_len, f);
+}
+
+/// [`ThreadPool::par_for_each_mut`] on the global pool.
+pub fn par_for_each_mut<T, F>(items: &mut [T], max_tasks: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    ThreadPool::global().par_for_each_mut(items, max_tasks, f);
+}
+
+/// Runs both closures, potentially in parallel, and returns both results
+/// (`a` runs on the caller, `b` may be stolen) — rayon's `join`.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let mut result_a = None;
+    let mut result_b = None;
+    ThreadPool::global().scope(|s| {
+        let slot_b = &mut result_b;
+        s.spawn(move || *slot_b = Some(b()));
+        result_a = Some(a());
+    });
+    (result_a.expect("join: a ran"), result_b.expect("join: b ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scoped_tasks_borrow_and_mutate_local_state() {
+        let pool = ThreadPool::new(4);
+        let mut values = vec![0u64; 100];
+        pool.scope(|s| {
+            for (i, v) in values.iter_mut().enumerate() {
+                s.spawn(move || *v = (i as u64) * 3);
+            }
+        });
+        assert!(values.iter().enumerate().all(|(i, &v)| v == (i as u64) * 3));
+    }
+
+    #[test]
+    fn inline_pool_produces_identical_results() {
+        let compute = |pool: &ThreadPool| {
+            let mut out = vec![0.0f32; 257];
+            pool.par_chunks_mut(&mut out, 16, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ((ci * 16 + j) as f32).sqrt();
+                }
+            });
+            out
+        };
+        assert_eq!(compute(&ThreadPool::new(1)), compute(&ThreadPool::new(4)));
+    }
+
+    #[test]
+    fn work_actually_distributes_across_threads() {
+        let pool = ThreadPool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            }
+        });
+        assert!(ids.lock().unwrap().len() >= 2, "all 16 sleeps ran on one thread");
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // The engine's shape: parallel clients, each running parallel
+        // matmul tiles. More outer tasks than workers forces helping.
+        let pool = ThreadPool::new(2);
+        let mut totals = vec![0usize; 8];
+        pool.par_for_each_mut(&mut totals, 0, |slot| {
+            let mut inner = vec![1usize; 64];
+            pool.par_chunks_mut(&mut inner, 8, |ci, chunk| {
+                for x in chunk {
+                    *x += ci;
+                }
+            });
+            *slot = inner.iter().sum();
+        });
+        let expected: usize = (0..8).map(|ci| 8 * (1 + ci)).sum();
+        assert!(totals.iter().all(|&t| t == expected));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_caller() {
+        let pool = ThreadPool::new(2);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom in task"));
+                s.spawn(|| std::thread::sleep(Duration::from_millis(5)));
+            });
+        }));
+        let payload = caught.expect_err("scope must re-raise the task panic");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "boom in task");
+    }
+
+    #[test]
+    fn par_for_each_mut_respects_the_task_cap() {
+        let pool = ThreadPool::new(4);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let mut items = vec![0u8; 12];
+        pool.par_for_each_mut(&mut items, 2, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap of 2 concurrent tasks exceeded");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "right".len());
+        assert_eq!((a, b), (42, 5));
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = ThreadPool::new(3);
+        let mut hits = [false; 32];
+        pool.scope(|s| {
+            for hit in hits.iter_mut() {
+                s.spawn(move || *hit = true);
+            }
+        });
+        drop(pool);
+        assert!(hits.iter().all(|&h| h));
+    }
+}

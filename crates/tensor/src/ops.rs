@@ -1,11 +1,62 @@
 //! Matrix operations: multiplication, transposition, bias broadcast.
 //!
 //! These free functions implement the handful of dense linear-algebra
-//! primitives the network stack needs. `matmul` is a straightforward
-//! `i-k-j` loop ordering (unit-stride inner loop over the output row) which
-//! is cache-friendly enough for the layer sizes used in the paper's models.
+//! primitives the network stack needs. The three matmul variants are
+//! blocked/tiled kernels: the output is cut into row tiles of
+//! `TILE_ROWS` rows which execute in parallel on the
+//! [`aergia_runtime`] work-stealing pool once a product is worth
+//! threading (`PAR_FLOPS`), and `matmul` additionally walks the shared
+//! dimension in `K_BLOCK`-wide panels so the B-panel stays hot in cache
+//! while a whole row tile accumulates against it.
+//!
+//! # Determinism
+//!
+//! Tiling never reorders floating-point accumulation: for every output
+//! element the contributions along the shared dimension are added in
+//! ascending-`k` order, exactly as the reference kernels
+//! ([`matmul_reference`], [`matmul_nt_reference`], [`matmul_tn_reference`])
+//! do, and parallel tiles write disjoint output rows. The blocked kernels
+//! are therefore **bit-identical** to the references and to themselves at
+//! any thread count — the property the engine's serial-vs-parallel
+//! equivalence suite relies on (enforced by unit tests here and the
+//! property suite in `tests/proptests.rs`).
 
 use crate::{Tensor, TensorError};
+
+/// Output rows per parallel task: big enough to amortise a pool spawn,
+/// small enough that the paper's im2col matrices (thousands of patch rows)
+/// split into many tiles.
+const TILE_ROWS: usize = 64;
+
+/// Panel width along the shared dimension for `matmul`: `K_BLOCK` rows of
+/// `B` are streamed over a full row tile before moving on, keeping the
+/// panel in L1/L2 across the tile.
+const K_BLOCK: usize = 128;
+
+/// Multiply-accumulate count below which a product runs on the calling
+/// thread: at ~1 ns/flop the threshold (~260k) is a few hundred
+/// microseconds, comfortably above the pool's per-tile overhead.
+const PAR_FLOPS: usize = 1 << 18;
+
+/// Runs `kernel` over the output rows of an `m×n` matrix, tiling and
+/// parallelising when `flops` clears [`PAR_FLOPS`] and the global pool has
+/// workers. `kernel(first_row, rows)` must write only the rows it is
+/// handed; tile boundaries are fixed by [`TILE_ROWS`], so results never
+/// depend on the pool size.
+fn run_row_tiles(
+    out: &mut [f32],
+    n: usize,
+    flops: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if flops >= PAR_FLOPS && aergia_runtime::parallelism() > 1 {
+        aergia_runtime::par_chunks_mut(out, TILE_ROWS * n, |tile, rows| {
+            kernel(tile * TILE_ROWS, rows);
+        });
+    } else {
+        kernel(0, out);
+    }
+}
 
 fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorError> {
     let dims = t.dims();
@@ -34,6 +85,48 @@ fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorE
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = require_rank2("matmul", a)?;
+    let (kb, n) = require_rank2("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
+        // Panels of B (`K_BLOCK × n`) stream over the whole row tile; for a
+        // fixed output element the `k` order is still strictly ascending,
+        // so the accumulation matches `matmul_reference` bit for bit.
+        for k0 in (0..ka).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(ka);
+            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+                let arow = &ad[(first_row + r) * ka..(first_row + r + 1) * ka];
+                for (k, &aik) in arow[k0..k1].iter().enumerate().map(|(k, v)| (k0 + k, v)) {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[k * n..(k + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// The naive `i-k-j` matmul kept as the oracle for the blocked kernel
+/// (property tests assert exact equality on random shapes).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, ka) = require_rank2("matmul", a)?;
     let (kb, n) = require_rank2("matmul", b)?;
     if ka != kb {
@@ -84,6 +177,43 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let ad = a.data();
     let bd = b.data();
+    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
+        for k in 0..ka {
+            let arow = &ad[k * m..(k + 1) * m];
+            let brow = &bd[k * n..(k + 1) * n];
+            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+                let aki = arow[first_row + r];
+                if aki == 0.0 {
+                    continue;
+                }
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o += aki * bkj;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// The naive `k-i-j` transposed-A matmul kept as the oracle for the tiled
+/// kernel.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_tn`].
+pub fn matmul_tn_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ka, m) = require_rank2("matmul_tn", a)?;
+    let (kb, n) = require_rank2("matmul_tn", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
     let od = out.data_mut();
     for k in 0..ka {
         let arow = &ad[k * m..(k + 1) * m];
@@ -110,6 +240,44 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Same error conditions as [`matmul`], with the shared dimension being the
 /// *columns* of both operands.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = require_rank2("matmul_nt", a)?;
+    let (n, kb) = require_rank2("matmul_nt", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
+        // Each output element is one dot product accumulated in a single
+        // register over ascending `k` — blocking `k` here would split the
+        // accumulator and break bit-identity with the reference.
+        for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+            let arow = &ad[(first_row + r) * ka..(first_row + r + 1) * ka];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * ka..(j + 1) * ka];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// The naive row-dot-row transposed-B matmul kept as the oracle for the
+/// tiled kernel.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_nt`].
+pub fn matmul_nt_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, ka) = require_rank2("matmul_nt", a)?;
     let (n, kb) = require_rank2("matmul_nt", b)?;
     if ka != kb {
@@ -263,5 +431,65 @@ mod tests {
         let mut a = Tensor::zeros(&[3, 2]);
         let bias = Tensor::zeros(&[3]);
         assert!(add_bias_rows(&mut a, &bias).is_err());
+    }
+
+    fn random(dims: &[usize], seed: u64) -> Tensor {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        // A sprinkle of exact zeros exercises the skip-zero fast path.
+        let data = (0..n)
+            .map(|_| {
+                if rng.random_range(0.0..1.0) < 0.1 {
+                    0.0
+                } else {
+                    rng.random_range(-1.0f32..1.0)
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    /// The blocked kernels must match the naive references *bit for bit*
+    /// on shapes that straddle the tile and K-panel boundaries — this is
+    /// the contract the engine's serial-vs-parallel determinism rests on.
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_references() {
+        for (case, (m, k, n)) in
+            [(1, 1, 1), (3, 200, 5), (70, 130, 65), (129, 64, 33), (64, 128, 64)].iter().enumerate()
+        {
+            let a = random(&[*m, *k], 11 + case as u64);
+            let b = random(&[*k, *n], 23 + case as u64);
+            assert_eq!(
+                matmul(&a, &b).unwrap().data(),
+                matmul_reference(&a, &b).unwrap().data(),
+                "matmul {m}x{k}x{n}"
+            );
+
+            let at = random(&[*k, *m], 31 + case as u64);
+            assert_eq!(
+                matmul_tn(&at, &b).unwrap().data(),
+                matmul_tn_reference(&at, &b).unwrap().data(),
+                "matmul_tn {m}x{k}x{n}"
+            );
+
+            let bt = random(&[*n, *k], 47 + case as u64);
+            assert_eq!(
+                matmul_nt(&a, &bt).unwrap().data(),
+                matmul_nt_reference(&a, &bt).unwrap().data(),
+                "matmul_nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_kernels_validate_shapes_like_the_blocked_ones() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 6], &[2, 3]);
+        assert!(matches!(matmul_reference(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+        let c = t(vec![0.0; 8], &[4, 2]);
+        assert!(matches!(matmul_tn_reference(&a, &c), Err(TensorError::ShapeMismatch { .. })));
+        let d = t(vec![0.0; 8], &[2, 4]);
+        assert!(matches!(matmul_nt_reference(&a, &d), Err(TensorError::ShapeMismatch { .. })));
     }
 }

@@ -70,6 +70,46 @@ proptest! {
         prop_assert!(approx_eq(&nt, &nt_ref, EPS));
     }
 
+    /// The blocked/tiled kernels must be *bit-identical* to the naive
+    /// references on arbitrary shapes, including ones that straddle the
+    /// row-tile and K-panel boundaries: tiling reorders the loops but
+    /// never the per-element accumulation order. The engine's
+    /// serial-vs-parallel determinism guarantee stands on this.
+    #[test]
+    fn blocked_matmuls_match_references_exactly(
+        m in 1usize..96, k in 1usize..96, n in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    // Exact zeros exercise the skip-zero fast path.
+                    if rng.random_range(0.0..1.0) < 0.1 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        let a = Tensor::from_vec(fill(m * k), &[m, k]).unwrap();
+        let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+        prop_assert_eq!(
+            ops::matmul(&a, &b).unwrap(),
+            ops::matmul_reference(&a, &b).unwrap()
+        );
+
+        let at = Tensor::from_vec(fill(k * m), &[k, m]).unwrap();
+        prop_assert_eq!(
+            ops::matmul_tn(&at, &b).unwrap(),
+            ops::matmul_tn_reference(&at, &b).unwrap()
+        );
+
+        let bt = Tensor::from_vec(fill(n * k), &[n, k]).unwrap();
+        prop_assert_eq!(
+            ops::matmul_nt(&a, &bt).unwrap(),
+            ops::matmul_nt_reference(&a, &bt).unwrap()
+        );
+    }
+
     #[test]
     fn transpose_is_involutive(a in matrix(3, 5)) {
         let tt = ops::transpose(&ops::transpose(&a).unwrap()).unwrap();

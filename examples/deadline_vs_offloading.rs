@@ -10,31 +10,34 @@
 use aergia::config::{ExperimentConfig, Mode};
 use aergia::engine::Engine;
 use aergia::strategy::Strategy;
+use aergia_bench::{engine_parallelism, Scale};
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;
 use aergia_simnet::SimDuration;
 
 fn config() -> ExperimentConfig {
+    let smoke = Scale::from_env() == Scale::Smoke;
     // Two severe stragglers hold two rare classes each; losing them costs
     // accuracy, not just time.
     let speeds = vec![0.1, 0.12, 0.6, 0.7, 0.85, 1.0];
     ExperimentConfig {
         dataset: DataConfig {
             spec: DatasetSpec::MnistLike,
-            train_size: 480,
-            test_size: 160,
+            train_size: if smoke { 240 } else { 480 },
+            test_size: if smoke { 80 } else { 160 },
             seed: 17,
         },
         arch: ModelArch::MnistCnn,
         partition: Scheme::NonIid { classes_per_client: 2 },
         num_clients: speeds.len(),
         clients_per_round: speeds.len(),
-        rounds: 6,
-        local_updates: 12,
+        rounds: if smoke { 2 } else { 6 },
+        local_updates: if smoke { 6 } else { 12 },
         batch_size: 8,
         speeds,
         mode: Mode::Real,
+        parallelism: engine_parallelism(),
         seed: 29,
         ..ExperimentConfig::default()
     }

@@ -9,35 +9,39 @@
 use aergia::config::{ExperimentConfig, Mode};
 use aergia::engine::Engine;
 use aergia::strategy::Strategy;
+use aergia_bench::{engine_parallelism, Scale};
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;
 use aergia_simnet::cluster;
 
 fn config(speeds: &[f64]) -> ExperimentConfig {
+    let smoke = Scale::from_env() == Scale::Smoke;
     ExperimentConfig {
         dataset: DataConfig {
             spec: DatasetSpec::MnistLike,
-            train_size: 64 * speeds.len(),
-            test_size: 160,
+            train_size: if smoke { 40 } else { 64 } * speeds.len(),
+            test_size: if smoke { 80 } else { 160 },
             seed: 7,
         },
         arch: ModelArch::MnistCnn,
         partition: Scheme::Iid,
         num_clients: speeds.len(),
         clients_per_round: speeds.len(),
-        rounds: 5,
-        local_updates: 16,
+        rounds: if smoke { 2 } else { 5 },
+        local_updates: if smoke { 6 } else { 16 },
         batch_size: 8,
         speeds: speeds.to_vec(),
         mode: Mode::Real,
+        parallelism: engine_parallelism(),
         seed: 11,
         ..ExperimentConfig::default()
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let speeds = cluster::uniform_speeds(8, 0.1, 1.0, 23);
+    let clients = if Scale::from_env() == Scale::Smoke { 6 } else { 8 };
+    let speeds = cluster::uniform_speeds(clients, 0.1, 1.0, 23);
     println!(
         "cluster speeds: {:?}",
         speeds.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()

@@ -7,14 +7,18 @@
 //! ```
 
 use aergia::scheduler::{schedule, ClientPerf, OpVariant};
+use aergia_bench::Scale;
 use aergia_data::partition::{Partition, Scheme};
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_enclave::{establish_session, SimilarityEnclave};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A non-IID split: each of 6 clients owns 2 of the 10 classes.
+    // (AERGIA_SCALE=smoke shrinks the dataset for CI; the protocol and the
+    // matching conclusions are size-independent.)
+    let train_size = if Scale::from_env() == Scale::Smoke { 300 } else { 600 };
     let (train, _) =
-        DataConfig { spec: DatasetSpec::FmnistLike, train_size: 600, test_size: 10, seed: 3 }
+        DataConfig { spec: DatasetSpec::FmnistLike, train_size, test_size: 10, seed: 3 }
             .generate_pair();
     let partition = Partition::split(&train, 6, Scheme::NonIid { classes_per_client: 2 }, 5);
 

@@ -8,37 +8,42 @@
 use aergia::config::{ExperimentConfig, Mode};
 use aergia::engine::Engine;
 use aergia::strategy::Strategy;
+use aergia_bench::{engine_parallelism, Scale};
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Six clients with very different CPU shares — client 0 is a severe
-    // straggler, exactly the situation Aergia targets.
+    // straggler, exactly the situation Aergia targets. AERGIA_SCALE=smoke
+    // shrinks the run for CI; AERGIA_THREADS caps the parallel runtime.
+    let smoke = Scale::from_env() == Scale::Smoke;
     let speeds = vec![0.12, 0.3, 0.5, 0.7, 0.9, 1.0];
+    let rounds = if smoke { 2 } else { 6 };
 
     let config = ExperimentConfig {
         dataset: DataConfig {
             spec: DatasetSpec::FmnistLike,
-            train_size: 480,
-            test_size: 160,
+            train_size: if smoke { 240 } else { 480 },
+            test_size: if smoke { 80 } else { 160 },
             seed: 1,
         },
         arch: ModelArch::FmnistCnn,
         partition: Scheme::NonIid { classes_per_client: 3 },
         num_clients: speeds.len(),
         clients_per_round: speeds.len(),
-        rounds: 6,
-        local_updates: 16,
+        rounds,
+        local_updates: if smoke { 6 } else { 16 },
         batch_size: 8,
         speeds,
         mode: Mode::Real,
+        parallelism: engine_parallelism(),
         seed: 42,
         ..ExperimentConfig::default()
     };
 
     let mut engine = Engine::new(config, Strategy::aergia_default())?;
-    println!("running {} rounds of Aergia on 6 heterogeneous clients...", 6);
+    println!("running {rounds} rounds of Aergia on 6 heterogeneous clients...");
 
     let result = engine.run()?;
     println!();

@@ -1,0 +1,115 @@
+//! Serial vs parallel engine equivalence: the parallel execution runtime
+//! must change wall-clock only, never results.
+//!
+//! The engine executes each round as a virtual-time event plan followed by
+//! a numeric execution stage; the `parallelism` knob only decides how many
+//! clients' plans execute concurrently. These tests pin the contract: a
+//! fully parallel run (`parallelism = 0`, work-stealing pool) is
+//! **bit-identical** — losses, accuracies, durations, offload pairs and
+//! final weights — to a fully serial run (`parallelism = 1`) of the same
+//! configuration.
+//!
+//! The tests live in their own integration binary so they can size the
+//! global pool via `AERGIA_THREADS` before its first use, guaranteeing
+//! real worker threads even on single-core CI runners.
+
+use aergia::config::ExperimentConfig;
+use aergia::engine::Engine;
+use aergia::metrics::RunResult;
+use aergia::strategy::Strategy;
+use aergia_bench::{base_config, Scale};
+use aergia_data::DatasetSpec;
+use aergia_nn::models::ModelArch;
+
+/// Forces the lazily-built global pool to have real workers, even on a
+/// single-core runner where `available_parallelism` would report 1.
+///
+/// Every test calls this first, and the `Once` makes the single
+/// `set_var` a synchronization point: libtest's worker threads block
+/// here until the environment mutation is complete, so no thread ever
+/// reads `AERGIA_THREADS` while another mutates it (glibc's `environ`
+/// is not safe to read during a concurrent `setenv`).
+fn force_pool_workers() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("AERGIA_THREADS", "4"));
+}
+
+/// The fig6 smoke configuration: heterogeneous speeds, real training.
+fn fig6_smoke(seed: u64) -> ExperimentConfig {
+    base_config(Scale::Smoke, DatasetSpec::MnistLike, ModelArch::MnistCnn, seed)
+}
+
+fn run_with_parallelism(
+    mut config: ExperimentConfig,
+    strategy: Strategy,
+    p: usize,
+) -> (RunResult, Vec<aergia_tensor::Tensor>) {
+    config.parallelism = p;
+    let mut engine = Engine::new(config, strategy).expect("valid config");
+    let result = engine.run().expect("run succeeds");
+    (result, engine.global_weights().to_vec())
+}
+
+fn assert_bit_identical(
+    serial: &(RunResult, Vec<aergia_tensor::Tensor>),
+    parallel: &(RunResult, Vec<aergia_tensor::Tensor>),
+    label: &str,
+) {
+    let (rs, ws) = serial;
+    let (rp, wp) = parallel;
+    assert_eq!(rs.rounds.len(), rp.rounds.len(), "{label}: round count");
+    for (a, b) in rs.rounds.iter().zip(&rp.rounds) {
+        assert_eq!(a.duration, b.duration, "{label}: round {} duration", a.round);
+        assert_eq!(a.participants, b.participants, "{label}: round {} participants", a.round);
+        assert_eq!(a.offloads, b.offloads, "{label}: round {} offload pairs", a.round);
+        assert_eq!(a.dropped, b.dropped, "{label}: round {} dropped set", a.round);
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "{label}: round {} loss ({} vs {})",
+            a.round,
+            a.train_loss,
+            b.train_loss
+        );
+        assert_eq!(
+            a.test_accuracy.to_bits(),
+            b.test_accuracy.to_bits(),
+            "{label}: round {} accuracy ({} vs {})",
+            a.round,
+            a.test_accuracy,
+            b.test_accuracy
+        );
+    }
+    assert_eq!(rs.final_accuracy.to_bits(), rp.final_accuracy.to_bits(), "{label}: final accuracy");
+    assert_eq!(ws.len(), wp.len(), "{label}: weight tensor count");
+    for (i, (a, b)) in ws.iter().zip(wp).enumerate() {
+        assert_eq!(a.dims(), b.dims(), "{label}: tensor {i} shape");
+        let identical = a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(identical, "{label}: tensor {i} diverged between serial and parallel");
+    }
+}
+
+#[test]
+fn aergia_parallel_round_is_bit_identical_to_serial() {
+    force_pool_workers();
+    // Aergia on heterogeneous smoke fig6: exercises freezing, the frozen
+    // snapshot handoff and receiver-side offload training (stage 2).
+    let strategy = Strategy::aergia_default();
+    let serial = run_with_parallelism(fig6_smoke(33), strategy, 1);
+    let parallel = run_with_parallelism(fig6_smoke(33), strategy, 0);
+    assert_bit_identical(&serial, &parallel, "aergia");
+    let total: usize = serial.0.rounds.iter().map(|r| r.offloads.len()).sum();
+    assert!(total > 0, "fig6 smoke must exercise the offload path for this test to mean much");
+}
+
+#[test]
+fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
+    force_pool_workers();
+    let strategy = Strategy::FedAvg;
+    let serial = run_with_parallelism(fig6_smoke(34), strategy, 1);
+    let parallel = run_with_parallelism(fig6_smoke(34), strategy, 0);
+    assert_bit_identical(&serial, &parallel, "fedavg");
+    // A capped fan-out (2 concurrent clients) must also be identical.
+    let capped = run_with_parallelism(fig6_smoke(34), strategy, 2);
+    assert_bit_identical(&serial, &capped, "fedavg capped");
+}

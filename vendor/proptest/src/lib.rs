@@ -210,7 +210,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::RngExt;
 
-    /// Sizes accepted by [`vec`]: a fixed `usize` or a (half-open or
+    /// Sizes accepted by [`vec()`]: a fixed `usize` or a (half-open or
     /// inclusive) range of lengths.
     pub trait IntoSizeRange {
         /// Draws a length.
@@ -241,7 +241,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, Z> {
         element: S,
