@@ -18,7 +18,20 @@
 use std::process::Command;
 use std::time::Instant;
 
+use aergia::engine::Engine;
+use aergia::strategy::Strategy;
 use aergia_bench::regression::{from_json, regressions, to_json, BenchReport};
+use aergia_bench::{base_config, Scale};
+use aergia_data::DatasetSpec;
+use aergia_nn::models::ModelArch;
+use aergia_runtime::alloc_count::CountingAllocator;
+use aergia_simnet::SimTime;
+
+/// Counts every heap allocation in this process so the report can carry
+/// `allocs_per_round` next to the wall-times (the allocation measurement
+/// runs in-process, before any harness is shelled out).
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 /// The figure/table harnesses the gate tracks (criterion micro-benches are
 /// excluded: their wall-time is dominated by criterion's sampling loop).
@@ -65,6 +78,35 @@ fn cargo() -> Command {
     cmd
 }
 
+/// Steady-state heap allocations per real-mode Aergia round at smoke
+/// scale: round 0 warms the per-client workspaces, the remaining rounds
+/// are measured. Serial execution keeps the count free of thread-pool
+/// bookkeeping; what remains is per-round work (snapshots, aggregation,
+/// evaluation) — the batch loops themselves are allocation-free, so a
+/// regression here means churn crept back into the hot path.
+///
+/// `parallelism = 1` serialises the engine's client fan-out, but the
+/// *tensor* kernels size themselves from the global pool
+/// (`AERGIA_THREADS`/`available_parallelism`), and every parallel tile
+/// spawn heap-allocates a job — which would make the count scale with
+/// the machine's core count. The caller therefore pins
+/// `AERGIA_THREADS=1` around this measurement (before the pool's first
+/// use) so the figure is machine-independent.
+fn measure_allocs_per_round() -> f64 {
+    let mut config = base_config(Scale::Smoke, DatasetSpec::MnistLike, ModelArch::MnistCnn, 77);
+    config.parallelism = 1;
+    let rounds = config.rounds;
+    assert!(rounds >= 2, "need a warm-up round plus at least one measured round");
+    let mut engine = Engine::new(config, Strategy::aergia_default()).expect("valid smoke config");
+    let mut now = SimTime::ZERO;
+    engine.run_round(0, &mut now).expect("warm-up round");
+    let before = ALLOC.allocations();
+    for round in 1..rounds {
+        engine.run_round(round, &mut now).expect("measured round");
+    }
+    (ALLOC.allocations() - before) as f64 / f64::from(rounds - 1)
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(o) => o,
@@ -74,6 +116,20 @@ fn main() {
         }
     };
 
+    // Allocation budget first: in-process, before shelling anything out
+    // and before the global pool's first use, so the AERGIA_THREADS=1 pin
+    // actually sizes it. The original value is restored afterwards so the
+    // shelled-out harness children see the caller's environment.
+    eprintln!("bench_smoke: measuring steady-state allocations per round");
+    let orig_threads = std::env::var_os("AERGIA_THREADS");
+    std::env::set_var("AERGIA_THREADS", "1");
+    let allocs_per_round = measure_allocs_per_round();
+    match orig_threads {
+        Some(value) => std::env::set_var("AERGIA_THREADS", value),
+        None => std::env::remove_var("AERGIA_THREADS"),
+    }
+    eprintln!("bench_smoke: allocs_per_round = {allocs_per_round:.0}");
+
     // Build every bench target untimed so the measurements below are pure
     // harness wall-time.
     eprintln!("bench_smoke: pre-building bench targets");
@@ -81,6 +137,7 @@ fn main() {
     assert!(status.success(), "cargo bench --no-run failed");
 
     let mut report = BenchReport::new();
+    report.insert("allocs_per_round".to_string(), allocs_per_round);
     for &name in HARNESSES {
         eprintln!("bench_smoke: running {name}");
         let started = Instant::now();

@@ -37,7 +37,7 @@ use aergia_nn::weights as w;
 use aergia_nn::{Cnn, NnError};
 use aergia_simnet::node::BASE_FLOPS;
 use aergia_simnet::{CpuModel, LinkModel, Network, SimDuration, SimTime};
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -97,6 +97,47 @@ impl From<EnclaveError> for EngineError {
     }
 }
 
+/// Persistent per-client training workspace (real mode only): a live model
+/// whose weights are reset from the round's snapshot via
+/// [`Cnn::set_weights`] instead of cloning the template, a [`Workspace`]
+/// of reusable tensor buffers, and the mini-batch buffer pair. Together
+/// these make a client's steady-state batch loop allocation-free; because
+/// weight resets copy values bit-for-bit and the workspace never changes
+/// arithmetic order, reuse is invisible to results (pinned by the
+/// determinism suite).
+pub(crate) struct ClientWorkspace {
+    pub(crate) model: Cnn,
+    pub(crate) ws: Workspace,
+    pub(crate) batch_x: Tensor,
+    pub(crate) batch_y: Vec<usize>,
+}
+
+impl ClientWorkspace {
+    fn new(template: &Cnn) -> Self {
+        ClientWorkspace {
+            model: template.clone(),
+            ws: Workspace::new(),
+            batch_x: Tensor::default(),
+            batch_y: Vec::new(),
+        }
+    }
+
+    /// Resets the persistent model to `weights` and clears any freeze
+    /// flags left by an earlier round — exactly the state a fresh
+    /// template clone would start in. Both execution stages go through
+    /// this one helper so their reset contracts cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLength`] if `weights` does not match
+    /// the model (indicates an internal bug; snapshots are shape-checked).
+    pub(crate) fn reset_model(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
+        self.model.unfreeze_features();
+        self.model.unfreeze_classifier();
+        self.model.set_weights(weights)
+    }
+}
+
 /// Persistent per-client state (survives across rounds).
 pub(crate) struct ClientNode {
     pub(crate) cpu: CpuModel,
@@ -133,6 +174,11 @@ pub struct Engine {
     pub(crate) similarity: Vec<Vec<f64>>,
     pub(crate) enclave_setup_bytes: usize,
     pub(crate) clients: Vec<ClientNode>,
+    /// One lazily-built slot per client (real mode; empty in timing mode):
+    /// a workspace materialises the first time its client actually trains,
+    /// so resident memory scales with clients that participate, not with
+    /// the cluster size.
+    pub(crate) client_ws: Vec<Option<ClientWorkspace>>,
     pub(crate) network: Network,
     pub(crate) global: Vec<Tensor>,
     pub(crate) template: Cnn,
@@ -215,6 +261,15 @@ impl Engine {
             _ => None,
         };
 
+        // Timing mode never executes numeric plans, so it skips the
+        // per-client workspace slots entirely; real mode fills a slot the
+        // first time its client trains.
+        let client_ws: Vec<Option<ClientWorkspace>> = if config.mode == Mode::Real {
+            (0..config.num_clients).map(|_| None).collect()
+        } else {
+            Vec::new()
+        };
+
         Ok(Engine {
             network: Network::new(config.link),
             select_rng: StdRng::seed_from_u64(config.seed ^ 0x73656c), // "sel"
@@ -222,6 +277,7 @@ impl Engine {
             similarity,
             enclave_setup_bytes,
             clients,
+            client_ws,
             global,
             template,
             full_model_bytes,

@@ -41,7 +41,7 @@ use crate::profiler::{OnlineProfiler, ProfileReport};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
 
-use super::{ClientNode, Engine, EngineError};
+use super::{ClientNode, ClientWorkspace, Engine, EngineError};
 
 /// Where an event is delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -496,10 +496,12 @@ pub(crate) fn simulate_round(
 }
 
 /// One client's slice of the execution stage: exclusive access to its
-/// persistent node state plus everything its plan produces.
+/// persistent node state and training workspace plus everything its plan
+/// produces.
 struct ClientTask<'a> {
     id: usize,
     node: &'a mut ClientNode,
+    cw: &'a mut ClientWorkspace,
     plan: ClientPlan,
     opt: Sgd,
     final_weights: Option<Vec<Tensor>>,
@@ -536,6 +538,12 @@ fn run_tasks(
 /// offloaded feature sections. Within one client the batcher/optimizer
 /// order (own batches, then offloaded batches) matches the virtual event
 /// order exactly, so results are independent of the parallelism setting.
+///
+/// Each task owns its client's persistent [`ClientWorkspace`]: the model
+/// is reset from the round snapshot via `set_weights` (a bit-exact copy)
+/// rather than cloning the template, and batches run through the
+/// workspace-backed `train_batch_with`, so a client's steady-state batch
+/// loop performs no heap allocation.
 fn execute_plans(
     engine: &mut Engine,
     participants: &[usize],
@@ -551,6 +559,10 @@ fn execute_plans(
     let train = &engine.train;
 
     let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
+    // A client's workspace materialises the first time it trains, so
+    // memory follows actual participation, not cluster size.
+    let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
+        engine.client_ws.iter_mut().map(Some).collect();
     let mut tasks: Vec<ClientTask<'_>> = participants
         .iter()
         .zip(opts)
@@ -558,6 +570,10 @@ fn execute_plans(
         .map(|(&p, opt)| ClientTask {
             id: p,
             node: slots[p].take().expect("participant ids are unique"),
+            cw: cw_slots[p]
+                .take()
+                .expect("real mode keeps one workspace slot per client")
+                .get_or_insert_with(|| ClientWorkspace::new(template)),
             plan: plans[p],
             opt,
             final_weights: None,
@@ -570,11 +586,11 @@ fn execute_plans(
 
     // Stage 1: every client's own local training.
     run_tasks(&mut tasks, parallelism, |task| {
-        let mut model = template.clone();
-        if let Err(e) = model.set_weights(global) {
+        if let Err(e) = task.cw.reset_model(global) {
             task.error = Some(e);
             return;
         }
+        let ClientWorkspace { model, ws, batch_x, batch_y } = &mut *task.cw;
         for batch in 0..task.plan.own_batches {
             if task.plan.freeze_after == Some(batch) {
                 model.freeze_features();
@@ -582,8 +598,8 @@ fn execute_plans(
                     task.snapshot = Some(model.weights());
                 }
             }
-            let (x, y) = task.node.batcher.next_batch(train);
-            match model.train_batch(&x, &y, &mut task.opt) {
+            task.node.batcher.next_batch_into(train, batch_x, batch_y);
+            match model.train_batch_with(batch_x, batch_y, &mut task.opt, ws) {
                 Ok(stats) => task.losses.push(stats.loss),
                 Err(e) => {
                     task.error = Some(e);
@@ -606,17 +622,17 @@ fn execute_plans(
         let snapshot = snapshots
             .get(&offload.weak)
             .expect("offload causality: the straggler froze and snapshotted in stage 1");
-        let mut model = template.clone();
-        if let Err(e) = model.set_weights(snapshot) {
+        if let Err(e) = task.cw.reset_model(snapshot) {
             task.error = Some(e);
             return;
         }
+        let ClientWorkspace { model, ws, batch_x, batch_y } = &mut *task.cw;
         // Train only the feature section on the receiver's data; the
         // straggler's classifier stays fixed (§4.1).
         model.freeze_classifier();
         for _ in 0..offload.batches {
-            let (x, y) = task.node.batcher.next_batch(train);
-            if let Err(e) = model.train_batch(&x, &y, &mut task.opt) {
+            task.node.batcher.next_batch_into(train, batch_x, batch_y);
+            if let Err(e) = model.train_batch_with(batch_x, batch_y, &mut task.opt, ws) {
                 task.error = Some(e);
                 return;
             }

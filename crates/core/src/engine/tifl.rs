@@ -20,6 +20,9 @@ pub(crate) struct TiflState {
     accuracy: Vec<f64>,
     last_selected: Option<usize>,
     rng: StdRng,
+    /// Reusable shuffle buffer so per-round selection never clones a whole
+    /// tier membership list.
+    scratch: Vec<usize>,
 }
 
 /// Per-tier participation budget. TiFL derives it from the round budget;
@@ -37,6 +40,7 @@ impl TiflState {
             accuracy: vec![f64::NAN; n],
             last_selected: None,
             rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
         }
     }
 
@@ -82,9 +86,14 @@ impl TiflState {
         }
         self.last_selected = Some(tier);
 
-        let mut members = self.tiers[tier].clone();
-        members.shuffle(&mut self.rng);
-        members.truncate(k.max(1));
+        // Shuffle in the persistent scratch buffer (identical RNG
+        // consumption to shuffling a clone) and materialise only the
+        // k-sized selection.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.tiers[tier]);
+        self.scratch.shuffle(&mut self.rng);
+        self.scratch.truncate(k.max(1));
+        let mut members = self.scratch.clone();
         members.sort_unstable();
         members
     }

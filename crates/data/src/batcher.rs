@@ -35,6 +35,8 @@ pub struct Batcher {
     batch_size: usize,
     cursor: usize,
     rng: StdRng,
+    /// Reusable pick buffer for [`Batcher::next_batch_into`].
+    picked: Vec<usize>,
 }
 
 impl Batcher {
@@ -49,7 +51,7 @@ impl Batcher {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0062_6174_6368); // "batch"
         let mut indices = indices;
         indices.shuffle(&mut rng);
-        Batcher { indices, batch_size, cursor: 0, rng }
+        Batcher { indices, batch_size, cursor: 0, rng, picked: Vec::new() }
     }
 
     /// Effective batch size (may exceed the shard, in which case batches
@@ -59,17 +61,33 @@ impl Batcher {
     }
 
     /// Returns the next mini-batch, reshuffling at epoch boundaries.
+    ///
+    /// Thin wrapper over [`Batcher::next_batch_into`]; training loops
+    /// should reuse a batch buffer pair through `next_batch_into` instead
+    /// so steady-state iteration stays allocation-free.
     pub fn next_batch(&mut self, dataset: &Dataset) -> (Tensor, Vec<usize>) {
-        let mut picked = Vec::with_capacity(self.batch_size);
-        while picked.len() < self.batch_size {
+        let mut x = Tensor::default();
+        let mut y = Vec::new();
+        self.next_batch_into(dataset, &mut x, &mut y);
+        (x, y)
+    }
+
+    /// Fills a caller-provided `(Tensor, Vec<usize>)` pair with the next
+    /// mini-batch, reshuffling at epoch boundaries. `x` is reshaped in
+    /// place to `[batch, C, H, W]` and `y` cleared and refilled, so both
+    /// buffers reuse their allocations across calls; the index draws are
+    /// identical to [`Batcher::next_batch`].
+    pub fn next_batch_into(&mut self, dataset: &Dataset, x: &mut Tensor, y: &mut Vec<usize>) {
+        self.picked.clear();
+        while self.picked.len() < self.batch_size {
             if self.cursor == self.indices.len() {
                 self.indices.shuffle(&mut self.rng);
                 self.cursor = 0;
             }
-            picked.push(self.indices[self.cursor]);
+            self.picked.push(self.indices[self.cursor]);
             self.cursor += 1;
         }
-        dataset.batch(&picked)
+        dataset.batch_into(&self.picked, x, y);
     }
 }
 

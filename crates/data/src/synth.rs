@@ -207,17 +207,32 @@ impl Dataset {
     ///
     /// Panics if `indices` is empty or any index is out of bounds.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::default();
+        let mut labels = Vec::new();
+        self.batch_into(indices, &mut x, &mut labels);
+        (x, labels)
+    }
+
+    /// [`Dataset::batch`] writing into a caller-provided pair: `x` is
+    /// reshaped in place to `[batch, C, H, W]` and `labels` cleared and
+    /// refilled, so a training loop reusing the same buffers copies sample
+    /// data without touching the allocator once the buffers are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn batch_into(&self, indices: &[usize], x: &mut Tensor, labels: &mut Vec<usize>) {
         assert!(!indices.is_empty(), "Dataset::batch: empty index list");
         let (c, h, w) = self.dims;
         let stride = c * h * w;
-        let mut data = Vec::with_capacity(indices.len() * stride);
-        let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            data.extend_from_slice(&self.images[i * stride..(i + 1) * stride]);
+        x.reset_for_overwrite(&[indices.len(), c, h, w]);
+        let data = x.data_mut();
+        labels.clear();
+        for (row, &i) in indices.iter().enumerate() {
+            data[row * stride..(row + 1) * stride]
+                .copy_from_slice(&self.images[i * stride..(i + 1) * stride]);
             labels.push(self.labels[i]);
         }
-        let x = Tensor::from_vec(data, &[indices.len(), c, h, w]).expect("sized batch");
-        (x, labels)
     }
 
     /// The whole dataset as one batch (for small test sets).

@@ -1,6 +1,6 @@
 //! Activation layers.
 
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 
 use super::Layer;
 
@@ -19,33 +19,49 @@ use super::Layer;
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    /// Mask buffer recycled between batches by the `_into` path.
+    spare_mask: Vec<bool>,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu::default()
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-        let y = x.map(|v| if v > 0.0 { v } else { 0.0 });
-        self.mask = Some(mask);
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut y);
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
+        dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
+        let mut mask = self.mask.take().unwrap_or_else(|| std::mem::take(&mut self.spare_mask));
+        mask.clear();
+        mask.extend(x.data().iter().map(|&v| v > 0.0));
+        out.reset_for_overwrite(x.dims());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
+        self.mask = Some(mask);
+    }
+
+    fn backward_into(&mut self, dy: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
         let mask = self.mask.take().expect("Relu::backward before forward");
         assert_eq!(mask.len(), dy.numel(), "Relu::backward: gradient size mismatch");
-        let mut dx = dy.clone();
-        for (v, &m) in dx.data_mut().iter_mut().zip(&mask) {
-            if !m {
-                *v = 0.0;
-            }
+        out.reset_for_overwrite(dy.dims());
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(&mask) {
+            *o = if m { g } else { 0.0 };
         }
-        dx
+        self.spare_mask = mask;
     }
 
     fn params(&self) -> Vec<&Tensor> {

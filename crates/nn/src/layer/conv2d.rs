@@ -1,7 +1,9 @@
 //! 2-D convolution layer (im2col + matmul lowering).
 
-use aergia_tensor::conv::{col2im, im2col, nchw_to_rows, rows_to_nchw, ConvGeometry};
-use aergia_tensor::{init, ops, Tensor};
+use aergia_tensor::conv::{
+    col2im_into, im2col_into, nchw_to_rows_into, rows_to_nchw_into, ConvGeometry,
+};
+use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
 use super::{check_snapshot, Layer};
@@ -98,29 +100,67 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let batch = x.dims()[0];
-        let cols = im2col(x, self.in_channels, &self.geom).expect("Conv2d::forward: bad input");
-        // y_rows[(n,oh,ow), oc] = cols · Wᵀ
-        let mut y_rows = ops::matmul_nt(&cols, &self.weight).expect("conv matmul");
-        ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
-        let y = rows_to_nchw(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w)
-            .expect("conv reshape");
-        self.cached_cols = Some(cols);
-        self.cached_batch = batch;
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut y);
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
+        dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        let batch = x.dims()[0];
+        let rows = batch * self.geom.out_h * self.geom.out_w;
+        let ckk = self.in_channels * self.geom.k_h * self.geom.k_w;
+        // The im2col scratch cycles between the workspace and
+        // `cached_cols`, so across batches the patch matrix is built in
+        // the same buffer instead of a fresh allocation. A still-cached
+        // buffer (backward skipped, e.g. frozen features) is reclaimed
+        // rather than dropped.
+        let mut cols = match self.cached_cols.take() {
+            Some(buf) => buf,
+            None => ws.take(&[rows, ckk]),
+        };
+        im2col_into(x, self.in_channels, &self.geom, &mut cols)
+            .expect("Conv2d::forward: bad input");
+        // y_rows[(n,oh,ow), oc] = cols · Wᵀ
+        let mut y_rows = ws.take(&[rows, self.out_channels]);
+        ops::matmul_nt_into(&cols, &self.weight, &mut y_rows).expect("conv matmul");
+        ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
+        rows_to_nchw_into(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w, out)
+            .expect("conv reshape");
+        ws.give(y_rows);
+        self.cached_cols = Some(cols);
+        self.cached_batch = batch;
+    }
+
+    fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
         let cols = self.cached_cols.take().expect("Conv2d::backward before forward");
-        let dy_rows = nchw_to_rows(dy).expect("conv dy reshape");
+        let rows = self.cached_batch * self.geom.out_h * self.geom.out_w;
+        let mut dy_rows = ws.take(&[rows, self.out_channels]);
+        nchw_to_rows_into(dy, &mut dy_rows).expect("conv dy reshape");
         // dW[oc, ckk] = dyᵀ · cols
-        let dw = ops::matmul_tn(&dy_rows, &cols).expect("conv dW");
+        // dW/db land in zeroed scratch first, then fold into the running
+        // gradients with a single add each — accumulating the matmul
+        // directly into `grad_weight` would reorder the summation and
+        // break bit-identity with the allocating path.
+        let mut dw = ws.take(self.grad_weight.dims());
+        ops::matmul_tn_into(&dy_rows, &cols, &mut dw).expect("conv dW");
         self.grad_weight.add_assign(&dw);
-        let db = ops::sum_rows(&dy_rows).expect("conv db");
+        ws.give(dw);
+        let mut db = ws.take(self.grad_bias.dims());
+        ops::sum_rows_into(&dy_rows, &mut db).expect("conv db");
         self.grad_bias.add_assign(&db);
-        // dcols = dy · W
-        let dcols = ops::matmul(&dy_rows, &self.weight).expect("conv dcols");
-        col2im(&dcols, self.cached_batch, self.in_channels, &self.geom).expect("conv dx")
+        ws.give(db);
+        let mut dcols = ws.take(cols.dims());
+        ops::matmul_into(&dy_rows, &self.weight, &mut dcols).expect("conv dcols");
+        ws.give(dy_rows);
+        col2im_into(&dcols, self.cached_batch, self.in_channels, &self.geom, out).expect("conv dx");
+        ws.give(dcols);
+        ws.give(cols);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -131,10 +171,15 @@ impl Layer for Conv2d {
         vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
     }
 
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
     fn set_params(&mut self, weights: &[Tensor]) {
         check_snapshot("Conv2d", &self.params(), weights);
-        self.weight = weights[0].clone();
-        self.bias = weights[1].clone();
+        self.weight.copy_from(&weights[0]);
+        self.bias.copy_from(&weights[1]);
     }
 
     fn zero_grads(&mut self) {

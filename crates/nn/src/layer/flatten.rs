@@ -1,6 +1,6 @@
 //! Shape-adapter layer between convolutional and dense sections.
 
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 
 use super::Layer;
 
@@ -30,19 +30,38 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let dims = x.dims().to_vec();
-        assert!(dims.len() >= 2, "Flatten: input must be at least rank 2");
-        let batch = dims[0];
-        let rest: usize = dims[1..].iter().product();
-        self.cached_dims = dims;
-        x.reshape(&[batch, rest]).expect("Flatten: reshape cannot fail")
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut y);
+        y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        assert!(!self.cached_dims.is_empty(), "Flatten::backward before forward");
-        let dx = dy.reshape(&self.cached_dims).expect("Flatten::backward: size mismatch");
-        self.cached_dims.clear();
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
         dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
+        let dims = x.dims();
+        assert!(dims.len() >= 2, "Flatten: input must be at least rank 2");
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.cached_dims.clear();
+        self.cached_dims.extend_from_slice(dims);
+        out.reset_for_overwrite(&[batch, rest]);
+        out.data_mut().copy_from_slice(x.data());
+    }
+
+    fn backward_into(&mut self, dy: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
+        assert!(!self.cached_dims.is_empty(), "Flatten::backward before forward");
+        assert_eq!(
+            dy.numel(),
+            self.cached_dims.iter().product::<usize>(),
+            "Flatten::backward: size mismatch"
+        );
+        out.reset_for_overwrite(&self.cached_dims);
+        out.data_mut().copy_from_slice(dy.data());
+        self.cached_dims.clear();
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use aergia_tensor::{init, ops, Tensor};
+use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
 use super::{check_snapshot, Layer};
@@ -64,21 +64,43 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut y = ops::matmul_nt(x, &self.weight).expect("Linear::forward: bad input");
-        ops::add_bias_rows(&mut y, &self.bias).expect("linear bias");
-        self.cached_input = Some(x.clone());
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut y);
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
+        dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        ops::matmul_nt_into(x, &self.weight, out).expect("Linear::forward: bad input");
+        ops::add_bias_rows(out, &self.bias).expect("linear bias");
+        // Cache a copy of the input in a recycled buffer (the buffer
+        // returns to the workspace in `backward_into`).
+        let mut cache = self.cached_input.take().unwrap_or_else(|| ws.take(x.dims()));
+        cache.copy_from(x);
+        self.cached_input = Some(cache);
+    }
+
+    fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
         let x = self.cached_input.take().expect("Linear::backward before forward");
+        // dW/db go through zeroed scratch, then one add into the running
+        // gradient — same summation order as the allocating path.
         // dW[out, in] = dyᵀ · x
-        let dw = ops::matmul_tn(dy, &x).expect("linear dW");
+        let mut dw = ws.take(self.grad_weight.dims());
+        ops::matmul_tn_into(dy, &x, &mut dw).expect("linear dW");
         self.grad_weight.add_assign(&dw);
-        let db = ops::sum_rows(dy).expect("linear db");
+        ws.give(dw);
+        let mut db = ws.take(self.grad_bias.dims());
+        ops::sum_rows_into(dy, &mut db).expect("linear db");
         self.grad_bias.add_assign(&db);
+        ws.give(db);
         // dx = dy · W
-        ops::matmul(dy, &self.weight).expect("linear dx")
+        ops::matmul_into(dy, &self.weight, out).expect("linear dx");
+        ws.give(x);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -89,10 +111,15 @@ impl Layer for Linear {
         vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
     }
 
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
     fn set_params(&mut self, weights: &[Tensor]) {
         check_snapshot("Linear", &self.params(), weights);
-        self.weight = weights[0].clone();
-        self.bias = weights[1].clone();
+        self.weight.copy_from(&weights[0]);
+        self.bias.copy_from(&weights[1]);
     }
 
     fn zero_grads(&mut self) {

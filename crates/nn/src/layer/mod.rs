@@ -22,7 +22,7 @@ pub use residual::ResidualBlock;
 
 use std::fmt;
 
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 
 /// A differentiable network layer.
 ///
@@ -46,12 +46,49 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// Implementations may panic if called before `forward`.
     fn backward(&mut self, dy: &Tensor) -> Tensor;
 
+    /// Buffer-reuse twin of [`Layer::forward`]: computes the layer output
+    /// into `out` (which the layer [`Tensor::reset`]s to the right shape,
+    /// reusing its allocation), drawing any internal scratch from `ws`.
+    ///
+    /// Results are **bit-identical** to [`Layer::forward`] — the property
+    /// suite asserts it per layer — and in steady state (same input shape
+    /// every call, warm workspace) the call performs no heap allocation.
+    /// The default implementation delegates to the allocating method so
+    /// layers can migrate one by one.
+    fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        let _ = ws;
+        *out = self.forward(x);
+    }
+
+    /// Buffer-reuse twin of [`Layer::backward`]: writes the input gradient
+    /// into `out`, drawing scratch from `ws`. Same bit-identity and
+    /// steady-state zero-allocation contract as [`Layer::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a forward pass.
+    fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        let _ = ws;
+        *out = self.backward(dy);
+    }
+
     /// Immutable views of the layer parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor>;
 
     /// Parameter/gradient pairs for the optimizer, in the same order as
     /// [`Layer::params`].
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Visits every parameter/gradient pair in [`Layer::params`] order
+    /// without materialising a `Vec` — the allocation-free path the
+    /// optimizer takes every batch. The default delegates to
+    /// [`Layer::params_and_grads`] (which is already allocation-free for
+    /// parameterless layers, since an empty `Vec` never touches the heap).
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for (param, grad) in self.params_and_grads() {
+            f(param, grad);
+        }
+    }
 
     /// Overwrites the layer parameters from a snapshot slice.
     ///

@@ -1,7 +1,7 @@
 //! Spatial pooling layers.
 
 use aergia_tensor::conv::ConvGeometry;
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 
 use super::Layer;
 
@@ -24,6 +24,8 @@ pub struct MaxPool2d {
     // Flat argmax index into the input buffer for every output element.
     cached_argmax: Option<Vec<usize>>,
     cached_in_dims: Vec<usize>,
+    /// Argmax buffer recycled between batches by the `_into` path.
+    spare_argmax: Vec<usize>,
 }
 
 impl MaxPool2d {
@@ -34,7 +36,12 @@ impl MaxPool2d {
     /// Panics if the window does not fit the input.
     pub fn new(kernel: usize, stride: usize, in_h: usize, in_w: usize) -> Self {
         let geom = ConvGeometry::new(in_h, in_w, kernel, kernel, stride, 0);
-        MaxPool2d { geom, cached_argmax: None, cached_in_dims: Vec::new() }
+        MaxPool2d {
+            geom,
+            cached_argmax: None,
+            cached_in_dims: Vec::new(),
+            spare_argmax: Vec::new(),
+        }
     }
 
     /// Output spatial size `(out_h, out_w)`.
@@ -45,7 +52,19 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let dims = x.dims().to_vec();
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut out);
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
+        dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
+        let dims = x.dims();
         assert_eq!(dims.len(), 4, "MaxPool2d: NCHW input required");
         assert_eq!(
             (dims[2], dims[3]),
@@ -54,8 +73,11 @@ impl Layer for MaxPool2d {
         );
         let (n, c) = (dims[0], dims[1]);
         let (oh, ow) = (self.geom.out_h, self.geom.out_w);
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        out.reset_for_overwrite(&[n, c, oh, ow]);
+        let mut argmax =
+            self.cached_argmax.take().unwrap_or_else(|| std::mem::take(&mut self.spare_argmax));
+        argmax.clear();
+        argmax.resize(n * c * oh * ow, 0);
         let src = x.data();
         let dst = out.data_mut();
         let hw = self.geom.in_h * self.geom.in_w;
@@ -86,19 +108,19 @@ impl Layer for MaxPool2d {
             }
         }
         self.cached_argmax = Some(argmax);
-        self.cached_in_dims = dims;
-        out
+        self.cached_in_dims.clear();
+        self.cached_in_dims.extend_from_slice(dims);
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_into(&mut self, dy: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
         let argmax = self.cached_argmax.take().expect("MaxPool2d::backward before forward");
         assert_eq!(argmax.len(), dy.numel(), "MaxPool2d::backward: gradient size mismatch");
-        let mut dx = Tensor::zeros(&self.cached_in_dims);
-        let dst = dx.data_mut();
+        out.reset(&self.cached_in_dims);
+        let dst = out.data_mut();
         for (&idx, &g) in argmax.iter().zip(dy.data()) {
             dst[idx] += g;
         }
-        dx
+        self.spare_argmax = argmax;
     }
 
     fn params(&self) -> Vec<&Tensor> {

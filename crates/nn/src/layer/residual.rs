@@ -1,7 +1,7 @@
 //! Residual block (two 3×3 convolutions with a skip connection), used by
 //! the `*-resnet` architectures of the paper's Figure 4 profiling study.
 
-use aergia_tensor::Tensor;
+use aergia_tensor::{Tensor, Workspace};
 use rand::Rng;
 
 use super::{check_snapshot, Conv2d, Layer, Relu};
@@ -31,7 +31,7 @@ pub struct ResidualBlock {
     conv2: Conv2d,
     projection: Option<Conv2d>,
     relu_out: Relu,
-    cached_input: Option<Tensor>,
+    forward_ran: bool,
 }
 
 impl ResidualBlock {
@@ -58,7 +58,7 @@ impl ResidualBlock {
             conv2,
             projection,
             relu_out: Relu::new(),
-            cached_input: None,
+            forward_ran: false,
         }
     }
 
@@ -70,30 +70,63 @@ impl ResidualBlock {
 
 impl Layer for ResidualBlock {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let h = self.relu_mid.forward(&self.conv1.forward(x));
-        let main = self.conv2.forward(&h);
-        let skip = match &mut self.projection {
-            Some(proj) => proj.forward(x),
-            None => x.clone(),
-        };
-        self.cached_input = Some(x.clone());
-        self.relu_out.forward(&main.add(&skip))
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut Workspace::new(), &mut y);
+        y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        self.cached_input.take().expect("ResidualBlock::backward before forward");
-        let d_sum = self.relu_out.backward(dy);
-        // Main path.
-        let d_h = self.conv2.backward(&d_sum);
-        let d_h = self.relu_mid.backward(&d_h);
-        let mut dx = self.conv1.backward(&d_h);
-        // Skip path.
-        let d_skip = match &mut self.projection {
-            Some(proj) => proj.backward(&d_sum),
-            None => d_sum,
-        };
-        dx.add_assign(&d_skip);
+        let mut dx = Tensor::default();
+        self.backward_into(dy, &mut Workspace::new(), &mut dx);
         dx
+    }
+
+    fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        // Internal buffers come off the scratch stack: every one is fully
+        // reset by the sub-layer it is handed to, and the LIFO discipline
+        // keeps the same physical buffers in the same roles every batch.
+        let mut main = ws.take_scratch();
+        self.conv1.forward_into(x, ws, &mut main);
+        let mut h = ws.take_scratch();
+        self.relu_mid.forward_into(&main, ws, &mut h);
+        self.conv2.forward_into(&h, ws, &mut main);
+        // Skip path: `main += skip` matches the allocating `main.add(&skip)`
+        // element order exactly.
+        match &mut self.projection {
+            Some(proj) => {
+                proj.forward_into(x, ws, &mut h);
+                main.add_assign(&h);
+            }
+            None => main.add_assign(x),
+        }
+        ws.give_scratch(h);
+        self.forward_ran = true;
+        self.relu_out.forward_into(&main, ws, out);
+        ws.give_scratch(main);
+    }
+
+    fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        assert!(self.forward_ran, "ResidualBlock::backward before forward");
+        self.forward_ran = false;
+        let mut d_sum = ws.take_scratch();
+        self.relu_out.backward_into(dy, ws, &mut d_sum);
+        // Main path.
+        let mut a = ws.take_scratch();
+        self.conv2.backward_into(&d_sum, ws, &mut a);
+        let mut b = ws.take_scratch();
+        self.relu_mid.backward_into(&a, ws, &mut b);
+        self.conv1.backward_into(&b, ws, out);
+        // Skip path.
+        match &mut self.projection {
+            Some(proj) => {
+                proj.backward_into(&d_sum, ws, &mut a);
+                out.add_assign(&a);
+            }
+            None => out.add_assign(&d_sum),
+        }
+        ws.give_scratch(b);
+        ws.give_scratch(a);
+        ws.give_scratch(d_sum);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -112,6 +145,14 @@ impl Layer for ResidualBlock {
             out.extend(proj.params_and_grads());
         }
         out
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.conv1.for_each_param(f);
+        self.conv2.for_each_param(f);
+        if let Some(proj) = &mut self.projection {
+            proj.for_each_param(f);
+        }
     }
 
     fn set_params(&mut self, weights: &[Tensor]) {

@@ -33,12 +33,37 @@ pub struct LossOutput {
 /// assert_eq!(out.correct, 1);
 /// ```
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    let mut dlogits = Tensor::default();
+    let stats = cross_entropy_into(logits, targets, &mut dlogits);
+    LossOutput { loss: stats.loss, dlogits, correct: stats.correct }
+}
+
+/// Loss value and correct-prediction count, without the gradient tensor
+/// (which [`cross_entropy_into`] writes into a caller-provided buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossStats {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Number of correctly classified samples (argmax == target).
+    pub correct: usize,
+}
+
+/// [`cross_entropy`] writing the logits gradient into a caller-provided
+/// tensor (which is [`Tensor::reset`] to `[batch, classes]`, reusing its
+/// allocation) — the allocation-free spelling the workspace-backed
+/// training loop uses every batch. Results are bit-identical to
+/// [`cross_entropy`], which is a thin wrapper over this function.
+///
+/// # Panics
+///
+/// Same conditions as [`cross_entropy`].
+pub fn cross_entropy_into(logits: &Tensor, targets: &[usize], dlogits: &mut Tensor) -> LossStats {
     let dims = logits.dims();
     assert_eq!(dims.len(), 2, "cross_entropy: rank-2 logits required");
     let (batch, classes) = (dims[0], dims[1]);
     assert_eq!(targets.len(), batch, "cross_entropy: one target per row required");
 
-    let mut dlogits = Tensor::zeros(&[batch, classes]);
+    dlogits.reset_for_overwrite(&[batch, classes]);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
     let src = logits.data();
@@ -81,7 +106,7 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
         }
     }
 
-    LossOutput { loss: (loss / batch as f64) as f32, dlogits, correct }
+    LossStats { loss: (loss / batch as f64) as f32, correct }
 }
 
 #[cfg(test)]

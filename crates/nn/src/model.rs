@@ -4,10 +4,10 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
-use aergia_tensor::{Tensor, TensorError};
+use aergia_tensor::{Tensor, TensorError, Workspace};
 
 use crate::layer::Layer;
-use crate::loss::cross_entropy;
+use crate::loss::{cross_entropy, cross_entropy_into};
 use crate::optim::Sgd;
 use crate::profile::PhaseCost;
 
@@ -211,6 +211,11 @@ impl Cnn {
     /// When the feature section is frozen the `bf` phase is skipped and its
     /// cost reported as zero.
     ///
+    /// This is a convenience wrapper over [`Cnn::train_batch_with`] using a
+    /// throwaway [`Workspace`]; callers in a training loop should hold a
+    /// persistent workspace and call `train_batch_with` directly so buffers
+    /// survive between batches.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::Tensor`] if `x` does not match the model's
@@ -221,34 +226,87 @@ impl Cnn {
         targets: &[usize],
         opt: &mut Sgd,
     ) -> Result<BatchStats, NnError> {
+        self.train_batch_with(x, targets, opt, &mut Workspace::new())
+    }
+
+    /// [`Cnn::train_batch`] backed by a caller-provided [`Workspace`]: the
+    /// forward and backward passes ping-pong between two pooled activation
+    /// buffers and every layer draws its scratch from `ws`, so once the
+    /// workspace is warm (one batch) the whole step performs **zero** heap
+    /// allocations — asserted by the counting-allocator suite. Results are
+    /// bit-identical to the allocating path whatever the workspace state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] if `x` does not match the model's
+    /// expected input shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aergia_nn::models::ModelArch;
+    /// use aergia_nn::optim::{Sgd, SgdConfig};
+    /// use aergia_tensor::{Tensor, Workspace};
+    ///
+    /// let mut model = ModelArch::MnistCnn.build(0);
+    /// let mut opt = Sgd::new(SgdConfig::default());
+    /// let mut ws = Workspace::new();
+    /// let x = Tensor::zeros(&[2, 1, 28, 28]);
+    /// for _ in 0..3 {
+    ///     // After the first (warm-up) batch this loop stops allocating.
+    ///     model.train_batch_with(&x, &[0, 1], &mut opt, &mut ws).unwrap();
+    /// }
+    /// ```
+    pub fn train_batch_with(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        opt: &mut Sgd,
+        ws: &mut Workspace,
+    ) -> Result<BatchStats, NnError> {
         let batch = x.dims().first().copied().unwrap_or(0);
         assert_eq!(targets.len(), batch, "train_batch: one target per sample required");
         self.zero_grads();
 
         let flops = self.phase_flops(batch);
         let mut seconds = PhaseCost::zero();
+        let split = self.split;
+        // Activations ping-pong between two scratch buffers: each layer
+        // writes `b` from `a`, then the buffers swap, so the latest value
+        // is always in `a` and no layer output is ever reallocated.
+        let mut a = ws.take_scratch();
+        let mut b = ws.take_scratch();
 
         // Phase 1: ff.
         let t = Instant::now();
-        let mut h = x.clone();
-        for layer in &mut self.layers[..self.split] {
-            h = layer.forward(&h);
+        let mut first = true;
+        for layer in &mut self.layers[..split] {
+            if first {
+                layer.forward_into(x, ws, &mut a);
+                first = false;
+            } else {
+                layer.forward_into(&a, ws, &mut b);
+                std::mem::swap(&mut a, &mut b);
+            }
         }
         seconds.ff = t.elapsed().as_secs_f64();
 
-        // Phase 2: fc.
+        // Phase 2: fc (the split is validated to be ≥ 1, so `a` holds the
+        // feature activations here).
         let t = Instant::now();
-        for layer in &mut self.layers[self.split..] {
-            h = layer.forward(&h);
+        for layer in &mut self.layers[split..] {
+            layer.forward_into(&a, ws, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
         seconds.fc = t.elapsed().as_secs_f64();
 
         // Phase 3: bc (loss gradient + classifier backward).
         let t = Instant::now();
-        let out = cross_entropy(&h, targets);
-        let mut d = out.dlogits;
-        for layer in self.layers[self.split..].iter_mut().rev() {
-            d = layer.backward(&d);
+        let out = cross_entropy_into(&a, targets, &mut b);
+        std::mem::swap(&mut a, &mut b);
+        for layer in self.layers[split..].iter_mut().rev() {
+            layer.backward_into(&a, ws, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
         seconds.bc = t.elapsed().as_secs_f64();
 
@@ -256,11 +314,14 @@ impl Cnn {
         let frozen = self.frozen_features;
         let t = Instant::now();
         if !frozen {
-            for layer in self.layers[..self.split].iter_mut().rev() {
-                d = layer.backward(&d);
+            for layer in self.layers[..split].iter_mut().rev() {
+                layer.backward_into(&a, ws, &mut b);
+                std::mem::swap(&mut a, &mut b);
             }
         }
         seconds.bf = t.elapsed().as_secs_f64();
+        ws.give_scratch(b);
+        ws.give_scratch(a);
 
         opt.apply(self);
 
@@ -367,6 +428,8 @@ impl Cnn {
     /// Visits `(global_param_index, param, grad)` for every *trainable*
     /// parameter (skipping the feature section when frozen). The global
     /// index is stable across freezing so optimizer state stays aligned.
+    /// Built on [`Layer::for_each_param`], so the walk itself never
+    /// allocates — this runs once per batch inside the optimizer.
     pub(crate) fn for_each_trainable(&mut self, f: &mut dyn FnMut(usize, &mut Tensor, &Tensor)) {
         let mut index = 0usize;
         let split = self.split;
@@ -375,12 +438,12 @@ impl Cnn {
         for (li, layer) in self.layers.iter_mut().enumerate() {
             let in_frozen_section =
                 (frozen_features && li < split) || (frozen_classifier && li >= split);
-            for (param, grad) in layer.params_and_grads() {
+            layer.for_each_param(&mut |param, grad| {
                 if !in_frozen_section {
                     f(index, param, grad);
                 }
                 index += 1;
-            }
+            });
         }
     }
 }

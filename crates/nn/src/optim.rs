@@ -83,6 +83,12 @@ impl Sgd {
     /// Applies one SGD update to every trainable parameter of `model`
     /// using the gradients accumulated by its last backward pass.
     ///
+    /// The update is fused element-wise and fully in place: the effective
+    /// gradient `grad + wd·w + μ(w − anchor)` is folded into the parameter
+    /// (and momentum) walk without materialising a gradient copy, while
+    /// replicating the floating-point evaluation order of the historical
+    /// tensor-at-a-time formulation exactly, so results stay bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if a proximal anchor is installed whose shapes do not match
@@ -95,28 +101,64 @@ impl Sgd {
             if velocities.len() <= index {
                 velocities.resize_with(index + 1, || None);
             }
-            // Effective gradient: grad + wd·w + μ(w − anchor).
-            let mut g = grad.clone();
-            if cfg.weight_decay != 0.0 {
-                g.axpy(cfg.weight_decay, param);
-            }
-            if let Some(p) = prox {
+            // Effective gradient per element, evaluated in the historical
+            // order: g = ((grad + wd·w) + μ·w) + (−μ)·anchor.
+            let wd = cfg.weight_decay;
+            let lr = cfg.lr;
+            let prox_term = prox.as_ref().map(|p| {
                 let anchor = &p.anchor[index];
                 assert_eq!(
                     anchor.dims(),
                     param.dims(),
                     "Sgd::apply: proximal anchor shape mismatch at parameter {index}"
                 );
-                g.axpy(p.mu, param);
-                g.axpy(-p.mu, anchor);
-            }
+                (p.mu, anchor.data())
+            });
+            let effective = |pv: f32, gv: f32, av: f32, mu: f32| -> f32 {
+                let mut g = gv;
+                if wd != 0.0 {
+                    g += wd * pv;
+                }
+                if mu != 0.0 || prox_term.is_some() {
+                    g += mu * pv;
+                    g += -mu * av;
+                }
+                g
+            };
             if cfg.momentum != 0.0 {
                 let v = velocities[index].get_or_insert_with(|| Tensor::zeros(param.dims()));
-                v.scale(cfg.momentum);
-                v.add_assign(&g);
-                param.axpy(-cfg.lr, v);
+                let vd = v.data_mut();
+                let pd = param.data_mut();
+                match prox_term {
+                    Some((mu, ad)) => {
+                        for (((pv, &gv), vv), &av) in
+                            pd.iter_mut().zip(grad.data()).zip(vd.iter_mut()).zip(ad)
+                        {
+                            *vv = *vv * cfg.momentum + effective(*pv, gv, av, mu);
+                            *pv += -lr * *vv;
+                        }
+                    }
+                    None => {
+                        for ((pv, &gv), vv) in pd.iter_mut().zip(grad.data()).zip(vd.iter_mut()) {
+                            *vv = *vv * cfg.momentum + effective(*pv, gv, 0.0, 0.0);
+                            *pv += -lr * *vv;
+                        }
+                    }
+                }
             } else {
-                param.axpy(-cfg.lr, &g);
+                let pd = param.data_mut();
+                match prox_term {
+                    Some((mu, ad)) => {
+                        for ((pv, &gv), &av) in pd.iter_mut().zip(grad.data()).zip(ad) {
+                            *pv += -lr * effective(*pv, gv, av, mu);
+                        }
+                    }
+                    None => {
+                        for (pv, &gv) in pd.iter_mut().zip(grad.data()) {
+                            *pv += -lr * effective(*pv, gv, 0.0, 0.0);
+                        }
+                    }
+                }
             }
         });
     }

@@ -132,3 +132,182 @@ proptest! {
         }
     }
 }
+
+/// Exact bit equality of two tensors (shape and every element).
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims() && a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Deterministic non-trivial cotangent matching the forward output shape.
+fn cotangent(dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect(), dims).unwrap()
+}
+
+/// A workspace pre-polluted with NaN-filled buffers: reuse must never let
+/// stale contents leak into results.
+fn dirty_workspace() -> aergia_tensor::Workspace {
+    let mut ws = aergia_tensor::Workspace::new();
+    for dims in [[3usize, 3], [1, 7]] {
+        let mut t = ws.take(&dims);
+        t.fill(f32::NAN);
+        ws.give(t);
+    }
+    let mut s = ws.take_scratch();
+    s.reset(&[5]);
+    s.fill(f32::NAN);
+    ws.give_scratch(s);
+    ws
+}
+
+/// Drives two identically-initialised layers through the allocating and
+/// the workspace-backed paths (twice, so the second round sees a warm,
+/// previously-used workspace) and asserts bit-identical outputs, input
+/// gradients and accumulated parameter gradients.
+fn assert_into_path_bit_identical(
+    alloc: &mut dyn aergia_nn::layer::Layer,
+    into: &mut dyn aergia_nn::layer::Layer,
+    x: &Tensor,
+) {
+    let mut ws = dirty_workspace();
+    let mut y_into = Tensor::full(&[2], f32::NAN);
+    let mut dx_into = Tensor::full(&[3], f32::NAN);
+    for round in 0..2 {
+        let y_alloc = alloc.forward(x);
+        into.forward_into(x, &mut ws, &mut y_into);
+        assert!(bits_eq(&y_alloc, &y_into), "forward diverged (round {round})");
+
+        let dy = cotangent(y_alloc.dims());
+        let dx_alloc = alloc.backward(&dy);
+        into.backward_into(&dy, &mut ws, &mut dx_into);
+        assert!(bits_eq(&dx_alloc, &dx_into), "backward diverged (round {round})");
+
+        let mut ga = alloc.params_and_grads();
+        let mut gi = into.params_and_grads();
+        assert_eq!(ga.len(), gi.len());
+        for (i, ((_, a), (_, b))) in ga.iter_mut().zip(gi.iter_mut()).enumerate() {
+            assert!(bits_eq(a, b), "param grad {i} diverged (round {round})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv2d_into_is_bit_identical(
+        (in_c, out_c) in (1usize..3, 1usize..4),
+        kernel in 1usize..4,
+        pad in 0usize..2,
+        (h, w, batch) in (4usize..7, 4usize..7, 1usize..3),
+        seed in any::<u64>(),
+    ) {
+        use aergia_nn::layer::Conv2d;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alloc = Conv2d::new(in_c, out_c, kernel, 1, pad, h, w, &mut rng);
+        let mut into = alloc.clone();
+        let mut x = Tensor::zeros(&[batch, in_c, h, w]);
+        aergia_tensor::init::normal(&mut x, &mut StdRng::seed_from_u64(seed ^ 1), 0.0, 1.0);
+        assert_into_path_bit_identical(&mut alloc, &mut into, &x);
+    }
+
+    #[test]
+    fn linear_into_is_bit_identical(
+        (inf, outf, batch) in (1usize..9, 1usize..9, 1usize..5),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alloc = Linear::new(inf, outf, &mut rng);
+        let mut into = alloc.clone();
+        let mut x = Tensor::zeros(&[batch, inf]);
+        aergia_tensor::init::normal(&mut x, &mut StdRng::seed_from_u64(seed ^ 2), 0.0, 1.0);
+        assert_into_path_bit_identical(&mut alloc, &mut into, &x);
+    }
+
+    #[test]
+    fn relu_flatten_into_are_bit_identical(
+        (batch, c, h, w) in (1usize..3, 1usize..4, 1usize..5, 1usize..5),
+        seed in any::<u64>(),
+    ) {
+        let mut x = Tensor::zeros(&[batch, c, h, w]);
+        aergia_tensor::init::normal(&mut x, &mut StdRng::seed_from_u64(seed), 0.0, 1.0);
+        let mut relu_alloc = aergia_nn::layer::Relu::new();
+        let mut relu_into = aergia_nn::layer::Relu::new();
+        assert_into_path_bit_identical(&mut relu_alloc, &mut relu_into, &x);
+        let mut flat_alloc = Flatten::new();
+        let mut flat_into = Flatten::new();
+        assert_into_path_bit_identical(&mut flat_alloc, &mut flat_into, &x);
+    }
+
+    #[test]
+    fn maxpool_into_is_bit_identical(
+        (batch, c) in (1usize..3, 1usize..4),
+        (kernel, stride) in (1usize..4, 1usize..3),
+        (h, w) in (4usize..8, 4usize..8),
+        seed in any::<u64>(),
+    ) {
+        use aergia_nn::layer::MaxPool2d;
+        let mut x = Tensor::zeros(&[batch, c, h, w]);
+        aergia_tensor::init::normal(&mut x, &mut StdRng::seed_from_u64(seed), 0.0, 1.0);
+        let mut alloc = MaxPool2d::new(kernel, stride, h, w);
+        let mut into = MaxPool2d::new(kernel, stride, h, w);
+        assert_into_path_bit_identical(&mut alloc, &mut into, &x);
+    }
+
+    #[test]
+    fn residual_into_is_bit_identical(
+        (in_c, out_c) in (1usize..3, 1usize..4),
+        (h, w, batch) in (4usize..6, 4usize..6, 1usize..3),
+        seed in any::<u64>(),
+    ) {
+        use aergia_nn::layer::ResidualBlock;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alloc = ResidualBlock::new(in_c, out_c, h, w, &mut rng);
+        let mut into = alloc.clone();
+        let mut x = Tensor::zeros(&[batch, in_c, h, w]);
+        aergia_tensor::init::normal(&mut x, &mut StdRng::seed_from_u64(seed ^ 3), 0.0, 1.0);
+        assert_into_path_bit_identical(&mut alloc, &mut into, &x);
+    }
+
+    /// Whole-model contract: training with a persistent (warm, dirty)
+    /// workspace is bit-identical to training with a throwaway workspace
+    /// per batch, step after step.
+    #[test]
+    fn train_batch_with_persistent_workspace_is_bit_identical(
+        seed in 0u64..500, steps in 1usize..4,
+    ) {
+        let mut fresh = tiny_model(seed);
+        let mut warm = tiny_model(seed);
+        let mut opt_fresh = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() });
+        let mut opt_warm = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() });
+        let mut ws = dirty_workspace();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        for _ in 0..steps {
+            let mut x = Tensor::zeros(&[3, 6]);
+            aergia_tensor::init::normal(&mut x, &mut rng, 0.0, 1.0);
+            let a = fresh.train_batch(&x, &[0, 1, 2], &mut opt_fresh).unwrap();
+            let b = warm.train_batch_with(&x, &[0, 1, 2], &mut opt_warm, &mut ws).unwrap();
+            prop_assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            prop_assert_eq!(a.correct, b.correct);
+        }
+        for (a, b) in fresh.weights().iter().zip(&warm.weights()) {
+            prop_assert!(bits_eq(a, b), "weights diverged between fresh and persistent workspace");
+        }
+    }
+
+    /// `cross_entropy_into` with a dirty reused buffer matches the
+    /// allocating `cross_entropy` bit for bit.
+    #[test]
+    fn cross_entropy_into_matches_allocating(
+        logits in proptest::collection::vec(-4.0f32..4.0, 8),
+        t0 in 0usize..4, t1 in 0usize..4,
+    ) {
+        let logits = Tensor::from_vec(logits, &[2, 4]).unwrap();
+        let out = cross_entropy(&logits, &[t0, t1]);
+        let mut dl = Tensor::full(&[3], f32::NAN);
+        let stats = aergia_nn::loss::cross_entropy_into(&logits, &[t0, t1], &mut dl);
+        prop_assert_eq!(stats.loss.to_bits(), out.loss.to_bits());
+        prop_assert_eq!(stats.correct, out.correct);
+        prop_assert!(bits_eq(&dl, &out.dlogits));
+    }
+}

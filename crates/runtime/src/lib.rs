@@ -35,6 +35,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
+
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;

@@ -78,6 +78,25 @@ impl ConvGeometry {
 /// Returns [`TensorError::RankMismatch`] unless `input` is rank 4 and
 /// [`TensorError::ShapeMismatch`] if its spatial dims disagree with `geom`.
 pub fn im2col(input: &Tensor, channels: usize, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    im2col_into(input, channels, geom, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col`] writing into a caller-provided tensor: `out` is
+/// [`Tensor::reset`] to `[N·OH·OW, C·kh·kw]` (reusing its allocation when
+/// the capacity suffices) — the im2col scratch a convolution layer reuses
+/// across batches.
+///
+/// # Errors
+///
+/// Same error conditions as [`im2col`]; `out` is untouched on error.
+pub fn im2col_into(
+    input: &Tensor,
+    channels: usize,
+    geom: &ConvGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     let dims = input.dims();
     if dims.len() != 4 {
         return Err(TensorError::RankMismatch { op: "im2col", expected: 4, got: dims.len() });
@@ -92,7 +111,7 @@ pub fn im2col(input: &Tensor, channels: usize, geom: &ConvGeometry) -> Result<Te
     let n = dims[0];
     let (oh, ow) = (geom.out_h, geom.out_w);
     let ckk = channels * geom.k_h * geom.k_w;
-    let mut out = Tensor::zeros(&[n * oh * ow, ckk]);
+    out.reset(&[n * oh * ow, ckk]);
     let src = input.data();
     let dst = out.data_mut();
     let img_stride = channels * geom.in_h * geom.in_w;
@@ -128,7 +147,7 @@ pub fn im2col(input: &Tensor, channels: usize, geom: &ConvGeometry) -> Result<Te
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Scatters a patch-matrix gradient back onto the padded input (the adjoint
@@ -144,6 +163,24 @@ pub fn col2im(
     channels: usize,
     geom: &ConvGeometry,
 ) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    col2im_into(cols, batch, channels, geom, &mut out)?;
+    Ok(out)
+}
+
+/// [`col2im`] writing into a caller-provided tensor (see [`im2col_into`]
+/// for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`col2im`]; `out` is untouched on error.
+pub fn col2im_into(
+    cols: &Tensor,
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     let ckk = channels * geom.k_h * geom.k_w;
     let rows = batch * geom.out_h * geom.out_w;
     if cols.dims() != [rows, ckk] {
@@ -153,7 +190,7 @@ pub fn col2im(
             rhs: vec![rows, ckk],
         });
     }
-    let mut out = Tensor::zeros(&[batch, channels, geom.in_h, geom.in_w]);
+    out.reset(&[batch, channels, geom.in_h, geom.in_w]);
     let src = cols.data();
     let dst = out.data_mut();
     let img_stride = channels * geom.in_h * geom.in_w;
@@ -187,7 +224,7 @@ pub fn col2im(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Reorders `[N, C, H, W]` activations into the `[N·H·W, C]` row matrix used
@@ -197,12 +234,24 @@ pub fn col2im(
 ///
 /// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs.
 pub fn nchw_to_rows(input: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    nchw_to_rows_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`nchw_to_rows`] writing into a caller-provided tensor (see
+/// [`im2col_into`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`nchw_to_rows`]; `out` is untouched on error.
+pub fn nchw_to_rows_into(input: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let dims = input.dims();
     if dims.len() != 4 {
         return Err(TensorError::RankMismatch { op: "nchw_to_rows", expected: 4, got: dims.len() });
     }
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    let mut out = Tensor::zeros(&[n * h * w, c]);
+    out.reset_for_overwrite(&[n * h * w, c]);
     let src = input.data();
     let dst = out.data_mut();
     let hw = h * w;
@@ -214,7 +263,7 @@ pub fn nchw_to_rows(input: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inverse of [`nchw_to_rows`]: reorders a `[N·H·W, C]` row matrix into
@@ -231,6 +280,25 @@ pub fn rows_to_nchw(
     h: usize,
     w: usize,
 ) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    rows_to_nchw_into(rows, n, c, h, w, &mut out)?;
+    Ok(out)
+}
+
+/// [`rows_to_nchw`] writing into a caller-provided tensor (see
+/// [`im2col_into`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`rows_to_nchw`]; `out` is untouched on error.
+pub fn rows_to_nchw_into(
+    rows: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     if rows.dims() != [n * h * w, c] {
         return Err(TensorError::ShapeMismatch {
             op: "rows_to_nchw",
@@ -238,7 +306,7 @@ pub fn rows_to_nchw(
             rhs: vec![n * h * w, c],
         });
     }
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    out.reset_for_overwrite(&[n, c, h, w]);
     let src = rows.data();
     let dst = out.data_mut();
     let hw = h * w;
@@ -250,7 +318,7 @@ pub fn rows_to_nchw(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -38,6 +38,8 @@ pub mod init;
 pub mod ops;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use shape::{Shape, TensorError};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -9,6 +9,12 @@
 //! dimension in `K_BLOCK`-wide panels so the B-panel stays hot in cache
 //! while a whole row tile accumulates against it.
 //!
+//! Every allocating entry point has a buffer-reuse twin ([`matmul_into`],
+//! [`matmul_nt_into`], [`matmul_tn_into`], [`sum_rows_into`]) that
+//! [`Tensor::reset`]s a caller-provided output instead of allocating; the
+//! allocating functions are thin wrappers over them, so both spellings run
+//! the identical kernel.
+//!
 //! # Determinism
 //!
 //! Tiling never reorders floating-point accumulation: for every output
@@ -85,6 +91,34 @@ fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorE
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul`] writing into a caller-provided tensor: `out` is
+/// [`Tensor::reset`] to `[m, n]` (reusing its allocation when the capacity
+/// suffices) and then overwritten with the product, bit-identically to the
+/// allocating kernel.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`]; `out` is untouched on error.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), aergia_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::eye(2);
+/// let mut out = Tensor::default();
+/// ops::matmul_into(&a, &b, &mut out)?;
+/// assert_eq!(out.data(), a.data());
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, ka) = require_rank2("matmul", a)?;
     let (kb, n) = require_rank2("matmul", b)?;
     if ka != kb {
@@ -94,7 +128,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    out.reset(&[m, n]);
     let ad = a.data();
     let bd = b.data();
     run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
@@ -117,7 +151,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// The naive `i-k-j` matmul kept as the oracle for the blocked kernel
@@ -165,6 +199,18 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Same error conditions as [`matmul`], with the shared dimension being the
 /// *rows* of both operands.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    matmul_tn_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_tn`] writing into a caller-provided tensor (see
+/// [`matmul_into`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_tn`]; `out` is untouched on error.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (ka, m) = require_rank2("matmul_tn", a)?;
     let (kb, n) = require_rank2("matmul_tn", b)?;
     if ka != kb {
@@ -174,7 +220,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    out.reset(&[m, n]);
     let ad = a.data();
     let bd = b.data();
     run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
@@ -192,7 +238,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// The naive `k-i-j` transposed-A matmul kept as the oracle for the tiled
@@ -240,6 +286,18 @@ pub fn matmul_tn_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError
 /// Same error conditions as [`matmul`], with the shared dimension being the
 /// *columns* of both operands.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    matmul_nt_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_nt`] writing into a caller-provided tensor (see
+/// [`matmul_into`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_nt`]; `out` is untouched on error.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, ka) = require_rank2("matmul_nt", a)?;
     let (n, kb) = require_rank2("matmul_nt", b)?;
     if ka != kb {
@@ -249,7 +307,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    out.reset(&[m, n]);
     let ad = a.data();
     let bd = b.data();
     run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
@@ -268,7 +326,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// The naive row-dot-row transposed-B matmul kept as the oracle for the
@@ -338,9 +396,9 @@ pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) -> Result<(), TensorError> {
             rhs: bias.dims().to_vec(),
         });
     }
-    let bd = bias.data().to_vec();
+    let bd = bias.data();
     for row in a.data_mut().chunks_exact_mut(n) {
-        for (x, b) in row.iter_mut().zip(&bd) {
+        for (x, b) in row.iter_mut().zip(bd) {
             *x += b;
         }
     }
@@ -355,15 +413,27 @@ pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) -> Result<(), TensorError> {
 ///
 /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
 pub fn sum_rows(a: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    sum_rows_into(a, &mut out)?;
+    Ok(out)
+}
+
+/// [`sum_rows`] writing into a caller-provided tensor (see
+/// [`matmul_into`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same error conditions as [`sum_rows`]; `out` is untouched on error.
+pub fn sum_rows_into(a: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (_, n) = require_rank2("sum_rows", a)?;
-    let mut out = Tensor::zeros(&[n]);
+    out.reset(&[n]);
     let od = out.data_mut();
     for row in a.data().chunks_exact(n) {
         for (o, &x) in od.iter_mut().zip(row) {
             *o += x;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -41,6 +41,23 @@ impl Shape {
         &self.0
     }
 
+    /// Overwrites the dimensions in place, reusing the backing allocation
+    /// (ranks are tiny, so the capacity stabilises after the first few
+    /// calls) — the allocation-free path behind [`crate::Tensor::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroDim`] if any dimension is zero; the
+    /// shape is unchanged on error.
+    pub(crate) fn set_dims(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        if let Some(&d) = dims.iter().find(|&&d| d == 0) {
+            return Err(TensorError::ZeroDim { dim: d, dims: dims.to_vec() });
+        }
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+        Ok(())
+    }
+
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
         self.0.len()

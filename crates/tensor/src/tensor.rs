@@ -130,6 +130,78 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes the tensor in place to `dims` and zero-fills it, reusing
+    /// the existing heap allocation whenever its capacity suffices.
+    ///
+    /// This is the buffer-reuse primitive behind the `_into` kernels and
+    /// [`crate::Workspace`]: in a steady-state training loop the same
+    /// tensor is reset to the same shape every batch, so after the first
+    /// (warm-up) batch `reset` never touches the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aergia_tensor::Tensor;
+    ///
+    /// let mut t = Tensor::ones(&[2, 3]);
+    /// t.reset(&[3, 2]);
+    /// assert_eq!(t.dims(), &[3, 2]);
+    /// assert_eq!(t.sum(), 0.0);
+    /// ```
+    pub fn reset(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape.set_dims(dims).expect("Tensor::reset: invalid shape");
+        }
+        let numel = self.shape.numel();
+        self.data.clear();
+        self.data.resize(numel, 0.0);
+    }
+
+    /// [`Tensor::reset`] without the zero-fill: reshapes in place but
+    /// leaves existing buffer contents **unspecified**. Only for callers
+    /// that immediately overwrite every element (copy/transpose-style
+    /// kernels) — it halves the memory writes of [`Tensor::reset`] on
+    /// those paths. Accumulating kernels must use [`Tensor::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension.
+    pub fn reset_for_overwrite(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape.set_dims(dims).expect("Tensor::reset_for_overwrite: invalid shape");
+        }
+        let numel = self.shape.numel();
+        if self.data.len() != numel {
+            self.data.resize(numel, 0.0);
+        }
+    }
+
+    /// Overwrites this tensor with `other`'s shape and contents, reusing
+    /// the existing heap allocation whenever its capacity suffices (the
+    /// in-place counterpart of `clone`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aergia_tensor::Tensor;
+    ///
+    /// let src = Tensor::ones(&[2, 2]);
+    /// let mut dst = Tensor::zeros(&[4]);
+    /// dst.copy_from(&src);
+    /// assert_eq!(dst, src);
+    /// ```
+    pub fn copy_from(&mut self, other: &Tensor) {
+        if self.shape != other.shape {
+            self.shape.set_dims(other.dims()).expect("source shape is valid");
+        }
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Returns a tensor with the same data and a new shape.
     ///
     /// # Errors

@@ -1,0 +1,159 @@
+//! A bump pool of reusable tensor buffers for the allocation-free hot path.
+//!
+//! Training a CNN batch touches the same tensor shapes over and over:
+//! activations, im2col patch matrices, gradient scratch. Allocating each of
+//! them per batch puts the allocator — not the matmul kernels — on the
+//! critical path once many simulated clients train concurrently. A
+//! [`Workspace`] keeps those buffers alive between batches so a steady-state
+//! training loop performs **zero** heap allocations (asserted by the
+//! workspace's counting-allocator test suite).
+//!
+//! Two pools cover the two reuse patterns:
+//!
+//! * a **shape-keyed pool** ([`Workspace::take`]/[`Workspace::give`]) for
+//!   scratch whose dimensions the caller knows (patch matrices, gradient
+//!   accumulators) — a buffer is reused only for its exact shape, so its
+//!   capacity is always right;
+//! * an **untyped scratch stack** ([`Workspace::take_scratch`]/
+//!   [`Workspace::give_scratch`]) for the ping-pong activation buffers of a
+//!   layer pipeline, where each buffer is [`Tensor::reset`] to a different
+//!   shape per layer and LIFO order keeps the same physical buffer in the
+//!   same role every batch.
+//!
+//! Buffers returned by either `take` have **unspecified contents**; every
+//! `_into` kernel and `Layer::*_into` method fully defines its output, so no
+//! caller observes stale values. Determinism is unaffected: a workspace only
+//! changes *where* results are written, never the arithmetic or its order,
+//! and the engine's determinism suite pins workspace-backed runs bit-for-bit
+//! against the allocating path.
+
+use crate::Tensor;
+
+/// A pool of reusable [`Tensor`] buffers: a shape-keyed pool
+/// ([`Workspace::take`]/[`Workspace::give`]) plus a LIFO scratch stack
+/// ([`Workspace::take_scratch`]/[`Workspace::give_scratch`]) — see the
+/// module docs above for the reuse patterns each serves.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::{ops, Tensor, Workspace};
+///
+/// # fn main() -> Result<(), aergia_tensor::TensorError> {
+/// let mut ws = Workspace::new();
+/// let a = Tensor::ones(&[8, 4]);
+/// let b = Tensor::ones(&[4, 8]);
+/// for _ in 0..10 {
+///     // After the first iteration this loop never allocates: the buffer
+///     // cycles between the pool and the matmul output.
+///     let mut out = ws.take(&[8, 8]);
+///     ops::matmul_into(&a, &b, &mut out)?;
+///     assert_eq!(out.sum(), 256.0);
+///     ws.give(out);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    shaped: Vec<Tensor>,
+    scratch: Vec<Tensor>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are pooled as they are given
+    /// back, so the first pass through a training loop is the warm-up that
+    /// populates it.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Pops a buffer of exactly `dims` from the shape-keyed pool, or
+    /// allocates a fresh zeroed one on a miss. Pooled buffer contents are
+    /// **unspecified** — callers must fully define them (the `_into`
+    /// kernels do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` contains a zero dimension.
+    pub fn take(&mut self, dims: &[usize]) -> Tensor {
+        match self.shaped.iter().position(|t| t.dims() == dims) {
+            Some(i) => self.shaped.swap_remove(i),
+            None => Tensor::zeros(dims),
+        }
+    }
+
+    /// Returns a buffer to the shape-keyed pool for a later
+    /// [`Workspace::take`] of the same shape.
+    pub fn give(&mut self, tensor: Tensor) {
+        self.shaped.push(tensor);
+    }
+
+    /// Pops an arbitrary buffer from the scratch stack (or a fresh scalar
+    /// tensor when empty). Intended for outputs that the callee will
+    /// [`Tensor::reset`] anyway — e.g. the two ping-pong activation
+    /// buffers of a sequential forward/backward pass; LIFO reuse keeps
+    /// each buffer in a stable role, so capacities stop growing after the
+    /// first batch.
+    pub fn take_scratch(&mut self) -> Tensor {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the scratch stack.
+    pub fn give_scratch(&mut self, tensor: Tensor) {
+        self.scratch.push(tensor);
+    }
+
+    /// Number of buffers currently pooled (both pools).
+    pub fn pooled(&self) -> usize {
+        self.shaped.len() + self.scratch.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_exact_shape_buffers() {
+        let mut ws = Workspace::new();
+        let t = ws.take(&[4, 3]);
+        let ptr = t.data().as_ptr();
+        ws.give(t);
+        assert_eq!(ws.pooled(), 1);
+        let again = ws.take(&[4, 3]);
+        assert_eq!(again.data().as_ptr(), ptr, "same-shape take must reuse the pooled buffer");
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn take_misses_on_shape_mismatch() {
+        let mut ws = Workspace::new();
+        let t = ws.take(&[2, 2]);
+        ws.give(t);
+        let other = ws.take(&[2, 3]);
+        assert_eq!(other.dims(), &[2, 3]);
+        // The 2x2 buffer is still pooled.
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn scratch_stack_is_lifo() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_scratch();
+        a.reset(&[8]);
+        let a_ptr = a.data().as_ptr();
+        let b = ws.take_scratch();
+        ws.give_scratch(b);
+        ws.give_scratch(a);
+        let top = ws.take_scratch();
+        assert_eq!(top.data().as_ptr(), a_ptr, "scratch reuse must pop the last buffer given");
+    }
+
+    #[test]
+    fn fresh_takes_are_zeroed() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.take(&[3, 3]).sum(), 0.0);
+        assert_eq!(ws.take_scratch().numel(), 1);
+    }
+}

@@ -110,6 +110,76 @@ proptest! {
         );
     }
 
+    /// The `_into` kernels must match the naive references *bit for bit*
+    /// regardless of the output buffer's prior shape or contents, and
+    /// reusing the same buffer twice must reproduce the same bits — the
+    /// contract the zero-allocation training hot path stands on.
+    #[test]
+    fn into_kernels_match_references_exactly_with_dirty_buffers(
+        m in 1usize..80, k in 1usize..80, n in 1usize..40,
+        seed in any::<u64>(),
+        (gr, gc) in (1usize..7, 1usize..7),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < 0.1 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        let a = Tensor::from_vec(fill(m * k), &[m, k]).unwrap();
+        let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+        // A garbage-filled, wrongly-shaped output buffer: `_into` must
+        // fully define the result anyway.
+        let mut out = Tensor::full(&[gr, gc], f32::NAN);
+        ops::matmul_into(&a, &b, &mut out).unwrap();
+        prop_assert_eq!(&out, &ops::matmul_reference(&a, &b).unwrap());
+        ops::matmul_into(&a, &b, &mut out).unwrap();
+        prop_assert_eq!(&out, &ops::matmul_reference(&a, &b).unwrap());
+
+        let at = Tensor::from_vec(fill(k * m), &[k, m]).unwrap();
+        ops::matmul_tn_into(&at, &b, &mut out).unwrap();
+        prop_assert_eq!(&out, &ops::matmul_tn_reference(&at, &b).unwrap());
+
+        let bt = Tensor::from_vec(fill(n * k), &[n, k]).unwrap();
+        ops::matmul_nt_into(&a, &bt, &mut out).unwrap();
+        prop_assert_eq!(&out, &ops::matmul_nt_reference(&a, &bt).unwrap());
+
+        ops::sum_rows_into(&a, &mut out).unwrap();
+        prop_assert_eq!(&out, &ops::sum_rows(&a).unwrap());
+    }
+
+    /// Same dirty-buffer contract for the convolution lowering: `im2col`
+    /// relies on zero padding, so a reused buffer must be re-zeroed
+    /// correctly before the patch scatter.
+    #[test]
+    fn conv_lowering_into_is_reproducible_with_dirty_buffers(
+        n in 1usize..3, c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_vec(
+            (0..n * c * h * w).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[n, c, h, w],
+        ).unwrap();
+        let geom = ConvGeometry::new(h, w, 3, 3, 1, pad);
+        let fresh = im2col(&x, c, &geom).unwrap();
+        let mut cols = Tensor::full(&[3, 5], f32::NAN);
+        aergia_tensor::conv::im2col_into(&x, c, &geom, &mut cols).unwrap();
+        prop_assert_eq!(&cols, &fresh);
+        aergia_tensor::conv::im2col_into(&x, c, &geom, &mut cols).unwrap();
+        prop_assert_eq!(&cols, &fresh);
+
+        let back = col2im(&cols, n, c, &geom).unwrap();
+        let mut im = Tensor::full(&[2], f32::NAN);
+        aergia_tensor::conv::col2im_into(&cols, n, c, &geom, &mut im).unwrap();
+        prop_assert_eq!(&im, &back);
+    }
+
     #[test]
     fn transpose_is_involutive(a in matrix(3, 5)) {
         let tt = ops::transpose(&ops::transpose(&a).unwrap()).unwrap();

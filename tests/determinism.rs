@@ -103,6 +103,24 @@ fn aergia_parallel_round_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn workspace_reuse_is_bit_identical_across_serial_parallel_and_reruns() {
+    force_pool_workers();
+    // Per-client workspaces persist across rounds (models reset via
+    // `set_weights`, tensor buffers recycled). This must be invisible to
+    // results along every axis: a fresh engine re-run of the same seed
+    // (cold workspaces) must match bit-for-bit, and so must the parallel
+    // execution of the same plans over warm workspaces.
+    let strategy = Strategy::aergia_default();
+    let serial = run_with_parallelism(fig6_smoke(35), strategy, 1);
+    let rerun = run_with_parallelism(fig6_smoke(35), strategy, 1);
+    assert_bit_identical(&serial, &rerun, "workspace rerun");
+    let parallel = run_with_parallelism(fig6_smoke(35), strategy, 0);
+    assert_bit_identical(&serial, &parallel, "workspace parallel");
+    let total: usize = serial.0.rounds.iter().map(|r| r.offloads.len()).sum();
+    assert!(total > 0, "seed 35 must exercise offloads so stage-2 workspace reuse is covered");
+}
+
+#[test]
 fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
     force_pool_workers();
     let strategy = Strategy::FedAvg;
