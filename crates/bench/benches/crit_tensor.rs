@@ -1,10 +1,13 @@
 //! Micro-benchmarks of the tensor/NN kernels the whole evaluation rests
-//! on: matmul, convolution forward/backward, and a full 4-phase batch.
+//! on: matmul, a GEMM size sweep in GFLOP/s (packed microkernel vs the
+//! previous blocked generation), convolution forward/backward, and a full
+//! 4-phase batch.
 
 use aergia_nn::models::ModelArch;
 use aergia_nn::optim::{Sgd, SgdConfig};
+use aergia_tensor::gemm::{PackedA, PackedB};
 use aergia_tensor::{init, ops, Tensor};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -18,6 +21,80 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("tensor/matmul_128x256x64", |bench| {
         bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"));
     });
+}
+
+/// GEMM size sweep at CNN-typical im2col shapes (`m` = batch × output
+/// pixels, `k` = in_channels × kernel², `n` = out_channels), reporting
+/// GFLOP/s (the `Gelem/s` column, with elements = 2·m·k·n FLOPs).
+///
+/// Three kernels per shape and form:
+/// * `blocked` — the previous loop-tiled scalar generation
+///   (`ops::matmul_blocked_into`), the sweep's baseline;
+/// * `packed` — the register-blocked microkernel over a *cached* operand
+///   pack, i.e. the steady-state hot path of a cached weight matrix;
+/// * `packed_cold` (matmul only) — pack + multiply per iteration, the
+///   worst case a per-batch operand pays.
+fn bench_gemm_sweep(c: &mut Criterion) {
+    // (m, k, n) spanning the im2col band: m ≈ 10³–10⁴, k ≈ 10²–10³.
+    const SHAPES: &[(usize, usize, usize)] = &[(1024, 128, 32), (3136, 576, 64), (4096, 800, 128)];
+    let mut group = c.benchmark_group("tensor/gemm");
+    for &(m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut a = Tensor::zeros(&[m, k]);
+        let mut b = Tensor::zeros(&[k, n]);
+        let mut bt = Tensor::zeros(&[n, k]);
+        let mut at = Tensor::zeros(&[k, m]);
+        init::normal(&mut a, &mut rng, 0.0, 1.0);
+        init::normal(&mut b, &mut rng, 0.0, 1.0);
+        init::normal(&mut bt, &mut rng, 0.0, 1.0);
+        init::normal(&mut at, &mut rng, 0.0, 1.0);
+        let mut out = Tensor::zeros(&[m, n]);
+        let flops = 2 * m * k * n;
+        group.throughput(Throughput::Elements(flops as u64));
+
+        group.bench_function(format!("m{m}_k{k}_n{n}/blocked"), |bench| {
+            bench.iter(|| ops::matmul_blocked_into(black_box(&a), black_box(&b), &mut out));
+        });
+        let mut pb = PackedB::new();
+        pb.pack(&b).expect("pack");
+        group.bench_function(format!("m{m}_k{k}_n{n}/packed"), |bench| {
+            bench.iter(|| ops::matmul_packed_into(black_box(&a), black_box(&pb), &mut out));
+        });
+        group.bench_function(format!("m{m}_k{k}_n{n}/packed_cold"), |bench| {
+            let mut cold = PackedB::new();
+            bench.iter(|| {
+                cold.pack(black_box(&b)).expect("pack");
+                ops::matmul_packed_into(black_box(&a), black_box(&cold), &mut out)
+            });
+        });
+
+        // The backward-pass forms at the same shape: nt (forward/input
+        // gradients, B = weight, cached pack) and tn (weight gradients,
+        // both operands per-batch, cold packs).
+        let mut pbt = PackedB::new();
+        pbt.pack_transposed(&bt).expect("pack");
+        group.bench_function(format!("m{m}_k{k}_n{n}/nt_blocked"), |bench| {
+            bench.iter(|| ops::matmul_nt_blocked_into(black_box(&a), black_box(&bt), &mut out));
+        });
+        group.bench_function(format!("m{m}_k{k}_n{n}/nt_packed"), |bench| {
+            bench.iter(|| ops::matmul_nt_packed_into(black_box(&a), black_box(&pbt), &mut out));
+        });
+
+        let mut out_tn = Tensor::zeros(&[m, n]);
+        group.bench_function(format!("m{m}_k{k}_n{n}/tn_blocked"), |bench| {
+            bench.iter(|| ops::matmul_tn_blocked_into(black_box(&at), black_box(&b), &mut out_tn));
+        });
+        group.bench_function(format!("m{m}_k{k}_n{n}/tn_packed_cold"), |bench| {
+            let mut pa = PackedA::new();
+            let mut pbc = PackedB::new();
+            bench.iter(|| {
+                pa.pack_transposed(black_box(&at)).expect("pack");
+                pbc.pack(black_box(&b)).expect("pack");
+                ops::matmul_tn_packed_into(&pa, &pbc, &mut out_tn)
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_conv_phases(c: &mut Criterion) {
@@ -38,5 +115,5 @@ fn bench_conv_phases(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_conv_phases);
+criterion_group!(benches, bench_matmul, bench_gemm_sweep, bench_conv_phases);
 criterion_main!(benches);

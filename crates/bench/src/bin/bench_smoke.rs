@@ -1,5 +1,7 @@
 //! Times every figure harness at `AERGIA_SCALE=smoke` and gates wall-time
-//! regressions — the driver behind the `bench-regression` CI job.
+//! regressions (plus the in-process `allocs_per_round` and
+//! `matmul_gflops` figures) — the driver behind the `bench-regression`
+//! CI job.
 //!
 //! ```sh
 //! cargo run --release -p aergia-bench --bin bench_smoke -- \
@@ -20,12 +22,16 @@ use std::time::Instant;
 
 use aergia::engine::Engine;
 use aergia::strategy::Strategy;
-use aergia_bench::regression::{from_json, regressions, to_json, BenchReport};
+use aergia_bench::regression::{from_json, is_throughput, regressions, to_json, BenchReport};
 use aergia_bench::{base_config, Scale};
 use aergia_data::DatasetSpec;
 use aergia_nn::models::ModelArch;
 use aergia_runtime::alloc_count::CountingAllocator;
 use aergia_simnet::SimTime;
+use aergia_tensor::gemm::PackedB;
+use aergia_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Counts every heap allocation in this process so the report can carry
 /// `allocs_per_round` next to the wall-times (the allocation measurement
@@ -107,6 +113,33 @@ fn measure_allocs_per_round() -> f64 {
     (ALLOC.allocations() - before) as f64 / f64::from(rounds - 1)
 }
 
+/// Steady-state GEMM throughput (GFLOP/s) of the packed microkernel at a
+/// CNN-typical im2col shape, against a cached weight pack — the figure
+/// the `matmul_gflops` gate entry tracks. Measured serially (the caller
+/// pins `AERGIA_THREADS=1`) so the number reflects per-core kernel
+/// quality, not the host's core count.
+fn measure_matmul_gflops() -> f64 {
+    let (m, k, n) = (2048, 576, 64);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut a = Tensor::zeros(&[m, k]);
+    let mut b = Tensor::zeros(&[k, n]);
+    init::normal(&mut a, &mut rng, 0.0, 1.0);
+    init::normal(&mut b, &mut rng, 0.0, 1.0);
+    let mut pb = PackedB::new();
+    pb.pack(&b).expect("pack");
+    let mut out = Tensor::default();
+    // Warm the output buffer and caches, then time a fixed window.
+    ops::matmul_packed_into(&a, &pb, &mut out).expect("matmul");
+    let flops = 2.0 * (m * k * n) as f64;
+    let started = Instant::now();
+    let mut reps = 0u32;
+    while started.elapsed().as_secs_f64() < 0.5 {
+        ops::matmul_packed_into(&a, &pb, &mut out).expect("matmul");
+        reps += 1;
+    }
+    flops * f64::from(reps) / started.elapsed().as_secs_f64() / 1e9
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(o) => o,
@@ -124,11 +157,14 @@ fn main() {
     let orig_threads = std::env::var_os("AERGIA_THREADS");
     std::env::set_var("AERGIA_THREADS", "1");
     let allocs_per_round = measure_allocs_per_round();
+    eprintln!("bench_smoke: allocs_per_round = {allocs_per_round:.0}");
+    eprintln!("bench_smoke: measuring packed GEMM throughput");
+    let matmul_gflops = measure_matmul_gflops();
+    eprintln!("bench_smoke: matmul_gflops = {matmul_gflops:.1}");
     match orig_threads {
         Some(value) => std::env::set_var("AERGIA_THREADS", value),
         None => std::env::remove_var("AERGIA_THREADS"),
     }
-    eprintln!("bench_smoke: allocs_per_round = {allocs_per_round:.0}");
 
     // Build every bench target untimed so the measurements below are pure
     // harness wall-time.
@@ -138,6 +174,7 @@ fn main() {
 
     let mut report = BenchReport::new();
     report.insert("allocs_per_round".to_string(), allocs_per_round);
+    report.insert("matmul_gflops".to_string(), matmul_gflops);
     for &name in HARNESSES {
         eprintln!("bench_smoke: running {name}");
         let started = Instant::now();
@@ -172,13 +209,16 @@ fn main() {
         return;
     }
     for r in &found {
+        // Report the regression factor so it always reads ">= limit":
+        // wall-times regress by getting bigger, throughputs by shrinking.
+        let (unit, factor) = if is_throughput(&r.name) {
+            (" GFLOP/s", r.baseline_secs / r.current_secs)
+        } else {
+            ("s", r.current_secs / r.baseline_secs)
+        };
         eprintln!(
-            "bench_smoke: REGRESSION {}: {:.3}s vs baseline {:.3}s ({:.1}x, limit {:.1}x)",
-            r.name,
-            r.current_secs,
-            r.baseline_secs,
-            r.current_secs / r.baseline_secs,
-            options.max_regression
+            "bench_smoke: REGRESSION {}: {:.3}{unit} vs baseline {:.3}{unit} ({factor:.1}x, limit {:.1}x)",
+            r.name, r.current_secs, r.baseline_secs, options.max_regression
         );
     }
     std::process::exit(1);

@@ -4,8 +4,11 @@
 //! `AERGIA_SCALE=smoke`, records the wall-times in a flat JSON object
 //! (`BENCH_smoke.json`, figure name → seconds) and compares them against
 //! the checked-in baseline: any entry slower than `baseline ×
-//! max_regression` fails the job. The format is deliberately trivial —
-//! the workspace is offline, so both the writer and the parser live here
+//! max_regression` fails the job. Entries named `*_gflops` are
+//! *throughputs* (GFLOP/s — e.g. the `matmul_gflops` GEMM figure), where
+//! higher is better: they regress when the current value falls below
+//! `baseline ÷ max_regression`. The format is deliberately trivial — the
+//! workspace is offline, so both the writer and the parser live here
 //! instead of pulling in `serde_json`.
 
 use std::collections::BTreeMap;
@@ -64,36 +67,55 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
     Ok(report)
 }
 
-/// One benchmark whose current wall-time breaches the regression gate.
+/// One benchmark whose current value breaches the regression gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     /// Figure harness name.
     pub name: String,
-    /// Baseline wall-time, seconds.
+    /// Baseline value (seconds for wall-time entries, GFLOP/s for
+    /// `*_gflops` throughput entries).
     pub baseline_secs: f64,
-    /// Current wall-time, seconds.
+    /// Current value, same unit as the baseline.
     pub current_secs: f64,
 }
 
-/// Compares a fresh report against the baseline: an entry regresses when
-/// it is more than `max_ratio` times slower than its baseline. Entries
-/// only present on one side are ignored (new figures don't need a
-/// lockstep baseline update; retired figures don't block).
+/// Name suffix marking a throughput entry (higher is better) rather than
+/// a wall-time (lower is better).
+pub const THROUGHPUT_SUFFIX: &str = "_gflops";
+
+/// Whether an entry name denotes a throughput (see [`THROUGHPUT_SUFFIX`]).
+#[must_use]
+pub fn is_throughput(name: &str) -> bool {
+    name.ends_with(THROUGHPUT_SUFFIX)
+}
+
+/// Compares a fresh report against the baseline: a wall-time entry
+/// regresses when it is more than `max_ratio` times slower than its
+/// baseline; a throughput entry (`*_gflops`) regresses when it drops
+/// below `baseline ÷ max_ratio`. Entries only present on one side are
+/// ignored (new figures don't need a lockstep baseline update; retired
+/// figures don't block).
 ///
-/// A small absolute floor (0.5 s) keeps sub-second harnesses from
-/// tripping the gate on scheduler noise.
+/// A small absolute floor (0.5, in the entry's own unit) keeps noisy
+/// low-magnitude entries from tripping the gate: sub-half-second
+/// harnesses never gate, and neither do throughput entries whose
+/// baseline is at or below 0.5 GFLOP/s.
 #[must_use]
 pub fn regressions(
     baseline: &BenchReport,
     current: &BenchReport,
     max_ratio: f64,
 ) -> Vec<Regression> {
-    const NOISE_FLOOR_SECS: f64 = 0.5;
+    const NOISE_FLOOR: f64 = 0.5;
     let mut out = Vec::new();
     for (name, &current_secs) in current {
         let Some(&baseline_secs) = baseline.get(name) else { continue };
-        let limit = (baseline_secs * max_ratio).max(NOISE_FLOOR_SECS);
-        if current_secs > limit {
+        let regressed = if is_throughput(name) {
+            baseline_secs > NOISE_FLOOR && current_secs * max_ratio < baseline_secs
+        } else {
+            current_secs > (baseline_secs * max_ratio).max(NOISE_FLOOR)
+        };
+        if regressed {
             out.push(Regression { name: name.clone(), baseline_secs, current_secs });
         }
     }
@@ -146,6 +168,28 @@ mod tests {
     fn unmatched_entries_do_not_gate() {
         let baseline = report(&[("retired_figure", 5.0)]);
         let current = report(&[("brand_new_figure", 500.0)]);
+        assert!(regressions(&baseline, &current, 2.0).is_empty());
+    }
+
+    #[test]
+    fn throughput_entries_gate_on_drops_not_gains() {
+        let baseline = report(&[("matmul_gflops", 20.0)]);
+        // Faster is never a regression.
+        let faster = report(&[("matmul_gflops", 80.0)]);
+        assert!(regressions(&baseline, &faster, 2.0).is_empty());
+        // A drop within the ratio passes; beyond it fails.
+        let ok = report(&[("matmul_gflops", 10.1)]);
+        assert!(regressions(&baseline, &ok, 2.0).is_empty());
+        let bad = report(&[("matmul_gflops", 9.9)]);
+        let found = regressions(&baseline, &bad, 2.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "matmul_gflops");
+    }
+
+    #[test]
+    fn throughput_noise_floor_shields_tiny_baselines() {
+        let baseline = report(&[("tiny_gflops", 0.4)]);
+        let current = report(&[("tiny_gflops", 0.01)]);
         assert!(regressions(&baseline, &current, 2.0).is_empty());
     }
 

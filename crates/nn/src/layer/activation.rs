@@ -4,6 +4,10 @@ use aergia_tensor::{Tensor, Workspace};
 
 use super::Layer;
 
+/// Width of the fixed-size chunks the elementwise loops process per step
+/// — a bounded inner loop the autovectorizer reliably lifts to SIMD.
+const LANES: usize = 16;
+
 /// Rectified linear unit, `y = max(0, x)`, applied elementwise.
 ///
 /// # Examples
@@ -45,20 +49,53 @@ impl Layer for Relu {
 
     fn forward_into(&mut self, x: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
         let mut mask = self.mask.take().unwrap_or_else(|| std::mem::take(&mut self.spare_mask));
-        mask.clear();
-        mask.extend(x.data().iter().map(|&v| v > 0.0));
+        let xd = x.data();
+        // Stale contents are fully overwritten below; resize only adjusts
+        // the length (no churn once the buffer has reached its high-water
+        // mark).
+        mask.resize(xd.len(), false);
         out.reset_for_overwrite(x.dims());
-        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
-            *o = if v > 0.0 { v } else { 0.0 };
+        let od = out.data_mut();
+        // The clamp-and-mask runs in LANES-wide chunks plus a scalar tail;
+        // elements are independent, so chunking cannot change results.
+        let split = xd.len() - xd.len() % LANES;
+        let body = od[..split]
+            .chunks_exact_mut(LANES)
+            .zip(xd[..split].chunks_exact(LANES))
+            .zip(mask[..split].chunks_exact_mut(LANES));
+        for ((oc, xc), mc) in body {
+            for ((o, &v), m) in oc.iter_mut().zip(xc).zip(mc.iter_mut()) {
+                let active = v > 0.0;
+                *m = active;
+                *o = if active { v } else { 0.0 };
+            }
+        }
+        let tail = od[split..].iter_mut().zip(&xd[split..]).zip(mask[split..].iter_mut());
+        for ((o, &v), m) in tail {
+            let active = v > 0.0;
+            *m = active;
+            *o = if active { v } else { 0.0 };
         }
         self.mask = Some(mask);
     }
 
     fn backward_into(&mut self, dy: &Tensor, _ws: &mut Workspace, out: &mut Tensor) {
         let mask = self.mask.take().expect("Relu::backward before forward");
-        assert_eq!(mask.len(), dy.numel(), "Relu::backward: gradient size mismatch");
+        let dyd = dy.data();
+        assert_eq!(mask.len(), dyd.len(), "Relu::backward: gradient size mismatch");
         out.reset_for_overwrite(dy.dims());
-        for ((o, &g), &m) in out.data_mut().iter_mut().zip(dy.data()).zip(&mask) {
+        let od = out.data_mut();
+        let split = dyd.len() - dyd.len() % LANES;
+        let body = od[..split]
+            .chunks_exact_mut(LANES)
+            .zip(dyd[..split].chunks_exact(LANES))
+            .zip(mask[..split].chunks_exact(LANES));
+        for ((oc, gc), mc) in body {
+            for ((o, &g), &m) in oc.iter_mut().zip(gc).zip(mc) {
+                *o = if m { g } else { 0.0 };
+            }
+        }
+        for ((o, &g), &m) in od[split..].iter_mut().zip(&dyd[split..]).zip(&mask[split..]) {
             *o = if m { g } else { 0.0 };
         }
         self.spare_mask = mask;

@@ -3,6 +3,7 @@
 use aergia_tensor::conv::{
     col2im_into, im2col_into, nchw_to_rows_into, rows_to_nchw_into, ConvGeometry,
 };
+use aergia_tensor::gemm::PackedB;
 use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
@@ -36,6 +37,12 @@ pub struct Conv2d {
     grad_bias: Tensor,
     cached_cols: Option<Tensor>,
     cached_batch: usize,
+    /// `Wᵀ` packed for the forward `cols·Wᵀ`; valid until the weights
+    /// change (frozen feature sections reuse it across whole rounds).
+    packed_wt: PackedB,
+    /// `W` packed for the backward `dy_rows·W`; valid until the weights
+    /// change.
+    packed_w: PackedB,
 }
 
 impl Conv2d {
@@ -74,6 +81,8 @@ impl Conv2d {
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_cols: None,
             cached_batch: 0,
+            packed_wt: PackedB::new(),
+            packed_w: PackedB::new(),
         }
     }
 
@@ -126,9 +135,11 @@ impl Layer for Conv2d {
         };
         im2col_into(x, self.in_channels, &self.geom, &mut cols)
             .expect("Conv2d::forward: bad input");
-        // y_rows[(n,oh,ow), oc] = cols · Wᵀ
+        // y_rows[(n,oh,ow), oc] = cols · Wᵀ — against the cached weight
+        // pack, rebuilt only after the weights change.
+        self.packed_wt.ensure_transposed(&self.weight).expect("conv weight pack");
         let mut y_rows = ws.take(&[rows, self.out_channels]);
-        ops::matmul_nt_into(&cols, &self.weight, &mut y_rows).expect("conv matmul");
+        ops::matmul_nt_packed_into(&cols, &self.packed_wt, &mut y_rows).expect("conv matmul");
         ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
         rows_to_nchw_into(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w, out)
             .expect("conv reshape");
@@ -147,16 +158,25 @@ impl Layer for Conv2d {
         // gradients with a single add each — accumulating the matmul
         // directly into `grad_weight` would reorder the summation and
         // break bit-identity with the allocating path.
+        // Both dW operands are per-batch; their packs cycle through the
+        // workspace pack pools.
+        let mut pa = ws.take_packed_a();
+        pa.pack_transposed(&dy_rows).expect("conv dy pack");
+        let mut pbc = ws.take_packed_b();
+        pbc.pack(&cols).expect("conv cols pack");
         let mut dw = ws.take(self.grad_weight.dims());
-        ops::matmul_tn_into(&dy_rows, &cols, &mut dw).expect("conv dW");
+        ops::matmul_tn_packed_into(&pa, &pbc, &mut dw).expect("conv dW");
         self.grad_weight.add_assign(&dw);
         ws.give(dw);
+        ws.give_packed_b(pbc);
+        ws.give_packed_a(pa);
         let mut db = ws.take(self.grad_bias.dims());
         ops::sum_rows_into(&dy_rows, &mut db).expect("conv db");
         self.grad_bias.add_assign(&db);
         ws.give(db);
+        self.packed_w.ensure(&self.weight).expect("conv weight pack");
         let mut dcols = ws.take(cols.dims());
-        ops::matmul_into(&dy_rows, &self.weight, &mut dcols).expect("conv dcols");
+        ops::matmul_packed_into(&dy_rows, &self.packed_w, &mut dcols).expect("conv dcols");
         ws.give(dy_rows);
         col2im_into(&dcols, self.cached_batch, self.in_channels, &self.geom, out).expect("conv dx");
         ws.give(dcols);
@@ -180,6 +200,12 @@ impl Layer for Conv2d {
         check_snapshot("Conv2d", &self.params(), weights);
         self.weight.copy_from(&weights[0]);
         self.bias.copy_from(&weights[1]);
+        self.invalidate_param_caches();
+    }
+
+    fn invalidate_param_caches(&mut self) {
+        self.packed_wt.invalidate();
+        self.packed_w.invalidate();
     }
 
     fn zero_grads(&mut self) {

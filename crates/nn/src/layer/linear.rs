@@ -1,5 +1,6 @@
 //! Fully-connected (dense) layer.
 
+use aergia_tensor::gemm::PackedB;
 use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
@@ -28,6 +29,10 @@ pub struct Linear {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// `Wᵀ` packed for the forward `x·Wᵀ`; valid until the weights change.
+    packed_wt: PackedB,
+    /// `W` packed for the backward `dy·W`; valid until the weights change.
+    packed_w: PackedB,
 }
 
 impl Linear {
@@ -48,6 +53,8 @@ impl Linear {
             grad_weight: Tensor::zeros(&[out_features, in_features]),
             grad_bias: Tensor::zeros(&[out_features]),
             cached_input: None,
+            packed_wt: PackedB::new(),
+            packed_w: PackedB::new(),
         }
     }
 
@@ -76,7 +83,11 @@ impl Layer for Linear {
     }
 
     fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
-        ops::matmul_nt_into(x, &self.weight, out).expect("Linear::forward: bad input");
+        // The weight pack persists across calls until the optimizer or
+        // `set_params` invalidates it — frozen sections and evaluation
+        // loops reuse one pack across every batch.
+        self.packed_wt.ensure_transposed(&self.weight).expect("linear weight pack");
+        ops::matmul_nt_packed_into(x, &self.packed_wt, out).expect("Linear::forward: bad input");
         ops::add_bias_rows(out, &self.bias).expect("linear bias");
         // Cache a copy of the input in a recycled buffer (the buffer
         // returns to the workspace in `backward_into`).
@@ -89,17 +100,25 @@ impl Layer for Linear {
         let x = self.cached_input.take().expect("Linear::backward before forward");
         // dW/db go through zeroed scratch, then one add into the running
         // gradient — same summation order as the allocating path.
-        // dW[out, in] = dyᵀ · x
+        // dW[out, in] = dyᵀ · x; both operands are per-batch, so their
+        // packs are rebuilt each call into workspace-pooled buffers.
+        let mut pa = ws.take_packed_a();
+        pa.pack_transposed(dy).expect("linear dy pack");
+        let mut pbx = ws.take_packed_b();
+        pbx.pack(&x).expect("linear x pack");
         let mut dw = ws.take(self.grad_weight.dims());
-        ops::matmul_tn_into(dy, &x, &mut dw).expect("linear dW");
+        ops::matmul_tn_packed_into(&pa, &pbx, &mut dw).expect("linear dW");
         self.grad_weight.add_assign(&dw);
         ws.give(dw);
+        ws.give_packed_b(pbx);
+        ws.give_packed_a(pa);
         let mut db = ws.take(self.grad_bias.dims());
         ops::sum_rows_into(dy, &mut db).expect("linear db");
         self.grad_bias.add_assign(&db);
         ws.give(db);
-        // dx = dy · W
-        ops::matmul_into(dy, &self.weight, out).expect("linear dx");
+        // dx = dy · W (cached weight pack, like the forward).
+        self.packed_w.ensure(&self.weight).expect("linear weight pack");
+        ops::matmul_packed_into(dy, &self.packed_w, out).expect("linear dx");
         ws.give(x);
     }
 
@@ -120,6 +139,12 @@ impl Layer for Linear {
         check_snapshot("Linear", &self.params(), weights);
         self.weight.copy_from(&weights[0]);
         self.bias.copy_from(&weights[1]);
+        self.invalidate_param_caches();
+    }
+
+    fn invalidate_param_caches(&mut self) {
+        self.packed_wt.invalidate();
+        self.packed_w.invalidate();
     }
 
     fn zero_grads(&mut self) {

@@ -92,11 +92,25 @@ pub trait Layer: fmt::Debug + Send + Sync {
 
     /// Overwrites the layer parameters from a snapshot slice.
     ///
+    /// Implementations must also drop any cached parameter-derived state
+    /// (see [`Layer::invalidate_param_caches`]) — the engine resets client
+    /// models through this entry point every round.
+    ///
     /// # Panics
     ///
     /// Panics if `weights.len()` differs from `self.params().len()` or any
     /// shape mismatches.
     fn set_params(&mut self, weights: &[Tensor]);
+
+    /// Drops cached state derived from the layer's parameters — today the
+    /// packed GEMM panels ([`aergia_tensor::gemm::PackedB`]) that
+    /// matmul-backed layers cache per weight operand. Called by the
+    /// optimizer after every parameter update (and by `set_params`
+    /// implementations); anything else that mutates parameters in place
+    /// (e.g. via [`Layer::params_and_grads`]) must call it too, or
+    /// subsequent forward/backward passes will run on stale packs. The
+    /// default is a no-op for layers without parameter-derived caches.
+    fn invalidate_param_caches(&mut self) {}
 
     /// Resets accumulated gradients to zero.
     fn zero_grads(&mut self);

@@ -172,6 +172,14 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn invalidate_param_caches(&mut self) {
+        self.conv1.invalidate_param_caches();
+        self.conv2.invalidate_param_caches();
+        if let Some(proj) = &mut self.projection {
+            proj.invalidate_param_caches();
+        }
+    }
+
     fn forward_flops(&self, batch: usize) -> u64 {
         self.conv1.forward_flops(batch)
             + self.conv2.forward_flops(batch)

@@ -425,6 +425,25 @@ impl Cnn {
         self.layers[..self.split].iter().flat_map(|l| l.params()).map(|p| p.numel()).sum()
     }
 
+    /// Invalidates the parameter-derived caches (packed GEMM panels) of
+    /// every layer whose parameters the optimizer just updated — i.e. the
+    /// non-frozen sections, mirroring [`Cnn::for_each_trainable`]. Frozen
+    /// layers keep their packs, which is exactly the per-layer pack-cache
+    /// win: a frozen feature section reuses one weight pack across every
+    /// remaining batch of the round.
+    pub(crate) fn invalidate_trainable_param_caches(&mut self) {
+        let split = self.split;
+        let frozen_features = self.frozen_features;
+        let frozen_classifier = self.frozen_classifier;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let in_frozen_section =
+                (frozen_features && li < split) || (frozen_classifier && li >= split);
+            if !in_frozen_section {
+                layer.invalidate_param_caches();
+            }
+        }
+    }
+
     /// Visits `(global_param_index, param, grad)` for every *trainable*
     /// parameter (skipping the feature section when frozen). The global
     /// index is stable across freezing so optimizer state stays aligned.

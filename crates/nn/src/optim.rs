@@ -5,6 +5,80 @@ use aergia_tensor::Tensor;
 
 use crate::model::Cnn;
 
+/// Width of the fixed-size chunks the fused update loops process per step
+/// — a bounded inner loop the autovectorizer reliably lifts to SIMD.
+const LANES: usize = 8;
+
+/// Per-parameter update coefficients, captured once per tensor so the
+/// element loops stay branch-uniform.
+#[derive(Clone, Copy)]
+struct StepCoeffs {
+    lr: f32,
+    wd: f32,
+    mu: f32,
+    momentum: f32,
+    has_prox: bool,
+}
+
+/// The effective gradient of one element, evaluated in the historical
+/// order: `g = ((grad + wd·w) + μ·w) + (−μ)·anchor`. Identical arithmetic
+/// whatever the surrounding loop structure, so chunking cannot change
+/// results.
+#[inline(always)]
+fn effective(pv: f32, gv: f32, av: f32, c: StepCoeffs) -> f32 {
+    let mut g = gv;
+    if c.wd != 0.0 {
+        g += c.wd * pv;
+    }
+    if c.mu != 0.0 || c.has_prox {
+        g += c.mu * pv;
+        g += -c.mu * av;
+    }
+    g
+}
+
+/// Fused plain-SGD walk in [`LANES`]-wide chunks plus a scalar tail; each
+/// element sees exactly the historical update sequence. `ad` is only read
+/// when a proximal term is active (callers without one pass any
+/// same-length slice).
+fn step_plain(pd: &mut [f32], gd: &[f32], ad: &[f32], c: StepCoeffs) {
+    let split = pd.len() - pd.len() % LANES;
+    let chunks = pd[..split]
+        .chunks_exact_mut(LANES)
+        .zip(gd[..split].chunks_exact(LANES))
+        .zip(ad[..split].chunks_exact(LANES));
+    for ((pc, gc), ac) in chunks {
+        for ((pv, &gv), &av) in pc.iter_mut().zip(gc).zip(ac) {
+            *pv += -c.lr * effective(*pv, gv, av, c);
+        }
+    }
+    for ((pv, &gv), &av) in pd[split..].iter_mut().zip(&gd[split..]).zip(&ad[split..]) {
+        *pv += -c.lr * effective(*pv, gv, av, c);
+    }
+}
+
+/// Fused momentum-SGD walk, chunked like [`step_plain`].
+fn step_momentum(pd: &mut [f32], gd: &[f32], vd: &mut [f32], ad: &[f32], c: StepCoeffs) {
+    let split = pd.len() - pd.len() % LANES;
+    let chunks = pd[..split]
+        .chunks_exact_mut(LANES)
+        .zip(gd[..split].chunks_exact(LANES))
+        .zip(vd[..split].chunks_exact_mut(LANES))
+        .zip(ad[..split].chunks_exact(LANES));
+    for (((pc, gc), vc), ac) in chunks {
+        for (((pv, &gv), vv), &av) in pc.iter_mut().zip(gc).zip(vc.iter_mut()).zip(ac) {
+            *vv = *vv * c.momentum + effective(*pv, gv, av, c);
+            *pv += -c.lr * *vv;
+        }
+    }
+    let tail =
+        pd[split..].iter_mut().zip(&gd[split..]).zip(vd[split..].iter_mut()).zip(&ad[split..]);
+    for (((pv, &gv), vv), &av) in tail {
+        *vv = *vv * c.momentum + effective(*pv, gv, av, c);
+        *pv += -c.lr * *vv;
+    }
+}
+
 /// Hyper-parameters for [`Sgd`].
 ///
 /// # Examples
@@ -101,10 +175,6 @@ impl Sgd {
             if velocities.len() <= index {
                 velocities.resize_with(index + 1, || None);
             }
-            // Effective gradient per element, evaluated in the historical
-            // order: g = ((grad + wd·w) + μ·w) + (−μ)·anchor.
-            let wd = cfg.weight_decay;
-            let lr = cfg.lr;
             let prox_term = prox.as_ref().map(|p| {
                 let anchor = &p.anchor[index];
                 assert_eq!(
@@ -114,53 +184,28 @@ impl Sgd {
                 );
                 (p.mu, anchor.data())
             });
-            let effective = |pv: f32, gv: f32, av: f32, mu: f32| -> f32 {
-                let mut g = gv;
-                if wd != 0.0 {
-                    g += wd * pv;
-                }
-                if mu != 0.0 || prox_term.is_some() {
-                    g += mu * pv;
-                    g += -mu * av;
-                }
-                g
+            let (mu, has_prox) = prox_term.map_or((0.0, false), |(mu, _)| (mu, true));
+            let coeffs = StepCoeffs {
+                lr: cfg.lr,
+                wd: cfg.weight_decay,
+                mu,
+                momentum: cfg.momentum,
+                has_prox,
             };
+            let gd = grad.data();
+            // Without a proximal term the anchor column is never read;
+            // the gradient slice stands in to keep the zips uniform.
+            let ad = prox_term.map_or(gd, |(_, ad)| ad);
             if cfg.momentum != 0.0 {
                 let v = velocities[index].get_or_insert_with(|| Tensor::zeros(param.dims()));
-                let vd = v.data_mut();
-                let pd = param.data_mut();
-                match prox_term {
-                    Some((mu, ad)) => {
-                        for (((pv, &gv), vv), &av) in
-                            pd.iter_mut().zip(grad.data()).zip(vd.iter_mut()).zip(ad)
-                        {
-                            *vv = *vv * cfg.momentum + effective(*pv, gv, av, mu);
-                            *pv += -lr * *vv;
-                        }
-                    }
-                    None => {
-                        for ((pv, &gv), vv) in pd.iter_mut().zip(grad.data()).zip(vd.iter_mut()) {
-                            *vv = *vv * cfg.momentum + effective(*pv, gv, 0.0, 0.0);
-                            *pv += -lr * *vv;
-                        }
-                    }
-                }
+                step_momentum(param.data_mut(), gd, v.data_mut(), ad, coeffs);
             } else {
-                let pd = param.data_mut();
-                match prox_term {
-                    Some((mu, ad)) => {
-                        for ((pv, &gv), &av) in pd.iter_mut().zip(grad.data()).zip(ad) {
-                            *pv += -lr * effective(*pv, gv, av, mu);
-                        }
-                    }
-                    None => {
-                        for (pv, &gv) in pd.iter_mut().zip(grad.data()) {
-                            *pv += -lr * effective(*pv, gv, 0.0, 0.0);
-                        }
-                    }
-                }
+                step_plain(param.data_mut(), gd, ad, coeffs);
             }
         });
+        // The parameters just moved: drop the packed weight panels of the
+        // updated (non-frozen) layers so the next forward repacks them.
+        model.invalidate_trainable_param_caches();
     }
 }
 

@@ -1,0 +1,622 @@
+//! Packed, register-blocked GEMM: the microkernel architecture behind the
+//! [`crate::ops`] matmul family.
+//!
+//! # Architecture
+//!
+//! The classic blocked kernels stream an *unpacked* `B` row by row, which
+//! keeps every output element in memory across the whole shared dimension
+//! and re-derives `B`'s addressing per row. The packed scheme splits a
+//! product into the three standard stages of a high-performance GEMM:
+//!
+//! 1. **Pack `B`** ([`PackedB`]): the `k×n` operand is rearranged into
+//!    `ceil(n / NR)` *column panels*. A panel holds `NR` consecutive output
+//!    columns laid out `k`-major — element `(kk, c)` of panel `jp` lives at
+//!    `panel[kk·NR + c]` — so the microkernel's inner step loads one
+//!    contiguous `NR`-vector per `k`. Panels are stored as consecutive
+//!    `K_BLOCK × NR` blocks (the `K_BLOCK`-sized slices of a panel are
+//!    adjacent in memory), and ragged edge columns are zero-padded to `NR`.
+//! 2. **Pack `A` row tiles** ([`PackedA`]): used when the `A` operand is
+//!    stored transposed (`matmul_tn`'s `k×m` layout), where direct access
+//!    would stride by `m` per `k` step. Rows are regrouped into `MR`-row
+//!    tiles laid `k`-major (`tile[kk·MR + r]`), zero-padding the ragged
+//!    tail tile. For row-major `A` operands (`matmul`/`matmul_nt`) the
+//!    rows are already contiguous along `k`, so the microkernel reads them
+//!    in place — packing would only re-copy `m×k` values that hardware
+//!    prefetchers already stream perfectly.
+//! 3. **Microkernel**: an `MR × NR` register tile of accumulators walks the
+//!    shared dimension once. Per `k` step it broadcasts `MR` values of `A`
+//!    and multiplies them into one `NR`-wide vector of the `B` panel —
+//!    vectorized across output *columns* only, never across `k` — keeping
+//!    `MR·NR` partial sums in registers instead of re-loading and
+//!    re-storing `C` every step.
+//!
+//! # Determinism contract
+//!
+//! Every output element accumulates its `k` contributions **strictly in
+//! ascending-`k` order from a `+0.0` start**, exactly like the naive
+//! reference kernels: the register tile only changes *where* the running
+//! sum lives (a register instead of the output buffer), never the sequence
+//! of floating-point operations that produce it. Kernels whose reference
+//! skips exact-zero `A` elements ([`crate::ops::matmul_reference`],
+//! [`crate::ops::matmul_tn_reference`]) replicate the skip exactly, but
+//! hoist its cost out of the hot loop: each `MR`-subtile is scanned for
+//! zeros once, zero-free subtiles run an unguarded microkernel (a guard
+//! that can never fire changes nothing), and only subtiles containing
+//! zeros take the guarded per-`(row, k)` skip — where the skip recoups
+//! its branch cost by eliding work, e.g. on ReLU-masked gradients. The
+//! packed kernels are therefore **bit-identical** to the
+//! references, to the retained blocked kernels, and to themselves at any
+//! thread count (parallel row tiles write disjoint rows at fixed
+//! boundaries). Zero padding never leaks into results: padded `B` columns
+//! are computed but not written back, and padded `A` rows (zero entries,
+//! elided by the guarded path their zeros force) are discarded at
+//! write-back.
+//!
+//! # Reuse and caching
+//!
+//! Both pack types fully overwrite their buffer on every `pack_*` call
+//! (including the zero padding), so dirty reused buffers are safe — the
+//! property suite packs through deliberately dirty buffers. [`PackedB`]
+//! additionally carries a validity flag so a *cached* pack of a weight
+//! matrix can be reused across calls and invalidated when the weights
+//! change (`ensure_*` repacks only when needed); `aergia-nn` caches one
+//! pack per weight operand per layer and invalidates from the optimizer
+//! and `set_params`. Transient packs (per-batch activation/gradient
+//! operands) cycle through [`crate::Workspace`] pack pools instead.
+
+use crate::ops::{require_rank2, run_row_tiles};
+use crate::{Tensor, TensorError};
+
+/// Microkernel register-tile height: output rows accumulated at once.
+///
+/// `MR × NR` f32 accumulators plus one `NR`-wide `B` vector and `MR`
+/// broadcast values fit the 16 SIMD registers of baseline x86-64.
+pub const MR: usize = 4;
+
+/// Microkernel register-tile width: output columns per `B` panel, the
+/// vectorized dimension (two 128-bit lanes, one 256-bit with AVX).
+pub const NR: usize = 8;
+
+/// Granularity (along `k`) of the contiguous panel blocks inside a
+/// [`PackedB`]; successive `K_BLOCK × NR` blocks of a panel are adjacent,
+/// so a full panel is one `k × NR` slab the microkernel streams linearly.
+pub const K_BLOCK: usize = 128;
+
+/// A `B` operand packed into zero-padded `NR`-wide column panels (see the
+/// [module docs](self) for the layout).
+///
+/// The buffer is reusable: every `pack_*` call rewrites it entirely for
+/// the new operand, growing the allocation only on a high-water mark.
+///
+/// # Examples
+///
+/// ```
+/// use aergia_tensor::{gemm::PackedB, ops, Tensor};
+/// # fn main() -> Result<(), aergia_tensor::TensorError> {
+/// let a = Tensor::ones(&[3, 4]);
+/// let b = Tensor::ones(&[4, 5]);
+/// let mut pb = PackedB::new();
+/// pb.pack(&b)?;
+/// let mut out = Tensor::default();
+/// ops::matmul_packed_into(&a, &pb, &mut out)?;
+/// assert_eq!(out, ops::matmul(&a, &b)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PackedB {
+    buf: Vec<f32>,
+    k: usize,
+    n: usize,
+    transposed: bool,
+    valid: bool,
+}
+
+impl PackedB {
+    /// Creates an empty (invalid) pack; the first `pack_*` call sizes it.
+    pub fn new() -> Self {
+        PackedB::default()
+    }
+
+    /// Whether the pack currently holds a packed operand (a fresh or
+    /// [`PackedB::invalidate`]d pack is not valid).
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Logical shared dimension `k` of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical column count `n` of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Marks the pack stale (e.g. after the source matrix changed) while
+    /// keeping the buffer for the next `pack_*`/`ensure_*` call.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    fn reset_layout(&mut self, k: usize, n: usize, transposed: bool) {
+        self.k = k;
+        self.n = n;
+        self.transposed = transposed;
+        // Contents are fully rewritten by the caller (padding included),
+        // so the resize fill value is never observed.
+        self.buf.resize(n.div_ceil(NR) * NR * k, 0.0);
+    }
+
+    /// Packs a row-major `k×n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn pack(&mut self, b: &Tensor) -> Result<(), TensorError> {
+        let (k, n) = require_rank2("pack_b", b)?;
+        self.reset_layout(k, n, false);
+        let bd = b.data();
+        for (jp, panel) in self.buf.chunks_exact_mut(k * NR).enumerate() {
+            let col0 = jp * NR;
+            let ncols = (n - col0).min(NR);
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &bd[kk * n + col0..kk * n + col0 + ncols];
+                dst[..ncols].copy_from_slice(src);
+                dst[ncols..].fill(0.0);
+            }
+        }
+        self.valid = true;
+        Ok(())
+    }
+
+    /// Packs the *transpose* of a row-major `n×k` matrix, i.e. the packed
+    /// logical operand is `bᵀ` (`k×n`). This is how a `matmul_nt` `B`
+    /// operand (a `[rows, k]` weight matrix) becomes column panels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn pack_transposed(&mut self, b: &Tensor) -> Result<(), TensorError> {
+        let (n, k) = require_rank2("pack_bt", b)?;
+        self.reset_layout(k, n, true);
+        let bd = b.data();
+        for (jp, panel) in self.buf.chunks_exact_mut(k * NR).enumerate() {
+            let col0 = jp * NR;
+            let ncols = (n - col0).min(NR);
+            for c in 0..NR {
+                if c < ncols {
+                    let src = &bd[(col0 + c) * k..(col0 + c + 1) * k];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * NR + c] = v;
+                    }
+                } else {
+                    for kk in 0..k {
+                        panel[kk * NR + c] = 0.0;
+                    }
+                }
+            }
+        }
+        self.valid = true;
+        Ok(())
+    }
+
+    /// [`PackedB::pack`] only if the pack is stale or shaped for a
+    /// different operand — the cache-friendly entry point for weight
+    /// matrices that rarely change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn ensure(&mut self, b: &Tensor) -> Result<(), TensorError> {
+        let (k, n) = require_rank2("pack_b", b)?;
+        if self.valid && !self.transposed && self.k == k && self.n == n {
+            return Ok(());
+        }
+        self.pack(b)
+    }
+
+    /// [`PackedB::pack_transposed`] only if the pack is stale or shaped
+    /// for a different operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn ensure_transposed(&mut self, b: &Tensor) -> Result<(), TensorError> {
+        let (n, k) = require_rank2("pack_bt", b)?;
+        if self.valid && self.transposed && self.k == k && self.n == n {
+            return Ok(());
+        }
+        self.pack_transposed(b)
+    }
+
+    fn panel(&self, jp: usize) -> &[f32] {
+        &self.buf[jp * self.k * NR..(jp + 1) * self.k * NR]
+    }
+}
+
+/// An `A` operand packed into zero-padded `MR`-row tiles laid `k`-major
+/// (see the [module docs](self)); used by [`crate::ops::matmul_tn_packed_into`],
+/// whose `A` is stored transposed and would otherwise be read with an
+/// `m`-element stride per `k` step.
+///
+/// Like [`PackedB`], every pack call fully rewrites the buffer, so dirty
+/// reuse through a [`crate::Workspace`] pool is safe.
+#[derive(Debug, Clone, Default)]
+pub struct PackedA {
+    buf: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Creates an empty pack; the first pack call sizes it.
+    pub fn new() -> Self {
+        PackedA::default()
+    }
+
+    /// Logical row count `m` of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical shared dimension `k` of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packs the *transpose* of a row-major `k×m` matrix into `MR`-row
+    /// tiles: logical row `i = t·MR + r` of `aᵀ` lands in tile `t` at
+    /// `tile[kk·MR + r]`, with the ragged tail tile zero-padded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn pack_transposed(&mut self, a: &Tensor) -> Result<(), TensorError> {
+        let (k, m) = require_rank2("pack_at", a)?;
+        self.m = m;
+        self.k = k;
+        // Fully rewritten below (padding included); the fill value is
+        // never observed.
+        self.buf.resize(m.div_ceil(MR) * MR * k, 0.0);
+        let ad = a.data();
+        for (t, tile) in self.buf.chunks_exact_mut(MR * k).enumerate() {
+            let row0 = t * MR;
+            let mrows = (m - row0).min(MR);
+            for (kk, dst) in tile.chunks_exact_mut(MR).enumerate() {
+                let src = &ad[kk * m + row0..kk * m + row0 + mrows];
+                dst[..mrows].copy_from_slice(src);
+                dst[mrows..].fill(0.0);
+            }
+        }
+        Ok(())
+    }
+
+    fn tile(&self, t: usize) -> &[f32] {
+        &self.buf[t * MR * self.k..(t + 1) * MR * self.k]
+    }
+}
+
+/// One accumulator row of the register tile: `acc += av · b`. A fixed-size
+/// `b` and straight-line updates keep the row SROA-promoted to registers.
+///
+/// With `SKIP`, the whole row update is skipped for an exact-zero `av`,
+/// replicating the reference kernels' skip-zero fast path per `(row, k)`.
+/// The drivers only instantiate `SKIP = true` for subtiles that actually
+/// contain zeros (see [`gemm_packed`]), so dense operands never pay for
+/// the guard.
+#[inline(always)]
+fn fma_row<const SKIP: bool>(acc: &mut [f32; NR], av: f32, b: &[f32; NR]) {
+    if SKIP && av == 0.0 {
+        return;
+    }
+    for (o, &bv) in acc.iter_mut().zip(b) {
+        *o += av * bv;
+    }
+}
+
+/// Whether an `MR`-subtile is zero-free, i.e. the skip-zero guard can
+/// never fire and the unguarded microkernel instantiation is bit-exact.
+/// One scan per subtile buys guard-free inner loops across every `B`
+/// panel — the scan reads the same `MR·k` values a single panel pass
+/// reads, amortised over `n/NR` panels.
+#[inline(always)]
+fn rows_zero_free(rows: &[&[f32]; MR]) -> bool {
+    rows.iter().all(|row| row.iter().all(|&v| v != 0.0))
+}
+
+/// The `MR × NR` register-tile microkernel over row-major `A` rows.
+///
+/// `rows` are the `MR` source rows (a shorter tail tile passes its last
+/// row repeatedly; the duplicate accumulators are dropped at write-back),
+/// each exactly `k` long. The four rows advance through `k` together:
+/// their accumulator chains are independent, so one row's FP-add latency
+/// hides behind the others', while each individual output element still
+/// accumulates strictly ascending-`k` — interleaving rows never touches a
+/// single element's chain. The accumulators are copied into plain local
+/// arrays so scalar replacement keeps them in registers for the whole `k`
+/// walk.
+#[inline(always)]
+fn microkernel_rows<const SKIP: bool>(
+    rows: [&[f32]; MR],
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    let [a0, a1, a2, a3] = rows;
+    let mut x0 = acc[0];
+    let mut x1 = acc[1];
+    let mut x2 = acc[2];
+    let mut x3 = acc[3];
+    let iter = a0.iter().zip(a1).zip(a2).zip(a3).zip(panel.chunks_exact(NR));
+    for ((((&v0, &v1), &v2), &v3), b) in iter {
+        let b: &[f32; NR] = b.try_into().expect("chunks_exact yields NR-sized chunks");
+        fma_row::<SKIP>(&mut x0, v0, b);
+        fma_row::<SKIP>(&mut x1, v1, b);
+        fma_row::<SKIP>(&mut x2, v2, b);
+        fma_row::<SKIP>(&mut x3, v3, b);
+    }
+    acc[0] = x0;
+    acc[1] = x1;
+    acc[2] = x2;
+    acc[3] = x3;
+}
+
+/// [`microkernel_rows`] over a [`PackedA`] tile (`k`-major, `MR`-wide):
+/// the per-`k` `A` values come from one contiguous `MR`-vector of the tile
+/// instead of four row pointers.
+#[inline(always)]
+fn microkernel_packed<const SKIP: bool>(tile: &[f32], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut x0 = acc[0];
+    let mut x1 = acc[1];
+    let mut x2 = acc[2];
+    let mut x3 = acc[3];
+    for (avals, b) in tile.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+        let b: &[f32; NR] = b.try_into().expect("chunks_exact yields NR-sized chunks");
+        fma_row::<SKIP>(&mut x0, avals[0], b);
+        fma_row::<SKIP>(&mut x1, avals[1], b);
+        fma_row::<SKIP>(&mut x2, avals[2], b);
+        fma_row::<SKIP>(&mut x3, avals[3], b);
+    }
+    acc[0] = x0;
+    acc[1] = x1;
+    acc[2] = x2;
+    acc[3] = x3;
+}
+
+/// Writes the live part of a register tile into the output rows.
+#[inline(always)]
+fn write_back(
+    acc: &[[f32; NR]; MR],
+    rows: &mut [f32],
+    n: usize,
+    r0: usize,
+    mrows: usize,
+    col0: usize,
+    ncols: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mrows) {
+        let orow = &mut rows[(r0 + r) * n + col0..(r0 + r) * n + col0 + ncols];
+        orow.copy_from_slice(&accr[..ncols]);
+    }
+}
+
+/// Shared driver for the row-major-`A` packed kernels (`matmul` /
+/// `matmul_nt`): parallel [`run_row_tiles`] over the output, then per tile
+/// an `MR`-subtile-outer, `B`-panel-inner walk. Subtile-outer order lets a
+/// `SKIP` kernel scan each subtile's rows for zeros *once*: zero-free
+/// subtiles (the common case on dense operands) run the unguarded
+/// microkernel — bit-exact because a guard that never fires contributes
+/// nothing — and only subtiles that actually contain zeros pay for the
+/// guarded instantiation (where the skip then saves real work, e.g. on
+/// ReLU-masked gradients).
+pub(crate) fn gemm_packed<const SKIP: bool>(ad: &[f32], k: usize, pb: &PackedB, od: &mut [f32]) {
+    let n = pb.n;
+    let m = od.len() / n.max(1);
+    run_row_tiles(od, n, m * n * k, |first_row, rows| {
+        let nrows = rows.len() / n;
+        let mut r0 = 0;
+        while r0 < nrows {
+            let mrows = (nrows - r0).min(MR);
+            let row = |r: usize| {
+                let i = first_row + r0 + r.min(mrows - 1);
+                &ad[i * k..(i + 1) * k]
+            };
+            let tile_rows = [row(0), row(1), row(2), row(3)];
+            let dense = !SKIP || rows_zero_free(&tile_rows);
+            for jp in 0..pb.n.div_ceil(NR) {
+                let panel = pb.panel(jp);
+                let col0 = jp * NR;
+                let ncols = (n - col0).min(NR);
+                let mut acc = [[0.0f32; NR]; MR];
+                if dense {
+                    microkernel_rows::<false>(tile_rows, panel, &mut acc);
+                } else {
+                    microkernel_rows::<true>(tile_rows, panel, &mut acc);
+                }
+                write_back(&acc, rows, n, r0, mrows, col0, ncols);
+            }
+            r0 += mrows;
+        }
+    });
+}
+
+/// Driver for the packed-`A` kernel (`matmul_tn`). Row-tile boundaries are
+/// multiples of [`MR`] (the parallel tile size is), so output sub-tiles map
+/// 1:1 onto [`PackedA`] tiles.
+pub(crate) fn gemm_packed_tn(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
+    let (m, k, n) = (pa.m, pa.k, pb.n);
+    run_row_tiles(od, n, m * n * k, |first_row, rows| {
+        let nrows = rows.len() / n;
+        let mut r0 = 0;
+        while r0 < nrows {
+            let mrows = (nrows - r0).min(MR);
+            let tile = pa.tile((first_row + r0) / MR);
+            // Zero-scan dispatch as in [`gemm_packed`]; the padded tail
+            // tile contains zeros and so always takes the guarded path,
+            // which skips (and thereby discards) the padding rows.
+            let dense = tile.iter().all(|&v| v != 0.0);
+            for jp in 0..pb.n.div_ceil(NR) {
+                let panel = pb.panel(jp);
+                let col0 = jp * NR;
+                let ncols = (n - col0).min(NR);
+                let mut acc = [[0.0f32; NR]; MR];
+                if dense {
+                    microkernel_packed::<false>(tile, panel, &mut acc);
+                } else {
+                    microkernel_packed::<true>(tile, panel, &mut acc);
+                }
+                write_back(&acc, rows, n, r0, mrows, col0, ncols);
+            }
+            r0 += mrows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn random(dims: &[usize], seed: u64) -> Tensor {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        let data = (0..n)
+            .map(|_| {
+                if rng.random_range(0.0..1.0) < 0.15 {
+                    0.0
+                } else {
+                    rng.random_range(-1.0f32..1.0)
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    #[test]
+    fn packed_b_layout_pads_ragged_columns_with_zeros() {
+        // 2×3 matrix, NR=8: one panel, columns 3..8 zero-padded.
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let mut pb = PackedB::new();
+        pb.pack(&b).unwrap();
+        assert!(pb.is_valid());
+        assert_eq!((pb.k(), pb.n()), (2, 3));
+        let panel = pb.panel(0);
+        assert_eq!(&panel[..3], &[1.0, 2.0, 3.0]);
+        assert_eq!(&panel[3..NR], &[0.0; 5][..]);
+        assert_eq!(&panel[NR..NR + 3], &[4.0, 5.0, 6.0]);
+        assert_eq!(&panel[NR + 3..], &[0.0; 5][..]);
+    }
+
+    #[test]
+    fn pack_transposed_matches_packing_the_explicit_transpose() {
+        let b = random(&[7, 13], 3);
+        let bt = ops::transpose(&b).unwrap();
+        let mut direct = PackedB::new();
+        direct.pack_transposed(&b).unwrap();
+        let mut via_t = PackedB::new();
+        via_t.pack(&bt).unwrap();
+        assert_eq!(direct.buf, via_t.buf);
+        assert_eq!((direct.k(), direct.n()), (via_t.k(), via_t.n()));
+    }
+
+    #[test]
+    fn dirty_buffer_reuse_fully_overwrites_padding() {
+        let mut pb = PackedB::new();
+        pb.pack(&Tensor::full(&[9, 11], 7.0)).unwrap();
+        // Shrink into the same buffer: every byte of the smaller layout,
+        // padding included, must be rewritten.
+        pb.pack(&Tensor::ones(&[2, 3])).unwrap();
+        let panel = pb.panel(0);
+        assert_eq!(&panel[3..NR], &[0.0; 5][..], "stale 7.0s must not survive in the padding");
+
+        let mut pa = PackedA::new();
+        pa.pack_transposed(&Tensor::full(&[6, 10], 3.0)).unwrap();
+        pa.pack_transposed(&Tensor::ones(&[2, 5])).unwrap();
+        // 5 rows → tile 1 holds row 4 plus MR-1 padded rows.
+        let tile = pa.tile(1);
+        assert_eq!(&tile[..MR], &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ensure_skips_while_valid_and_repacks_after_invalidate() {
+        let b = Tensor::ones(&[4, 4]);
+        let mut pb = PackedB::new();
+        pb.ensure(&b).unwrap();
+        let packed_one = pb.panel(0)[0];
+        assert_eq!(packed_one, 1.0);
+        // Mutating the source without invalidating: ensure() must keep the
+        // cached pack (that is the caching contract the layers rely on).
+        let b2 = Tensor::full(&[4, 4], 2.0);
+        pb.ensure(&b2).unwrap();
+        assert_eq!(pb.panel(0)[0], 1.0, "valid pack must not be repacked");
+        pb.invalidate();
+        assert!(!pb.is_valid());
+        pb.ensure(&b2).unwrap();
+        assert_eq!(pb.panel(0)[0], 2.0, "invalidated pack must repack");
+    }
+
+    #[test]
+    fn ensure_repacks_when_orientation_or_shape_changes() {
+        let mut pb = PackedB::new();
+        pb.ensure(&Tensor::ones(&[4, 6])).unwrap();
+        // Same tensor, other orientation: must repack, not reuse.
+        pb.ensure_transposed(&Tensor::full(&[4, 6], 2.0)).unwrap();
+        assert_eq!((pb.k(), pb.n()), (6, 4));
+        assert_eq!(pb.panel(0)[0], 2.0);
+        // Shape change with a stale-but-valid flag: must repack.
+        pb.ensure(&Tensor::full(&[3, 5], 4.0)).unwrap();
+        assert_eq!((pb.k(), pb.n()), (3, 5));
+        assert_eq!(pb.panel(0)[0], 4.0);
+    }
+
+    #[test]
+    fn packed_kernels_match_references_on_edge_shapes() {
+        // Shapes straddling MR/NR/TILE boundaries, including degenerate 1s.
+        for (case, &(m, k, n)) in [
+            (1, 1, 1),
+            (MR, 1, NR),
+            (MR + 1, 3, NR + 1),
+            (3, 200, 5),
+            (65, 33, 17),
+            (64, 128, 64),
+            (129, 64, 9),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a = random(&[m, k], 100 + case as u64);
+            let b = random(&[k, n], 200 + case as u64);
+            let mut pb = PackedB::new();
+            pb.pack(&b).unwrap();
+            let mut out = Tensor::default();
+            ops::matmul_packed_into(&a, &pb, &mut out).unwrap();
+            assert_eq!(
+                out.data(),
+                ops::matmul_reference(&a, &b).unwrap().data(),
+                "matmul {m}x{k}x{n}"
+            );
+
+            let bt = random(&[n, k], 300 + case as u64);
+            let mut pbt = PackedB::new();
+            pbt.pack_transposed(&bt).unwrap();
+            ops::matmul_nt_packed_into(&a, &pbt, &mut out).unwrap();
+            assert_eq!(
+                out.data(),
+                ops::matmul_nt_reference(&a, &bt).unwrap().data(),
+                "matmul_nt {m}x{k}x{n}"
+            );
+
+            let at = random(&[k, m], 400 + case as u64);
+            let mut pa = PackedA::new();
+            pa.pack_transposed(&at).unwrap();
+            ops::matmul_tn_packed_into(&pa, &pb, &mut out).unwrap();
+            assert_eq!(
+                out.data(),
+                ops::matmul_tn_reference(&at, &b).unwrap().data(),
+                "matmul_tn {m}x{k}x{n}"
+            );
+        }
+    }
+}

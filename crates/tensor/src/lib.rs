@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod gemm;
 pub mod init;
 pub mod ops;
 mod shape;

@@ -1,55 +1,69 @@
 //! Matrix operations: multiplication, transposition, bias broadcast.
 //!
 //! These free functions implement the handful of dense linear-algebra
-//! primitives the network stack needs. The three matmul variants are
-//! blocked/tiled kernels: the output is cut into row tiles of
-//! `TILE_ROWS` rows which execute in parallel on the
-//! [`aergia_runtime`] work-stealing pool once a product is worth
-//! threading (`PAR_FLOPS`), and `matmul` additionally walks the shared
-//! dimension in `K_BLOCK`-wide panels so the B-panel stays hot in cache
-//! while a whole row tile accumulates against it.
+//! primitives the network stack needs. The three matmul variants
+//! (`matmul`, `matmul_nt`, `matmul_tn`) all run the packed,
+//! register-blocked microkernel architecture of [`crate::gemm`]: `B` is
+//! packed into `NR`-wide column panels ([`crate::gemm::PackedB`]),
+//! transposed `A` operands into `MR`-row tiles ([`crate::gemm::PackedA`]),
+//! and an `MR × NR` register tile accumulates each output block in one
+//! pass over the shared dimension. Output row tiles execute in parallel on
+//! the [`aergia_runtime`] work-stealing pool once a product is worth
+//! threading (`PAR_FLOPS`).
 //!
-//! Every allocating entry point has a buffer-reuse twin ([`matmul_into`],
-//! [`matmul_nt_into`], [`matmul_tn_into`], [`sum_rows_into`]) that
-//! [`Tensor::reset`]s a caller-provided output instead of allocating; the
-//! allocating functions are thin wrappers over them, so both spellings run
-//! the identical kernel.
+//! Three tiers of the same contract coexist here:
+//!
+//! * **packed** ([`matmul_packed_into`], [`matmul_nt_packed_into`],
+//!   [`matmul_tn_packed_into`]) — the hot path: the caller owns the packs,
+//!   so a cached weight pack is reused across calls and transient packs
+//!   recycle through [`crate::Workspace`] pools (zero steady-state
+//!   allocations);
+//! * **plain** ([`matmul_into`] & friends) — same kernels behind the
+//!   classic two-operand signatures, packing into a transient buffer per
+//!   call (they allocate; hot loops should hold packs instead);
+//! * **blocked** ([`matmul_blocked_into`] & friends) — the previous
+//!   generation of loop-tiled scalar kernels, retained as a second oracle
+//!   and as the baseline the `crit_tensor` GFLOP/s sweep measures the
+//!   microkernel against.
 //!
 //! # Determinism
 //!
-//! Tiling never reorders floating-point accumulation: for every output
+//! No tier ever reorders floating-point accumulation: for every output
 //! element the contributions along the shared dimension are added in
-//! ascending-`k` order, exactly as the reference kernels
+//! ascending-`k` order from `+0.0`, exactly as the reference kernels
 //! ([`matmul_reference`], [`matmul_nt_reference`], [`matmul_tn_reference`])
-//! do, and parallel tiles write disjoint output rows. The blocked kernels
-//! are therefore **bit-identical** to the references and to themselves at
-//! any thread count — the property the engine's serial-vs-parallel
-//! equivalence suite relies on (enforced by unit tests here and the
-//! property suite in `tests/proptests.rs`).
+//! do, and parallel tiles write disjoint output rows at fixed boundaries.
+//! All tiers are therefore **bit-identical** to the references and to
+//! themselves at any thread count — the property the engine's
+//! serial-vs-parallel equivalence suite relies on (enforced by unit tests
+//! here and the property suite in `tests/proptests.rs`; see
+//! [`crate::gemm`] for why the register tile preserves the contract).
 
+use crate::gemm::{gemm_packed, gemm_packed_tn, PackedA, PackedB, K_BLOCK};
 use crate::{Tensor, TensorError};
 
 /// Output rows per parallel task: big enough to amortise a pool spawn,
 /// small enough that the paper's im2col matrices (thousands of patch rows)
-/// split into many tiles.
-const TILE_ROWS: usize = 64;
-
-/// Panel width along the shared dimension for `matmul`: `K_BLOCK` rows of
-/// `B` are streamed over a full row tile before moving on, keeping the
-/// panel in L1/L2 across the tile.
-const K_BLOCK: usize = 128;
+/// split into many tiles. A multiple of [`crate::gemm::MR`], so parallel
+/// tile boundaries coincide with microkernel sub-tile boundaries.
+pub(crate) const TILE_ROWS: usize = 64;
 
 /// Multiply-accumulate count below which a product runs on the calling
 /// thread: at ~1 ns/flop the threshold (~260k) is a few hundred
 /// microseconds, comfortably above the pool's per-tile overhead.
 const PAR_FLOPS: usize = 1 << 18;
 
+/// Width of the fixed-size chunks the elementwise kernels
+/// ([`add_bias_rows`], [`sum_rows_into`]) process per step — a bounded
+/// inner loop the autovectorizer reliably lifts to SIMD.
+pub(crate) const LANES: usize = 8;
+
 /// Runs `kernel` over the output rows of an `m×n` matrix, tiling and
 /// parallelising when `flops` clears [`PAR_FLOPS`] and the global pool has
 /// workers. `kernel(first_row, rows)` must write only the rows it is
 /// handed; tile boundaries are fixed by [`TILE_ROWS`], so results never
 /// depend on the pool size.
-fn run_row_tiles(
+pub(crate) fn run_row_tiles(
     out: &mut [f32],
     n: usize,
     flops: usize,
@@ -64,7 +78,7 @@ fn run_row_tiles(
     }
 }
 
-fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorError> {
+pub(crate) fn require_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorError> {
     let dims = t.dims();
     if dims.len() != 2 {
         return Err(TensorError::RankMismatch { op, expected: 2, got: dims.len() });
@@ -101,6 +115,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// suffices) and then overwritten with the product, bit-identically to the
 /// allocating kernel.
 ///
+/// Packs `B` into a transient buffer per call; steady-state loops should
+/// hold a [`PackedB`] and call [`matmul_packed_into`] instead.
+///
 /// # Errors
 ///
 /// Same error conditions as [`matmul`]; `out` is untouched on error.
@@ -119,6 +136,97 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// # }
 /// ```
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (_, ka) = require_rank2("matmul", a)?;
+    let (kb, _) = require_rank2("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut pb = PackedB::new();
+    pb.pack(b)?;
+    matmul_packed_into(a, &pb, out)
+}
+
+/// `C = A · B` with `B` already packed: the zero-allocation hot-path
+/// spelling of [`matmul_into`], bit-identical to it and to
+/// [`matmul_reference`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `a` is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if `a`'s columns disagree with the
+/// pack's `k`; `out` is untouched on error.
+///
+/// # Panics
+///
+/// Panics if `pb` is stale ([`PackedB::is_valid`] is false) — pack or
+/// `ensure` it first.
+pub fn matmul_packed_into(a: &Tensor, pb: &PackedB, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = require_rank2("matmul", a)?;
+    assert!(pb.is_valid(), "matmul_packed_into: stale PackedB (pack or ensure it first)");
+    if ka != pb.k() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: vec![pb.k(), pb.n()],
+        });
+    }
+    out.reset(&[m, pb.n()]);
+    gemm_packed::<true>(a.data(), ka, pb, out.data_mut());
+    Ok(())
+}
+
+/// The naive `i-k-j` matmul kept as the oracle for the packed and blocked
+/// kernels (property tests assert exact equality on random shapes). Skips
+/// exact-zero `A` elements — the historical sparsity fast path whose
+/// semantics every faster tier replicates bit for bit (the packed kernels
+/// as a branchless select, see [`crate::gemm`]).
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = require_rank2("matmul", a)?;
+    let (kb, n) = require_rank2("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The previous-generation loop-tiled `matmul` kernel (`K_BLOCK`-panelled
+/// scalar row streams over an unpacked `B`), retained as a second
+/// bit-identical oracle and as the baseline the GFLOP/s sweep compares the
+/// packed microkernel against.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`]; `out` is untouched on error.
+pub fn matmul_blocked_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, ka) = require_rank2("matmul", a)?;
     let (kb, n) = require_rank2("matmul", b)?;
     if ka != kb {
@@ -154,42 +262,6 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Tenso
     Ok(())
 }
 
-/// The naive `i-k-j` matmul kept as the oracle for the blocked kernel
-/// (property tests assert exact equality on random shapes).
-///
-/// # Errors
-///
-/// Same error conditions as [`matmul`].
-pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, ka) = require_rank2("matmul", a)?;
-    let (kb, n) = require_rank2("matmul", b)?;
-    if ka != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-        });
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[k * n..(k + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aik * bkj;
-            }
-        }
-    }
-    Ok(out)
-}
-
 /// `Aᵀ (k×m) · B (k×n) → C (m×n)` without materialising the transpose.
 ///
 /// Used for weight gradients (`xᵀ · dy`).
@@ -207,12 +279,16 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// [`matmul_tn`] writing into a caller-provided tensor (see
 /// [`matmul_into`] for the reuse contract).
 ///
+/// Packs both operands into transient buffers per call; steady-state loops
+/// should hold a [`PackedA`]/[`PackedB`] pair (e.g. from the
+/// [`crate::Workspace`] pack pools) and call [`matmul_tn_packed_into`].
+///
 /// # Errors
 ///
 /// Same error conditions as [`matmul_tn`]; `out` is untouched on error.
 pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
-    let (ka, m) = require_rank2("matmul_tn", a)?;
-    let (kb, n) = require_rank2("matmul_tn", b)?;
+    let (ka, _) = require_rank2("matmul_tn", a)?;
+    let (kb, _) = require_rank2("matmul_tn", b)?;
     if ka != kb {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_tn",
@@ -220,29 +296,46 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
             rhs: b.dims().to_vec(),
         });
     }
-    out.reset(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
-        for k in 0..ka {
-            let arow = &ad[k * m..(k + 1) * m];
-            let brow = &bd[k * n..(k + 1) * n];
-            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
-                let aki = arow[first_row + r];
-                if aki == 0.0 {
-                    continue;
-                }
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o += aki * bkj;
-                }
-            }
-        }
-    });
+    let mut pa = PackedA::new();
+    pa.pack_transposed(a)?;
+    let mut pb = PackedB::new();
+    pb.pack(b)?;
+    matmul_tn_packed_into(&pa, &pb, out)
+}
+
+/// `C = Aᵀ · B` with both operands already packed ([`PackedA`] row tiles
+/// of `aᵀ`, [`PackedB`] column panels of `b`): the zero-allocation
+/// hot-path spelling of [`matmul_tn_into`], bit-identical to it and to
+/// [`matmul_tn_reference`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the packs' shared dimensions
+/// disagree; `out` is untouched on error.
+///
+/// # Panics
+///
+/// Panics if `pb` is stale ([`PackedB::is_valid`] is false).
+pub fn matmul_tn_packed_into(
+    pa: &PackedA,
+    pb: &PackedB,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    assert!(pb.is_valid(), "matmul_tn_packed_into: stale PackedB (pack or ensure it first)");
+    if pa.k() != pb.k() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: vec![pa.k(), pa.m()],
+            rhs: vec![pb.k(), pb.n()],
+        });
+    }
+    out.reset(&[pa.m(), pb.n()]);
+    gemm_packed_tn(pa, pb, out.data_mut());
     Ok(())
 }
 
-/// The naive `k-i-j` transposed-A matmul kept as the oracle for the tiled
-/// kernel.
+/// The naive `k-i-j` transposed-A matmul kept as the oracle for the packed
+/// and blocked kernels.
 ///
 /// # Errors
 ///
@@ -277,9 +370,47 @@ pub fn matmul_tn_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError
     Ok(out)
 }
 
+/// The previous-generation tiled `matmul_tn` kernel (unpacked operands,
+/// scalar saxpy rows), retained as a second bit-identical oracle and as
+/// the GFLOP/s sweep baseline.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_tn`]; `out` is untouched on error.
+pub fn matmul_tn_blocked_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (ka, m) = require_rank2("matmul_tn", a)?;
+    let (kb, n) = require_rank2("matmul_tn", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    out.reset(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
+        for k in 0..ka {
+            let arow = &ad[k * m..(k + 1) * m];
+            let brow = &bd[k * n..(k + 1) * n];
+            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+                let aki = arow[first_row + r];
+                if aki == 0.0 {
+                    continue;
+                }
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o += aki * bkj;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
 /// `A (m×k) · Bᵀ (n×k) → C (m×n)` without materialising the transpose.
 ///
-/// Used for input gradients (`dy · Wᵀ`).
+/// Used for linear/conv forwards (`x · Wᵀ`) and input gradients.
 ///
 /// # Errors
 ///
@@ -294,12 +425,16 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// [`matmul_nt`] writing into a caller-provided tensor (see
 /// [`matmul_into`] for the reuse contract).
 ///
+/// Transpose-packs `B` into a transient buffer per call; steady-state
+/// loops should cache a [`PackedB::pack_transposed`] pack and call
+/// [`matmul_nt_packed_into`].
+///
 /// # Errors
 ///
 /// Same error conditions as [`matmul_nt`]; `out` is untouched on error.
 pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
-    let (m, ka) = require_rank2("matmul_nt", a)?;
-    let (n, kb) = require_rank2("matmul_nt", b)?;
+    let (_, ka) = require_rank2("matmul_nt", a)?;
+    let (_, kb) = require_rank2("matmul_nt", b)?;
     if ka != kb {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_nt",
@@ -307,30 +442,45 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
             rhs: b.dims().to_vec(),
         });
     }
-    out.reset(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
-        // Each output element is one dot product accumulated in a single
-        // register over ascending `k` — blocking `k` here would split the
-        // accumulator and break bit-identity with the reference.
-        for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
-            let arow = &ad[(first_row + r) * ka..(first_row + r + 1) * ka];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &bd[j * ka..(j + 1) * ka];
-                let mut acc = 0.0;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o += acc;
-            }
-        }
-    });
+    let mut pb = PackedB::new();
+    pb.pack_transposed(b)?;
+    matmul_nt_packed_into(a, &pb, out)
+}
+
+/// `C = A · Bᵀ` with `Bᵀ` already packed (via
+/// [`PackedB::pack_transposed`]): the zero-allocation hot-path spelling of
+/// [`matmul_nt_into`], bit-identical to it and to [`matmul_nt_reference`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `a` is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if `a`'s columns disagree with the
+/// pack's `k`; `out` is untouched on error.
+///
+/// # Panics
+///
+/// Panics if `pb` is stale ([`PackedB::is_valid`] is false).
+pub fn matmul_nt_packed_into(
+    a: &Tensor,
+    pb: &PackedB,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, ka) = require_rank2("matmul_nt", a)?;
+    assert!(pb.is_valid(), "matmul_nt_packed_into: stale PackedB (pack or ensure it first)");
+    if ka != pb.k() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: vec![pb.n(), pb.k()],
+        });
+    }
+    out.reset(&[m, pb.n()]);
+    gemm_packed::<false>(a.data(), ka, pb, out.data_mut());
     Ok(())
 }
 
 /// The naive row-dot-row transposed-B matmul kept as the oracle for the
-/// tiled kernel.
+/// packed and blocked kernels.
 ///
 /// # Errors
 ///
@@ -364,6 +514,44 @@ pub fn matmul_nt_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError
     Ok(out)
 }
 
+/// The previous-generation tiled `matmul_nt` kernel (scalar dot products
+/// over unpacked rows), retained as a second bit-identical oracle and as
+/// the GFLOP/s sweep baseline.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_nt`]; `out` is untouched on error.
+pub fn matmul_nt_blocked_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, ka) = require_rank2("matmul_nt", a)?;
+    let (n, kb) = require_rank2("matmul_nt", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    out.reset(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    run_row_tiles(out.data_mut(), n, m * n * ka, |first_row, rows| {
+        // Each output element is one dot product accumulated in a single
+        // register over ascending `k`.
+        for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+            let arow = &ad[(first_row + r) * ka..(first_row + r + 1) * ka];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * ka..(j + 1) * ka];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    });
+    Ok(())
+}
+
 /// Transpose of a 2-D tensor.
 ///
 /// # Errors
@@ -384,6 +572,10 @@ pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
 
 /// Adds a length-`n` bias row to every row of an `m×n` matrix, in place.
 ///
+/// The row loop runs in `LANES`-wide chunks plus a scalar tail; each
+/// element still sees exactly one `x += b`, so results are bit-identical
+/// to the scalar formulation whatever the chunking.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `bias` is not `[n]`.
@@ -397,8 +589,16 @@ pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) -> Result<(), TensorError> {
         });
     }
     let bd = bias.data();
+    let split = n - n % LANES;
+    let (bc, bt) = bd.split_at(split);
     for row in a.data_mut().chunks_exact_mut(n) {
-        for (x, b) in row.iter_mut().zip(bd) {
+        let (rc, rt) = row.split_at_mut(split);
+        for (rch, bch) in rc.chunks_exact_mut(LANES).zip(bc.chunks_exact(LANES)) {
+            for (x, &b) in rch.iter_mut().zip(bch) {
+                *x += b;
+            }
+        }
+        for (x, &b) in rt.iter_mut().zip(bt) {
             *x += b;
         }
     }
@@ -428,8 +628,16 @@ pub fn sum_rows_into(a: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (_, n) = require_rank2("sum_rows", a)?;
     out.reset(&[n]);
     let od = out.data_mut();
+    let split = n - n % LANES;
     for row in a.data().chunks_exact(n) {
-        for (o, &x) in od.iter_mut().zip(row) {
+        let (oc, ot) = od.split_at_mut(split);
+        let (rc, rt) = row.split_at(split);
+        for (och, rch) in oc.chunks_exact_mut(LANES).zip(rc.chunks_exact(LANES)) {
+            for (o, &x) in och.iter_mut().zip(rch) {
+                *o += x;
+            }
+        }
+        for (o, &x) in ot.iter_mut().zip(rt) {
             *o += x;
         }
     }
@@ -497,6 +705,19 @@ mod tests {
     }
 
     #[test]
+    fn bias_and_sum_rows_cover_chunk_and_tail_widths() {
+        // n = 2*LANES + 3 exercises both the chunked body and the tail.
+        let n = 2 * LANES + 3;
+        let mut a = Tensor::ones(&[3, n]);
+        let bias = Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n]).unwrap();
+        add_bias_rows(&mut a, &bias).unwrap();
+        let s = sum_rows(&a).unwrap();
+        for (j, &v) in s.data().iter().enumerate() {
+            assert_eq!(v, 3.0 * (1.0 + j as f32), "column {j}");
+        }
+    }
+
+    #[test]
     fn bias_shape_is_checked() {
         let mut a = Tensor::zeros(&[3, 2]);
         let bias = Tensor::zeros(&[3]);
@@ -507,7 +728,7 @@ mod tests {
         use rand::{RngExt as _, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n: usize = dims.iter().product();
-        // A sprinkle of exact zeros exercises the skip-zero fast path.
+        // A sprinkle of exact zeros exercises the 0-times-anything paths.
         let data = (0..n)
             .map(|_| {
                 if rng.random_range(0.0..1.0) < 0.1 {
@@ -520,40 +741,61 @@ mod tests {
         Tensor::from_vec(data, dims).unwrap()
     }
 
-    /// The blocked kernels must match the naive references *bit for bit*
-    /// on shapes that straddle the tile and K-panel boundaries — this is
-    /// the contract the engine's serial-vs-parallel determinism rests on.
+    /// The packed and blocked kernels must match the naive references *bit
+    /// for bit* on shapes that straddle the tile, panel and microkernel
+    /// boundaries — this is the contract the engine's serial-vs-parallel
+    /// determinism rests on.
     #[test]
-    fn blocked_kernels_are_bit_identical_to_references() {
+    fn packed_and_blocked_kernels_are_bit_identical_to_references() {
         for (case, (m, k, n)) in
             [(1, 1, 1), (3, 200, 5), (70, 130, 65), (129, 64, 33), (64, 128, 64)].iter().enumerate()
         {
+            let mut blocked = Tensor::default();
+
             let a = random(&[*m, *k], 11 + case as u64);
             let b = random(&[*k, *n], 23 + case as u64);
-            assert_eq!(
-                matmul(&a, &b).unwrap().data(),
-                matmul_reference(&a, &b).unwrap().data(),
-                "matmul {m}x{k}x{n}"
-            );
+            let reference = matmul_reference(&a, &b).unwrap();
+            assert_eq!(matmul(&a, &b).unwrap().data(), reference.data(), "matmul {m}x{k}x{n}");
+            matmul_blocked_into(&a, &b, &mut blocked).unwrap();
+            assert_eq!(blocked.data(), reference.data(), "matmul blocked {m}x{k}x{n}");
 
             let at = random(&[*k, *m], 31 + case as u64);
-            assert_eq!(
-                matmul_tn(&at, &b).unwrap().data(),
-                matmul_tn_reference(&at, &b).unwrap().data(),
-                "matmul_tn {m}x{k}x{n}"
-            );
+            let reference = matmul_tn_reference(&at, &b).unwrap();
+            assert_eq!(matmul_tn(&at, &b).unwrap().data(), reference.data(), "tn {m}x{k}x{n}");
+            matmul_tn_blocked_into(&at, &b, &mut blocked).unwrap();
+            assert_eq!(blocked.data(), reference.data(), "tn blocked {m}x{k}x{n}");
 
             let bt = random(&[*n, *k], 47 + case as u64);
-            assert_eq!(
-                matmul_nt(&a, &bt).unwrap().data(),
-                matmul_nt_reference(&a, &bt).unwrap().data(),
-                "matmul_nt {m}x{k}x{n}"
-            );
+            let reference = matmul_nt_reference(&a, &bt).unwrap();
+            assert_eq!(matmul_nt(&a, &bt).unwrap().data(), reference.data(), "nt {m}x{k}x{n}");
+            matmul_nt_blocked_into(&a, &bt, &mut blocked).unwrap();
+            assert_eq!(blocked.data(), reference.data(), "nt blocked {m}x{k}x{n}");
         }
     }
 
     #[test]
-    fn reference_kernels_validate_shapes_like_the_blocked_ones() {
+    fn packed_entry_points_validate_shapes_and_staleness() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 8], &[4, 2]);
+        let mut pb = PackedB::new();
+        pb.pack(&b).unwrap();
+        let mut out = Tensor::default();
+        // k mismatch: a has 3 columns, the pack has k = 4.
+        assert!(matches!(
+            matmul_packed_into(&a, &pb, &mut out),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        pb.invalidate();
+        let ok = t(vec![0.0; 8], &[2, 4]);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Tensor::default();
+            let _ = matmul_packed_into(&ok, &pb, &mut out);
+        }));
+        assert!(stale.is_err(), "stale pack must panic");
+    }
+
+    #[test]
+    fn reference_kernels_validate_shapes_like_the_packed_ones() {
         let a = t(vec![0.0; 6], &[2, 3]);
         let b = t(vec![0.0; 6], &[2, 3]);
         assert!(matches!(matmul_reference(&a, &b), Err(TensorError::ShapeMismatch { .. })));

@@ -8,7 +8,7 @@
 //! training loop performs **zero** heap allocations (asserted by the
 //! workspace's counting-allocator test suite).
 //!
-//! Two pools cover the two reuse patterns:
+//! Four pools cover the reuse patterns:
 //!
 //! * a **shape-keyed pool** ([`Workspace::take`]/[`Workspace::give`]) for
 //!   scratch whose dimensions the caller knows (patch matrices, gradient
@@ -18,7 +18,15 @@
 //!   [`Workspace::give_scratch`]) for the ping-pong activation buffers of a
 //!   layer pipeline, where each buffer is [`Tensor::reset`] to a different
 //!   shape per layer and LIFO order keeps the same physical buffer in the
-//!   same role every batch.
+//!   same role every batch;
+//! * two **GEMM pack stacks** ([`Workspace::take_packed_a`]/
+//!   [`Workspace::take_packed_b`] and their `give_*` twins) for the
+//!   transient [`PackedA`]/[`PackedB`] operand packs of the backward-pass
+//!   matmuls, whose operands change every batch. Pack buffers fully
+//!   rewrite themselves on every `pack_*`, so dirty LIFO reuse is safe and
+//!   their capacities stop growing once the per-layer high-water marks are
+//!   reached. (Cached *weight* packs live in the layers themselves, not
+//!   here — see `crate::gemm`.)
 //!
 //! Buffers returned by either `take` have **unspecified contents**; every
 //! `_into` kernel and `Layer::*_into` method fully defines its output, so no
@@ -27,6 +35,7 @@
 //! and the engine's determinism suite pins workspace-backed runs bit-for-bit
 //! against the allocating path.
 
+use crate::gemm::{PackedA, PackedB};
 use crate::Tensor;
 
 /// A pool of reusable [`Tensor`] buffers: a shape-keyed pool
@@ -58,6 +67,8 @@ use crate::Tensor;
 pub struct Workspace {
     shaped: Vec<Tensor>,
     scratch: Vec<Tensor>,
+    packed_a: Vec<PackedA>,
+    packed_b: Vec<PackedB>,
 }
 
 impl Workspace {
@@ -104,9 +115,37 @@ impl Workspace {
         self.scratch.push(tensor);
     }
 
-    /// Number of buffers currently pooled (both pools).
+    /// Pops a reusable [`PackedA`] from the pack stack (or a fresh empty
+    /// one). Contents are stale until the next `pack_*` call, which fully
+    /// rewrites them.
+    pub fn take_packed_a(&mut self) -> PackedA {
+        self.packed_a.pop().unwrap_or_default()
+    }
+
+    /// Returns a [`PackedA`] to the pack stack.
+    pub fn give_packed_a(&mut self, pack: PackedA) {
+        self.packed_a.push(pack);
+    }
+
+    /// Pops a reusable [`PackedB`] from the pack stack (or a fresh empty
+    /// one). Contents are stale until the next `pack_*` call, which fully
+    /// rewrites them.
+    pub fn take_packed_b(&mut self) -> PackedB {
+        self.packed_b.pop().unwrap_or_default()
+    }
+
+    /// Returns a [`PackedB`] to the pack stack. The pack is invalidated
+    /// on the way in, so a later taker that forgets to repack trips the
+    /// kernels' stale-pack assertion instead of silently multiplying
+    /// against a previous owner's operand.
+    pub fn give_packed_b(&mut self, mut pack: PackedB) {
+        pack.invalidate();
+        self.packed_b.push(pack);
+    }
+
+    /// Number of buffers currently pooled (all pools).
     pub fn pooled(&self) -> usize {
-        self.shaped.len() + self.scratch.len()
+        self.shaped.len() + self.scratch.len() + self.packed_a.len() + self.packed_b.len()
     }
 }
 
@@ -155,5 +194,21 @@ mod tests {
         let mut ws = Workspace::new();
         assert_eq!(ws.take(&[3, 3]).sum(), 0.0);
         assert_eq!(ws.take_scratch().numel(), 1);
+    }
+
+    #[test]
+    fn pack_pools_cycle_buffers() {
+        let mut ws = Workspace::new();
+        let mut pb = ws.take_packed_b();
+        pb.pack(&Tensor::ones(&[4, 4])).unwrap();
+        ws.give_packed_b(pb);
+        let mut pa = ws.take_packed_a();
+        pa.pack_transposed(&Tensor::ones(&[4, 4])).unwrap();
+        ws.give_packed_a(pa);
+        assert_eq!(ws.pooled(), 2);
+        // The pooled pack comes back with its (stale) capacity intact.
+        let pb = ws.take_packed_b();
+        assert_eq!((pb.k(), pb.n()), (4, 4));
+        assert_eq!(ws.pooled(), 1);
     }
 }

@@ -244,6 +244,58 @@ proptest! {
         let back = flat.reshape(&[4, 6]).unwrap();
         prop_assert_eq!(back, a);
     }
+
+    /// The packed-operand kernels must match the naive references *bit
+    /// for bit* even when the pack buffers are dirty — reused across a
+    /// sequence of different shapes, so each `pack_*` call writes into
+    /// whatever the previous (larger or smaller) pack left behind. This
+    /// is the contract the per-layer weight-pack caches and the workspace
+    /// pack pools stand on.
+    #[test]
+    fn packed_kernels_match_references_with_dirty_reused_packs(
+        shapes in proptest::collection::vec((1usize..48, 1usize..48, 1usize..24), 2..5),
+        seed in any::<u64>(),
+    ) {
+        use aergia_tensor::gemm::{PackedA, PackedB};
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    // Exact zeros force the guarded skip path too.
+                    if rng.random_range(0.0..1.0) < 0.15 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        // One pack of each kind survives the whole shape sequence.
+        let mut pb = PackedB::new();
+        let mut pbt = PackedB::new();
+        let mut pa = PackedA::new();
+        let mut out = Tensor::default();
+        for &(m, k, n) in &shapes {
+            let a = Tensor::from_vec(fill(m * k), &[m, k]).unwrap();
+            let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+            pb.pack(&b).unwrap();
+            ops::matmul_packed_into(&a, &pb, &mut out).unwrap();
+            prop_assert_eq!(out.data(), ops::matmul_reference(&a, &b).unwrap().data());
+
+            let bt = Tensor::from_vec(fill(n * k), &[n, k]).unwrap();
+            pbt.pack_transposed(&bt).unwrap();
+            ops::matmul_nt_packed_into(&a, &pbt, &mut out).unwrap();
+            prop_assert_eq!(out.data(), ops::matmul_nt_reference(&a, &bt).unwrap().data());
+
+            let at = Tensor::from_vec(fill(k * m), &[k, m]).unwrap();
+            pa.pack_transposed(&at).unwrap();
+            ops::matmul_tn_packed_into(&pa, &pb, &mut out).unwrap();
+            prop_assert_eq!(out.data(), ops::matmul_tn_reference(&at, &b).unwrap().data());
+
+            // The retained blocked tier agrees bit-for-bit as well.
+            let mut blocked = Tensor::default();
+            ops::matmul_blocked_into(&a, &b, &mut blocked).unwrap();
+            ops::matmul_packed_into(&a, &pb, &mut out).unwrap();
+            prop_assert_eq!(out.data(), blocked.data());
+        }
+    }
 }
 
 fn matrix_from(t: &Tensor) -> Tensor {

@@ -1,0 +1,299 @@
+//! Vendored, offline subset of the `criterion` crate.
+//!
+//! Implements the measurement surface the `aergia-bench` micro-benchmarks
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `Bencher::iter` and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — on top of a simple warmup + timed-batch
+//! loop. No statistical analysis or HTML reports: each benchmark prints
+//! its mean time per iteration and the iteration count.
+//!
+//! CLI compatibility with `cargo bench` and `cargo test`:
+//!
+//! * `--test` (and `--quick`) runs every benchmark body once, untimed —
+//!   the mode CI smoke jobs use;
+//! * a positional `FILTER` restricts benchmarks by substring;
+//! * `--bench`, `--list`, and unknown flags are accepted and ignored so
+//!   the harness never fails on cargo-injected arguments.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+/// Target wall-clock time spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a manager from the process arguments (see module docs).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => c.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Runs (or, in test mode, exercises) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.bench_with_throughput(id, None, &mut f);
+        self
+    }
+
+    fn bench_with_throughput(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if self.matches(id) {
+            let mut b = Bencher { test_mode: self.test_mode, report: None, throughput };
+            f(&mut b);
+            b.print(id);
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Work performed per iteration; lets the report derive a rate alongside
+/// the mean time (elements/s or bytes/s) like upstream criterion.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration (e.g. FLOPs for a GEMM
+    /// benchmark, making the printed `Gelem/s` read as GFLOP/s).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of the *following* benchmarks in
+    /// this group; their reports gain a derived rate column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.bench_with_throughput(&full, self.throughput, &mut |b| f(b));
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_with_throughput(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+
+    /// Accepted and ignored: the shim sizes runs by wall-clock targets.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored: the shim sizes runs by wall-clock targets.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// A benchmark identifier, optionally carrying a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Identifier that is just the parameter (used inside groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    test_mode: bool,
+    report: Option<(Duration, u64)>,
+    throughput: Option<Throughput>,
+}
+
+impl Bencher {
+    /// Measures `routine`, or runs it once in test mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup: discover a batch size that makes timer overhead
+        // negligible while estimating the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().checked_div(warmup_iters as u32).unwrap_or_default();
+        let iters =
+            (MEASURE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 32) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.report = Some((start.elapsed(), iters));
+    }
+
+    fn print(&self, id: &str) {
+        match self.report {
+            Some((elapsed, iters)) => {
+                let mean = elapsed.as_secs_f64() / iters as f64;
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {}", format_rate(n as f64 / mean, "elem/s"))
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {}", format_rate(n as f64 / mean, "B/s"))
+                    }
+                    None => String::new(),
+                };
+                println!("{id:<48} {:>14} {iters:>10} iters{rate}", format_time(mean));
+            }
+            None => println!("{id:<48} {:>14}", "ok (test)"),
+        }
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups with CLI-derived settings.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut runs = 0;
+        c.bench_function("a", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("match_me".into()), test_mode: true };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("do_match_me_now", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_ids_get_prefixed_and_measured() {
+        let mut c = Criterion { filter: Some("grp/7".into()), test_mode: true };
+        let mut ran = false;
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &_n| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}
