@@ -1,7 +1,7 @@
 //! Times every figure harness at `AERGIA_SCALE=smoke` and gates wall-time
-//! regressions (plus the in-process `allocs_per_round` and
-//! `matmul_gflops` figures) — the driver behind the `bench-regression`
-//! CI job.
+//! regressions (plus the in-process `allocs_per_round`, `matmul_gflops`
+//! and per-codec `bytes_per_round_*` figures) — the driver behind the
+//! `bench-regression` CI job.
 //!
 //! ```sh
 //! cargo run --release -p aergia-bench --bin bench_smoke -- \
@@ -24,6 +24,7 @@ use aergia::engine::Engine;
 use aergia::strategy::Strategy;
 use aergia_bench::regression::{from_json, is_throughput, regressions, to_json, BenchReport};
 use aergia_bench::{base_config, Scale};
+use aergia_codec::CodecConfig;
 use aergia_data::DatasetSpec;
 use aergia_nn::models::ModelArch;
 use aergia_runtime::alloc_count::CountingAllocator;
@@ -140,6 +141,19 @@ fn measure_matmul_gflops() -> f64 {
     flops * f64::from(reps) / started.elapsed().as_secs_f64() / 1e9
 }
 
+/// Simulated bytes-on-wire per round of the smoke Aergia experiment under
+/// `codec`. Runs in timing mode — wire sizes are shape-deterministic, so
+/// the figure is exact, fast and identical to a real-mode run — and gates
+/// like a wall-time: growing the protocol's byte footprint 2x fails CI.
+fn measure_bytes_per_round(codec: CodecConfig) -> f64 {
+    let mut config = base_config(Scale::Smoke, DatasetSpec::MnistLike, ModelArch::MnistCnn, 77);
+    config.mode = aergia::config::Mode::Timing;
+    config.codec = codec;
+    let mut engine = Engine::new(config, Strategy::aergia_default()).expect("valid smoke config");
+    let result = engine.run().expect("timing run");
+    result.mean_round_bytes()
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(o) => o,
@@ -175,6 +189,18 @@ fn main() {
     let mut report = BenchReport::new();
     report.insert("allocs_per_round".to_string(), allocs_per_round);
     report.insert("matmul_gflops".to_string(), matmul_gflops);
+    // Bytes-on-wire per round, per codec: deterministic figures (timing
+    // mode, virtual network) gated exactly like the wall-times so protocol
+    // bloat — or a codec silently falling back to dense — fails the build.
+    for (name, codec) in [
+        ("bytes_per_round_dense_f32", CodecConfig::DenseF32),
+        ("bytes_per_round_quant_i8", CodecConfig::QuantI8),
+        ("bytes_per_round_topk_delta", CodecConfig::TopKDelta { keep_permille: 50 }),
+    ] {
+        let bytes = measure_bytes_per_round(codec);
+        eprintln!("bench_smoke: {name} = {bytes:.0}");
+        report.insert(name.to_string(), bytes);
+    }
     for &name in HARNESSES {
         eprintln!("bench_smoke: running {name}");
         let started = Instant::now();

@@ -4,12 +4,16 @@
 //! `AERGIA_SCALE=smoke`, records the wall-times in a flat JSON object
 //! (`BENCH_smoke.json`, figure name → seconds) and compares them against
 //! the checked-in baseline: any entry slower than `baseline ×
-//! max_regression` fails the job. Entries named `*_gflops` are
-//! *throughputs* (GFLOP/s — e.g. the `matmul_gflops` GEMM figure), where
-//! higher is better: they regress when the current value falls below
-//! `baseline ÷ max_regression`. The format is deliberately trivial — the
-//! workspace is offline, so both the writer and the parser live here
-//! instead of pulling in `serde_json`.
+//! max_regression` fails the job. Counted figures ride the same gate with
+//! wall-time semantics (lower is better): `allocs_per_round` (steady-state
+//! heap allocations) and the `bytes_per_round_*` family (simulated
+//! bytes-on-wire per round, one entry per wire codec — deterministic, so a
+//! breach means the protocol's byte footprint actually grew). Entries
+//! named `*_gflops` are *throughputs* (GFLOP/s — e.g. the `matmul_gflops`
+//! GEMM figure), where higher is better: they regress when the current
+//! value falls below `baseline ÷ max_regression`. The format is
+//! deliberately trivial — the workspace is offline, so both the writer and
+//! the parser live here instead of pulling in `serde_json`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -169,6 +173,21 @@ mod tests {
         let baseline = report(&[("retired_figure", 5.0)]);
         let current = report(&[("brand_new_figure", 500.0)]);
         assert!(regressions(&baseline, &current, 2.0).is_empty());
+    }
+
+    #[test]
+    fn bytes_entries_gate_like_wall_times() {
+        // The bytes-per-round figures are deterministic counts; doubling
+        // one (protocol bloat, or a codec quietly shipping dense frames)
+        // must trip the gate exactly like a slow harness.
+        let baseline = report(&[("bytes_per_round_topk_delta", 90_000.0)]);
+        let ok = report(&[("bytes_per_round_topk_delta", 179_000.0)]);
+        assert!(regressions(&baseline, &ok, 2.0).is_empty());
+        let bloated = report(&[("bytes_per_round_topk_delta", 181_000.0)]);
+        assert_eq!(regressions(&baseline, &bloated, 2.0).len(), 1);
+        // Shrinking is never a regression.
+        let slim = report(&[("bytes_per_round_topk_delta", 9_000.0)]);
+        assert!(regressions(&baseline, &slim, 2.0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! `DenseF32`: raw little-endian `f32` tensors, bit-exact round-trip.
+//!
+//! Payload layout, per tensor: `u32 rank`, `u32 dims[rank]`, then `numel`
+//! little-endian `f32` bit patterns. Values are moved by bit pattern, so
+//! NaN payloads, ±infinity and −0.0 survive the wire unchanged — the
+//! property that lets a dense-codec run stay byte-identical to one that
+//! never serialized at all.
+
+use aergia_tensor::Tensor;
+
+use crate::io::{put_f32, put_u32, Reader};
+use crate::sizing::{self, ShapeSpec};
+use crate::CodecError;
+
+/// Upper bound on rank/element counts honoured by the decoder; prevents
+/// pathological allocations from corrupt buffers.
+const SANITY_LIMIT: u64 = 1 << 31;
+const MAX_RANK: u32 = 16;
+
+/// Appends the dense encoding of `tensors` to `out`.
+pub fn encode_payload_into(tensors: &[Tensor], out: &mut Vec<u8>) {
+    out.reserve(sizing::ShapeSpec::of(tensors).dense_payload_len());
+    for t in tensors {
+        put_u32(out, t.dims().len() as u32);
+        for &d in t.dims() {
+            put_u32(out, d as u32);
+        }
+        for &v in t.data() {
+            put_f32(out, v);
+        }
+    }
+}
+
+/// Decodes `tensor_count` tensors from a dense payload.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation or implausible shape metadata.
+pub fn decode_payload(payload: &[u8], tensor_count: usize) -> Result<Vec<Tensor>, CodecError> {
+    let mut r = Reader::new(payload);
+    // Cap the pre-allocation: a corrupt count must not allocate blindly.
+    let mut out = Vec::with_capacity(tensor_count.min(payload.len() / 4 + 1));
+    for _ in 0..tensor_count {
+        let (dims, numel) = decode_shape(&mut r)?;
+        // Cap against the bytes actually present: corrupt dims must fail
+        // with Truncated, not attempt a multi-GiB allocation first.
+        let mut data = Vec::with_capacity(numel.min(r.remaining() / 4 + 1));
+        for _ in 0..numel {
+            data.push(r.f32()?);
+        }
+        out.push(Tensor::from_vec(data, &dims).map_err(|_| CodecError::Corrupt("shape"))?);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes in dense payload"));
+    }
+    Ok(out)
+}
+
+/// Reads the shared `rank + dims` prefix every payload format uses.
+pub(crate) fn decode_shape(r: &mut Reader<'_>) -> Result<(Vec<usize>, usize), CodecError> {
+    let rank = r.u32()?;
+    if rank > MAX_RANK {
+        return Err(CodecError::Corrupt("rank"));
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    let mut numel: u64 = 1;
+    for _ in 0..rank {
+        let d = u64::from(r.u32()?);
+        numel = numel.saturating_mul(d.max(1));
+        if numel > SANITY_LIMIT {
+            return Err(CodecError::Corrupt("element count"));
+        }
+        dims.push(d as usize);
+    }
+    let numel: usize = dims.iter().product();
+    Ok((dims, numel))
+}
+
+/// Exact dense payload length for `tensors` (shape-only; see
+/// [`ShapeSpec::dense_payload_len`]).
+pub fn payload_len(tensors: &[Tensor]) -> usize {
+    ShapeSpec::of(tensors).dense_payload_len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact_including_specials() {
+        let specials = vec![
+            0.0,
+            -0.0,
+            1.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7fc0_1234), // NaN with payload
+            f32::MIN_POSITIVE / 2.0,     // subnormal
+        ];
+        let tensors =
+            vec![Tensor::from_vec(specials, &[2, 4]).unwrap(), Tensor::ones(&[1, 2, 1, 3])];
+        let mut payload = Vec::new();
+        encode_payload_into(&tensors, &mut payload);
+        assert_eq!(payload.len(), payload_len(&tensors));
+        let decoded = decode_payload(&payload, tensors.len()).unwrap();
+        for (a, b) in tensors.iter().zip(&decoded) {
+            assert_eq!(a.dims(), b.dims());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_rejected() {
+        let tensors = vec![Tensor::ones(&[3])];
+        let mut payload = Vec::new();
+        encode_payload_into(&tensors, &mut payload);
+        for cut in [0, 3, payload.len() - 1] {
+            assert!(decode_payload(&payload[..cut], 1).is_err(), "cut at {cut}");
+        }
+        // Absurd rank.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 99);
+        assert_eq!(decode_payload(&bad, 1), Err(CodecError::Corrupt("rank")));
+        // Huge declared dims in a tiny buffer: must fail fast (Truncated),
+        // not allocate gigabytes up front.
+        let mut bomb = Vec::new();
+        put_u32(&mut bomb, 1);
+        put_u32(&mut bomb, 0x7fff_ffff);
+        assert_eq!(decode_payload(&bomb, 1), Err(CodecError::Truncated));
+        // Declared tensor count smaller than the payload.
+        assert!(decode_payload(&payload, 0).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The framed wire format: a fixed header, a two-slot section map, and
+//! codec-encoded payloads.
+//!
+//! Every weight transfer in the protocol — full-model broadcasts, client
+//! updates, offloaded snapshots, trained feature sections — is one
+//! `Frame`. The header is a **fixed** [`HEADER_LEN`] bytes whatever the
+//! section count (the unused slot is zeroed), which keeps the framing
+//! overhead a shape-independent constant the network accounting can fold
+//! into its control envelope:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"AERG"
+//!      4     2  version (little-endian, currently 1)
+//!      6     1  flags (reserved, 0)
+//!      7     1  section count (1 or 2)
+//!      8     8  section slot 0: kind u8 · codec u8 · tensor_count u16 · payload_len u32
+//!     16     8  section slot 1 (all zero when unused)
+//!     24     …  payloads, in slot order
+//! ```
+//!
+//! Sections are self-describing: each slot names its [`SectionKind`]
+//! (features / classifier — the frozen/feature split Aergia's offload
+//! messages need) and its [`CodecId`], so a `TopKDelta` stream can open
+//! with a dense keyframe and a decoder never guesses.
+
+use crate::io::{put_u16, put_u32, Reader};
+use crate::{CodecError, CodecId, SectionKind};
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 4] = *b"AERG";
+
+/// Wire format version this crate encodes and decodes.
+pub const VERSION: u16 = 1;
+
+/// Fixed header size in bytes (magic + version + flags + count + two
+/// 8-byte section slots), independent of how many slots are in use.
+pub const HEADER_LEN: usize = 24;
+
+/// Maximum sections a frame can carry (features + classifier).
+pub const MAX_SECTIONS: usize = 2;
+
+/// One decoded section view: its map entry plus a borrow of its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section<'a> {
+    /// Which model slice the payload holds.
+    pub kind: SectionKind,
+    /// How the payload is encoded.
+    pub codec: CodecId,
+    /// Number of tensors in the payload.
+    pub tensor_count: usize,
+    /// The encoded tensor list.
+    pub payload: &'a [u8],
+}
+
+/// An owned, encoded frame (header + payloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    bytes: Vec<u8>,
+}
+
+impl Frame {
+    /// Total encoded length — the exact byte count a network transfer of
+    /// this frame is charged.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Validates and adopts an encoded buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the header is malformed, the version is
+    /// unknown, or the payload lengths disagree with the buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CodecError> {
+        let frame = Frame { bytes };
+        frame.sections()?; // full header + length validation
+        Ok(frame)
+    }
+
+    /// Decodes the section map and returns one view per populated slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on any structural violation.
+    pub fn sections(&self) -> Result<Vec<Section<'_>>, CodecError> {
+        let mut r = Reader::new(&self.bytes);
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let _flags = r.u8()?;
+        let nsections = r.u8()? as usize;
+        if nsections == 0 || nsections > MAX_SECTIONS {
+            return Err(CodecError::Corrupt("section count"));
+        }
+        let mut slots = Vec::with_capacity(nsections);
+        for slot in 0..MAX_SECTIONS {
+            let kind = r.u8()?;
+            let codec = r.u8()?;
+            let tensor_count = r.u16()? as usize;
+            let payload_len = r.u32()? as usize;
+            if slot < nsections {
+                slots.push((
+                    SectionKind::from_wire(kind)?,
+                    CodecId::from_wire(codec)?,
+                    tensor_count,
+                    payload_len,
+                ));
+            } else if kind != 0 || codec != 0 || tensor_count != 0 || payload_len != 0 {
+                return Err(CodecError::Corrupt("unused section slot not zeroed"));
+            }
+        }
+        let mut sections = Vec::with_capacity(nsections);
+        for (kind, codec, tensor_count, payload_len) in slots {
+            let payload = r.take(payload_len)?;
+            sections.push(Section { kind, codec, tensor_count, payload });
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Corrupt("trailing bytes after payloads"));
+        }
+        Ok(sections)
+    }
+
+    /// The section of the given kind, if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from [`Frame::sections`].
+    pub fn section(&self, kind: SectionKind) -> Result<Option<Section<'_>>, CodecError> {
+        Ok(self.sections()?.into_iter().find(|s| s.kind == kind))
+    }
+}
+
+/// Builds a frame section by section.
+#[derive(Debug, Default)]
+pub struct FrameBuilder {
+    /// `(kind, codec, tensor_count, payload)` per pushed section.
+    sections: Vec<(SectionKind, CodecId, usize, Vec<u8>)>,
+}
+
+impl FrameBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FrameBuilder::default()
+    }
+
+    /// Appends a section whose payload is produced by `encode` writing
+    /// into a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame already holds [`MAX_SECTIONS`] sections or
+    /// `tensor_count` exceeds `u16::MAX`.
+    pub fn push_section(
+        &mut self,
+        kind: SectionKind,
+        codec: CodecId,
+        tensor_count: usize,
+        encode: impl FnOnce(&mut Vec<u8>),
+    ) -> &mut Self {
+        assert!(self.sections.len() < MAX_SECTIONS, "frame holds at most {MAX_SECTIONS} sections");
+        assert!(tensor_count <= u16::MAX as usize, "section tensor count overflows u16");
+        let mut payload = Vec::new();
+        encode(&mut payload);
+        self.sections.push((kind, codec, tensor_count, payload));
+        self
+    }
+
+    /// Assembles the encoded frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section was pushed or a payload exceeds `u32::MAX`
+    /// bytes.
+    pub fn finish(self) -> Frame {
+        assert!(!self.sections.is_empty(), "frame needs at least one section");
+        let payload_total: usize = self.sections.iter().map(|(_, _, _, p)| p.len()).sum();
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload_total);
+        bytes.extend_from_slice(&MAGIC);
+        put_u16(&mut bytes, VERSION);
+        bytes.push(0); // flags
+        bytes.push(self.sections.len() as u8);
+        for slot in 0..MAX_SECTIONS {
+            match self.sections.get(slot) {
+                Some(&(kind, codec, tensor_count, ref payload)) => {
+                    assert!(payload.len() <= u32::MAX as usize, "section payload overflows u32");
+                    bytes.push(kind as u8);
+                    bytes.push(codec as u8);
+                    put_u16(&mut bytes, tensor_count as u16);
+                    put_u32(&mut bytes, payload.len() as u32);
+                }
+                None => bytes.extend_from_slice(&[0u8; 8]),
+            }
+        }
+        for (_, _, _, payload) in &self.sections {
+            bytes.extend_from_slice(payload);
+        }
+        Frame { bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_frame() -> Frame {
+        let mut b = FrameBuilder::new();
+        b.push_section(SectionKind::Features, CodecId::DenseF32, 2, |out| {
+            out.extend_from_slice(&[1, 2, 3]);
+        });
+        b.push_section(SectionKind::Classifier, CodecId::QuantI8, 1, |out| {
+            out.extend_from_slice(&[9]);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn header_is_fixed_size_for_any_section_count() {
+        let mut one = FrameBuilder::new();
+        one.push_section(SectionKind::Features, CodecId::DenseF32, 0, |_| {});
+        assert_eq!(one.finish().wire_len(), HEADER_LEN);
+        assert_eq!(two_section_frame().wire_len(), HEADER_LEN + 4);
+    }
+
+    #[test]
+    fn sections_round_trip_kind_codec_count_and_payload() {
+        let frame = two_section_frame();
+        let sections = frame.sections().unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].kind, SectionKind::Features);
+        assert_eq!(sections[0].codec, CodecId::DenseF32);
+        assert_eq!(sections[0].tensor_count, 2);
+        assert_eq!(sections[0].payload, &[1, 2, 3]);
+        assert_eq!(sections[1].kind, SectionKind::Classifier);
+        assert_eq!(sections[1].codec, CodecId::QuantI8);
+        assert_eq!(sections[1].payload, &[9]);
+        let feat = frame.section(SectionKind::Features).unwrap().unwrap();
+        assert_eq!(feat.payload, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn from_bytes_validates_structure() {
+        let good = two_section_frame();
+        assert!(Frame::from_bytes(good.as_bytes().to_vec()).is_ok());
+
+        let mut bad_magic = good.as_bytes().to_vec();
+        bad_magic[0] = b'X';
+        assert_eq!(Frame::from_bytes(bad_magic), Err(CodecError::BadMagic));
+
+        let mut bad_version = good.as_bytes().to_vec();
+        bad_version[4] = 99;
+        assert_eq!(Frame::from_bytes(bad_version), Err(CodecError::UnsupportedVersion(99)));
+
+        let truncated = good.as_bytes()[..good.wire_len() - 1].to_vec();
+        assert_eq!(Frame::from_bytes(truncated), Err(CodecError::Truncated));
+
+        let mut trailing = good.as_bytes().to_vec();
+        trailing.push(0);
+        assert!(Frame::from_bytes(trailing).is_err());
+    }
+
+    #[test]
+    fn unused_slot_must_be_zeroed() {
+        let mut one = FrameBuilder::new();
+        one.push_section(SectionKind::Features, CodecId::DenseF32, 0, |_| {});
+        let mut bytes = one.finish().as_bytes().to_vec();
+        bytes[16] = 1; // poke the unused slot
+        assert!(Frame::from_bytes(bytes).is_err());
+    }
+}

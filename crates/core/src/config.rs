@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use aergia_codec::CodecConfig;
 use aergia_data::partition::Scheme;
 use aergia_data::DataConfig;
 use aergia_nn::models::ModelArch;
@@ -63,6 +64,12 @@ pub struct ExperimentConfig {
     /// state and results are folded in fixed client order), a guarantee
     /// enforced by the workspace determinism suite.
     pub parallelism: usize,
+    /// Wire codec for every weight transfer (broadcasts, client updates,
+    /// offloaded snapshots, trained feature sections). The default
+    /// [`CodecConfig::DenseF32`] is lossless and leaves runs bit-identical
+    /// to never serializing at all; the lossy codecs trade accuracy for
+    /// bytes-on-wire (see the `compression_tradeoff` example).
+    pub codec: CodecConfig,
     /// Master seed (selection, batching, model init all derive from it).
     pub seed: u64,
 }
@@ -89,6 +96,7 @@ impl Default for ExperimentConfig {
             eval_samples: 128,
             mode: Mode::Real,
             parallelism: 0,
+            codec: CodecConfig::DenseF32,
             seed: 7,
         }
     }
@@ -116,6 +124,8 @@ pub enum ConfigError {
     },
     /// Zero rounds, updates, batch size or clients.
     ZeroSized(&'static str),
+    /// The codec parameters are out of range.
+    BadCodec(&'static str),
     /// The dataset cannot cover the configured model (class mismatch).
     ArchMismatch {
         /// Classes in the dataset.
@@ -136,6 +146,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "cannot select {per_round} of {clients} clients per round")
             }
             ConfigError::ZeroSized(what) => write!(f, "{what} must be positive"),
+            ConfigError::BadCodec(what) => write!(f, "codec misconfigured: {what}"),
             ConfigError::ArchMismatch { data_classes, model_classes } => {
                 write!(f, "dataset has {data_classes} classes but model predicts {model_classes}")
             }
@@ -178,6 +189,11 @@ impl ExperimentConfig {
                 per_round: self.clients_per_round,
                 clients: self.num_clients,
             });
+        }
+        if let CodecConfig::TopKDelta { keep_permille } = self.codec {
+            if keep_permille == 0 || keep_permille > 1000 {
+                return Err(ConfigError::BadCodec("keep_permille outside 1..=1000"));
+            }
         }
         let data_classes = self.dataset.spec.num_classes();
         let model_classes = self.arch.num_classes();
@@ -222,6 +238,22 @@ mod tests {
     fn arch_dataset_mismatch_is_checked() {
         let cfg = ExperimentConfig { arch: ModelArch::Cifar100Vgg, ..ExperimentConfig::default() };
         assert!(matches!(cfg.validate(), Err(ConfigError::ArchMismatch { .. })));
+    }
+
+    #[test]
+    fn codec_parameters_are_checked() {
+        for bad in [0u16, 1001] {
+            let cfg = ExperimentConfig {
+                codec: CodecConfig::TopKDelta { keep_permille: bad },
+                ..ExperimentConfig::default()
+            };
+            assert!(matches!(cfg.validate(), Err(ConfigError::BadCodec(_))), "permille {bad}");
+        }
+        let cfg = ExperimentConfig {
+            codec: CodecConfig::TopKDelta { keep_permille: 50 },
+            ..ExperimentConfig::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

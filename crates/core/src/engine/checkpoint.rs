@@ -1,0 +1,519 @@
+//! Disk-backed, bit-exact checkpoint save/resume for a running
+//! experiment.
+//!
+//! A checkpoint captures *everything mutable* about a run between two
+//! rounds — the global weights (as a dense wire frame), every RNG stream
+//! (selection, per-client batchers, TiFL, network faults), the wire
+//! codec's delta bases and error-feedback residuals, the bytes odometer
+//! and the per-round records so far — inside the
+//! [`aergia_codec::checkpoint`] chunk container. Everything *immutable*
+//! (datasets, partition, similarity matrix, model template, phase costs)
+//! is regenerated deterministically by [`Engine::new`] from the same
+//! configuration, so a checkpoint stays small: roughly one model plus
+//! bookkeeping.
+//!
+//! The contract, pinned by `tests/checkpoint.rs`: kill a run anywhere
+//! between rounds, rebuild a fresh engine from the same
+//! config/strategy, [`Engine::restore_checkpoint`], resume — and every
+//! subsequent round record, the final accuracy and the final global
+//! weights match an uninterrupted run **bit for bit**, under every codec.
+//!
+//! Driver-applied overrides ([`Engine::set_client_speed`],
+//! [`Engine::set_client_link`], [`Engine::set_federator_link`]) are not
+//! part of engine state proper and must be re-applied after restore.
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use aergia_codec::checkpoint::{ChunkReader, ChunkWriter};
+use aergia_codec::io::{put_f64, put_u16, put_u32, put_u64, Reader};
+use aergia_codec::{dense, CodecError, CodecId, Frame, FrameBuilder, SectionKind};
+use aergia_data::batcher::BatcherState;
+use aergia_simnet::{SimDuration, SimTime};
+use aergia_tensor::Tensor;
+
+use crate::metrics::{RoundRecord, RunResult};
+
+use super::{tifl::TiflSnapshot, Engine};
+
+/// Where a run currently stands: the next round to execute, the virtual
+/// clock, and everything recorded so far. Produced by
+/// [`Engine::start_progress`], advanced by [`Engine::step_round`], carried
+/// across a kill/restore by the checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProgress {
+    /// The next round [`Engine::step_round`] will execute.
+    pub next_round: u32,
+    /// Virtual time at which that round starts.
+    pub now: SimTime,
+    /// Pre-training cost charged before round 0.
+    pub pretraining: SimDuration,
+    /// Records of every completed round, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+/// Errors surfaced while restoring a checkpoint.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The buffer is not a valid checkpoint of this version.
+    Codec(CodecError),
+    /// The checkpoint belongs to a different configuration or strategy.
+    Mismatch(&'static str),
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Codec(e) => write!(f, "checkpoint encoding error: {e}"),
+            CheckpointError::Mismatch(what) => {
+                write!(f, "checkpoint does not match this engine: {what}")
+            }
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Codec(e) => Some(e),
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// Chunk tags.
+const META: [u8; 4] = *b"META";
+const GLOB: [u8; 4] = *b"GLOB";
+const SRNG: [u8; 4] = *b"SRNG";
+const NETW: [u8; 4] = *b"NETW";
+const BTCH: [u8; 4] = *b"BTCH";
+const TIFL: [u8; 4] = *b"TIFL";
+const WDLB: [u8; 4] = *b"WDLB"; // wire: downlink base
+const WUPR: [u8; 4] = *b"WUPR"; // wire: one client's uplink residual
+const RNDS: [u8; 4] = *b"RNDS";
+const ENGV: [u8; 4] = *b"ENGV";
+
+/// Version of the engine's chunk *bodies* (the container frames the
+/// chunks; this versions what is inside them).
+const ENGINE_LAYOUT_VERSION: u16 = 1;
+
+/// FNV-1a over the debug rendering of the config/strategy pair — enough
+/// to catch restoring into the wrong experiment, which would otherwise
+/// fail in silently-wrong ways. `parallelism` is excluded: the
+/// determinism suite proves results are bit-identical across it, so a
+/// checkpoint from an 8-way run must resume on a 1-core box.
+fn config_fingerprint(engine: &Engine) -> u64 {
+    let mut config = engine.config.clone();
+    config.parallelism = 0;
+    let text = format!("{:?}|{:?}", config, engine.strategy);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A full snapshot as a dense two-section frame (the same frames that
+/// travel the wire — bit-exact by construction).
+fn dense_frame(weights: &[Tensor], feature_tensors: usize) -> Frame {
+    let (feat, clf) = weights.split_at(feature_tensors);
+    let mut builder = FrameBuilder::new();
+    builder.push_section(SectionKind::Features, CodecId::DenseF32, feat.len(), |out| {
+        dense::encode_payload_into(feat, out);
+    });
+    builder.push_section(SectionKind::Classifier, CodecId::DenseF32, clf.len(), |out| {
+        dense::encode_payload_into(clf, out);
+    });
+    builder.finish()
+}
+
+/// Decodes a [`dense_frame`] back into the flat tensor list.
+fn frame_tensors(frame: &Frame) -> Result<Vec<Tensor>, CodecError> {
+    let mut out = Vec::new();
+    for section in frame.sections()? {
+        if section.codec != CodecId::DenseF32 {
+            return Err(CodecError::Corrupt("checkpoint frames must be dense"));
+        }
+        out.append(&mut dense::decode_payload(section.payload, section.tensor_count)?);
+    }
+    Ok(out)
+}
+
+fn put_rng(out: &mut Vec<u8>, state: [u64; 4]) {
+    for s in state {
+        put_u64(out, s);
+    }
+}
+
+fn read_rng(r: &mut Reader<'_>) -> Result<[u64; 4], CodecError> {
+    Ok([r.u64()?, r.u64()?, r.u64()?, r.u64()?])
+}
+
+fn encode_record(out: &mut Vec<u8>, record: &RoundRecord) {
+    put_u32(out, record.round);
+    put_u64(out, record.duration.as_micros());
+    put_f64(out, record.test_accuracy);
+    put_f64(out, record.train_loss);
+    put_u64(out, record.bytes_on_wire);
+    put_u32(out, record.participants.len() as u32);
+    for &p in &record.participants {
+        put_u32(out, p as u32);
+    }
+    put_u32(out, record.offloads.len() as u32);
+    for &(s, r) in &record.offloads {
+        put_u32(out, s as u32);
+        put_u32(out, r as u32);
+    }
+    put_u32(out, record.dropped.len() as u32);
+    for &d in &record.dropped {
+        put_u32(out, d as u32);
+    }
+}
+
+fn decode_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
+    let round = r.u32()?;
+    let duration = SimDuration::from_micros(r.u64()?);
+    let test_accuracy = r.f64()?;
+    let train_loss = r.f64()?;
+    let bytes_on_wire = r.u64()?;
+    let read_ids = |r: &mut Reader<'_>| -> Result<Vec<usize>, CodecError> {
+        let n = r.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(r.u32()? as usize);
+        }
+        Ok(out)
+    };
+    let participants = read_ids(r)?;
+    let n = r.u32()? as usize;
+    let mut offloads = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let s = r.u32()? as usize;
+        let rr = r.u32()? as usize;
+        offloads.push((s, rr));
+    }
+    let dropped = read_ids(r)?;
+    Ok(RoundRecord {
+        round,
+        duration,
+        test_accuracy,
+        train_loss,
+        participants,
+        offloads,
+        dropped,
+        bytes_on_wire,
+    })
+}
+
+impl Engine {
+    /// Serializes the run's full mutable state between rounds.
+    ///
+    /// Pair with [`Engine::restore_checkpoint`] on a fresh engine built
+    /// from the same configuration and strategy.
+    pub fn save_checkpoint(&self, progress: &RunProgress) -> Vec<u8> {
+        let feature_tensors = self.wire.feature_tensors;
+        let mut w = ChunkWriter::new();
+
+        let mut meta = Vec::new();
+        put_u32(&mut meta, progress.next_round);
+        put_u64(&mut meta, progress.now.as_micros());
+        put_u64(&mut meta, progress.pretraining.as_micros());
+        put_u32(&mut meta, self.config.num_clients as u32);
+        put_u64(&mut meta, config_fingerprint(self));
+        put_u64(&mut meta, self.wire.broadcasts);
+        w.chunk(META, meta);
+
+        w.frame_chunk(GLOB, &dense_frame(&self.global, feature_tensors));
+
+        let mut srng = Vec::new();
+        put_rng(&mut srng, self.select_rng.state());
+        w.chunk(SRNG, srng);
+
+        let (drop_prob, jitter, net_rng) = self.network.fault_state();
+        let mut netw = Vec::new();
+        put_f64(&mut netw, drop_prob);
+        put_u64(&mut netw, jitter.as_micros());
+        put_rng(&mut netw, net_rng);
+        put_u64(&mut netw, self.network.bytes_delivered());
+        w.chunk(NETW, netw);
+
+        for client in &self.clients {
+            let state = client.batcher.state();
+            let mut body = Vec::new();
+            put_u64(&mut body, state.cursor as u64);
+            put_rng(&mut body, state.rng);
+            put_u32(&mut body, state.indices.len() as u32);
+            for &i in &state.indices {
+                put_u32(&mut body, i as u32);
+            }
+            w.chunk(BTCH, body);
+        }
+
+        if let Some(tifl) = &self.tifl {
+            let snap = tifl.snapshot();
+            let mut body = Vec::new();
+            put_u32(&mut body, snap.credits.len() as u32);
+            for &c in &snap.credits {
+                put_u32(&mut body, c);
+            }
+            for &a in &snap.accuracy {
+                put_f64(&mut body, a);
+            }
+            match snap.last_selected {
+                Some(t) => {
+                    body.push(1);
+                    put_u32(&mut body, t as u32);
+                }
+                None => {
+                    body.push(0);
+                    put_u32(&mut body, 0);
+                }
+            }
+            put_rng(&mut body, snap.rng);
+            w.chunk(TIFL, body);
+        }
+
+        if let Some(base) = &self.wire.downlink_base {
+            w.frame_chunk(WDLB, &dense_frame(base, feature_tensors));
+        }
+        for (client, residual) in self.wire.uplink_residual.iter().enumerate() {
+            if let Some(residual) = residual {
+                let mut body = Vec::new();
+                put_u32(&mut body, client as u32);
+                body.extend_from_slice(dense_frame(residual, feature_tensors).as_bytes());
+                w.chunk(WUPR, body);
+            }
+        }
+
+        let mut rnds = Vec::new();
+        put_u32(&mut rnds, progress.rounds.len() as u32);
+        for record in &progress.rounds {
+            encode_record(&mut rnds, record);
+        }
+        w.chunk(RNDS, rnds);
+
+        // Version marker of the *engine* state layout (the container has
+        // its own); bump when chunks change incompatibly — restore rejects
+        // anything else.
+        let mut vers = Vec::new();
+        put_u16(&mut vers, ENGINE_LAYOUT_VERSION);
+        w.chunk(ENGV, vers);
+
+        w.finish()
+    }
+
+    /// Writes [`Engine::save_checkpoint`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save_checkpoint_to(
+        &self,
+        path: impl AsRef<Path>,
+        progress: &RunProgress,
+    ) -> Result<(), CheckpointError> {
+        Ok(std::fs::write(path, self.save_checkpoint(progress))?)
+    }
+
+    /// Restores the state captured by [`Engine::save_checkpoint`] into
+    /// this engine (freshly built from the same config and strategy) and
+    /// returns the progress to resume from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Codec`] on a malformed buffer and
+    /// [`CheckpointError::Mismatch`] if the checkpoint belongs to a
+    /// different experiment.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<RunProgress, CheckpointError> {
+        let chunks = ChunkReader::parse(bytes)?;
+
+        let mut vers =
+            Reader::new(chunks.get(ENGV).ok_or(CheckpointError::Mismatch("no layout version"))?);
+        let layout = vers.u16()?;
+        if layout != ENGINE_LAYOUT_VERSION {
+            return Err(CheckpointError::Codec(CodecError::UnsupportedVersion(layout)));
+        }
+
+        let mut meta = Reader::new(chunks.get(META).ok_or(CheckpointError::Mismatch("no meta"))?);
+        let next_round = meta.u32().map_err(CheckpointError::Codec)?;
+        let now = SimTime::from_micros(meta.u64().map_err(CheckpointError::Codec)?);
+        let pretraining = SimDuration::from_micros(meta.u64().map_err(CheckpointError::Codec)?);
+        let num_clients = meta.u32().map_err(CheckpointError::Codec)? as usize;
+        let fingerprint = meta.u64().map_err(CheckpointError::Codec)?;
+        let broadcasts = meta.u64().map_err(CheckpointError::Codec)?;
+        if num_clients != self.config.num_clients {
+            return Err(CheckpointError::Mismatch("client count"));
+        }
+        if fingerprint != config_fingerprint(self) {
+            return Err(CheckpointError::Mismatch("config/strategy fingerprint"));
+        }
+        if next_round > self.config.rounds {
+            return Err(CheckpointError::Mismatch("round beyond configured horizon"));
+        }
+
+        let global = frame_tensors(&chunks.frame(GLOB)?)?;
+        if global.len() != self.global.len() {
+            return Err(CheckpointError::Mismatch("global snapshot structure"));
+        }
+        self.global = global;
+
+        let mut srng = Reader::new(chunks.get(SRNG).ok_or(CheckpointError::Mismatch("no rng"))?);
+        self.select_rng = rand::rngs::StdRng::from_state(read_rng(&mut srng)?);
+
+        let mut netw =
+            Reader::new(chunks.get(NETW).ok_or(CheckpointError::Mismatch("no network state"))?);
+        let drop_prob = netw.f64()?;
+        let jitter = SimDuration::from_micros(netw.u64()?);
+        let net_rng = read_rng(&mut netw)?;
+        let odometer = netw.u64()?;
+        // Validate before handing off: the setters assert, and a corrupt
+        // checkpoint must surface as an error, not a panic.
+        if !(0.0..1.0).contains(&drop_prob) {
+            return Err(CheckpointError::Mismatch("drop probability out of range"));
+        }
+        self.network.restore_fault_state(drop_prob, jitter, net_rng, odometer);
+
+        let batchers = chunks.get_all(BTCH);
+        if batchers.len() != self.clients.len() {
+            return Err(CheckpointError::Mismatch("batcher count"));
+        }
+        for (client, body) in self.clients.iter_mut().zip(batchers) {
+            let mut r = Reader::new(body);
+            let cursor = r.u64()? as usize;
+            let rng = read_rng(&mut r)?;
+            let n = r.u32()? as usize;
+            if n != client.shard_len {
+                return Err(CheckpointError::Mismatch("batcher shard size"));
+            }
+            if cursor > n {
+                return Err(CheckpointError::Mismatch("batcher cursor out of range"));
+            }
+            let mut indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                indices.push(r.u32()? as usize);
+            }
+            client.batcher.restore_state(BatcherState { indices, cursor, rng });
+        }
+
+        match (&mut self.tifl, chunks.get(TIFL)) {
+            (Some(tifl), Some(body)) => {
+                let mut r = Reader::new(body);
+                let n = r.u32()? as usize;
+                if n != tifl.tier_count() {
+                    return Err(CheckpointError::Mismatch("tifl tier count"));
+                }
+                let mut credits = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    credits.push(r.u32()?);
+                }
+                let mut accuracy = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    accuracy.push(r.f64()?);
+                }
+                let has_last = r.u8()? == 1;
+                let last = r.u32()? as usize;
+                if has_last && last >= n {
+                    return Err(CheckpointError::Mismatch("tifl last-selected tier"));
+                }
+                let rng = read_rng(&mut r)?;
+                tifl.restore(TiflSnapshot {
+                    credits,
+                    accuracy,
+                    last_selected: has_last.then_some(last),
+                    rng,
+                });
+            }
+            (None, None) => {}
+            _ => return Err(CheckpointError::Mismatch("tifl state presence")),
+        }
+
+        self.wire.broadcasts = broadcasts;
+        self.wire.downlink_base = match chunks.get(WDLB) {
+            Some(body) => Some(frame_tensors(&Frame::from_bytes(body.to_vec())?)?),
+            None => None,
+        };
+        for slot in self.wire.uplink_residual.iter_mut() {
+            *slot = None;
+        }
+        for body in chunks.get_all(WUPR) {
+            let mut r = Reader::new(body);
+            let client = r.u32()? as usize;
+            if client >= self.wire.uplink_residual.len() {
+                return Err(CheckpointError::Mismatch("uplink residual client id"));
+            }
+            let frame = Frame::from_bytes(r.take(r.remaining())?.to_vec())?;
+            self.wire.uplink_residual[client] = Some(frame_tensors(&frame)?);
+        }
+
+        let mut rnds =
+            Reader::new(chunks.get(RNDS).ok_or(CheckpointError::Mismatch("no round records"))?);
+        let n = rnds.u32()? as usize;
+        if n != next_round as usize {
+            return Err(CheckpointError::Mismatch("record count vs next round"));
+        }
+        let mut rounds = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            rounds.push(decode_record(&mut rnds)?);
+        }
+
+        Ok(RunProgress { next_round, now, pretraining, rounds })
+    }
+
+    /// Reads a checkpoint file and restores it into this engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::restore_checkpoint`]; filesystem failures surface as
+    /// [`CheckpointError::Io`].
+    pub fn restore_checkpoint_from(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<RunProgress, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        self.restore_checkpoint(&bytes)
+    }
+
+    /// Convenience driver: runs to completion, writing a checkpoint file
+    /// after every round (atomically enough for a simulation: the file is
+    /// replaced whole). The last checkpoint on disk always resumes to the
+    /// exact same result as the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces engine errors and checkpoint i/o failures.
+    pub fn run_checkpointed(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<RunResult, crate::engine::EngineError> {
+        let path = path.as_ref();
+        let mut progress = self.start_progress();
+        loop {
+            let more = self.step_round(&mut progress)?;
+            self.save_checkpoint_to(path, &progress)
+                .map_err(|e| crate::engine::EngineError::Checkpoint(Box::new(e)))?;
+            if !more {
+                break;
+            }
+        }
+        Ok(self.finish_run(progress))
+    }
+}

@@ -21,8 +21,10 @@
 //! folds the results in fixed client order, so parallel runs are
 //! bit-identical to serial ones.
 
+mod checkpoint;
 mod round;
 mod tifl;
+mod wire;
 
 use std::error::Error;
 use std::fmt;
@@ -45,6 +47,7 @@ use crate::config::{ConfigError, ExperimentConfig, Mode};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::strategy::Strategy;
 
+pub use checkpoint::{CheckpointError, RunProgress};
 pub use round::RoundOutcome;
 
 /// Errors surfaced while constructing or running an experiment.
@@ -57,6 +60,8 @@ pub enum EngineError {
     Nn(NnError),
     /// The enclave protocol failed.
     Enclave(EnclaveError),
+    /// Saving or restoring a checkpoint failed.
+    Checkpoint(Box<CheckpointError>),
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +70,7 @@ impl fmt::Display for EngineError {
             EngineError::Config(e) => write!(f, "configuration error: {e}"),
             EngineError::Nn(e) => write!(f, "model error: {e}"),
             EngineError::Enclave(e) => write!(f, "enclave error: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -75,6 +81,7 @@ impl Error for EngineError {
             EngineError::Config(e) => Some(e),
             EngineError::Nn(e) => Some(e),
             EngineError::Enclave(e) => Some(e),
+            EngineError::Checkpoint(e) => Some(e.as_ref()),
         }
     }
 }
@@ -182,8 +189,8 @@ pub struct Engine {
     pub(crate) network: Network,
     pub(crate) global: Vec<Tensor>,
     pub(crate) template: Cnn,
-    pub(crate) full_model_bytes: usize,
-    pub(crate) feature_bytes: usize,
+    /// Wire-codec state: frame sizing, delta bases and residuals.
+    pub(crate) wire: wire::WireState,
     pub(crate) select_rng: StdRng,
     pub(crate) federator_secret: u64,
     pub(crate) tifl: Option<tifl::TiflState>,
@@ -233,8 +240,14 @@ impl Engine {
 
         let template = config.arch.build(config.seed ^ 0x6d6f_64656c); // "model"
         let global = template.weights();
-        let full_model_bytes = w::byte_size(&global);
-        let feature_bytes = w::byte_size(&template.feature_weights());
+        // One sizing authority: every transfer is charged by its frame's
+        // encoded length, derived from these shapes by aergia-codec.
+        let wire = wire::WireState::new(
+            config.codec,
+            &global,
+            template.feature_weights().len(),
+            config.num_clients,
+        );
 
         let flops = template.phase_flops(config.batch_size);
         let clients = (0..config.num_clients)
@@ -280,8 +293,7 @@ impl Engine {
             client_ws,
             global,
             template,
-            full_model_bytes,
-            feature_bytes,
+            wire,
             partition,
             train,
             test,
@@ -396,20 +408,68 @@ impl Engine {
     /// Returns [`EngineError::Nn`] if a snapshot operation fails
     /// mid-run (indicates an internal bug; snapshots are shape-checked).
     pub fn run(&mut self) -> Result<RunResult, EngineError> {
+        let mut progress = self.start_progress();
+        while self.step_round(&mut progress)? {}
+        Ok(self.finish_run(progress))
+    }
+
+    /// The progress of a run that has not started yet (pre-training time
+    /// charged, no rounds executed). Feed it to [`Engine::step_round`] —
+    /// and to [`Engine::save_checkpoint`] between steps.
+    pub fn start_progress(&self) -> RunProgress {
         let pretraining = self.pretraining_time();
-        let mut now = SimTime::ZERO + pretraining;
-        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
-
-        for round in 0..self.config.rounds {
-            let record = self.run_round(round, &mut now)?;
-            rounds.push(record);
+        RunProgress {
+            next_round: 0,
+            now: SimTime::ZERO + pretraining,
+            pretraining,
+            rounds: Vec::with_capacity(self.config.rounds as usize),
         }
+    }
 
+    /// Executes the next round of `progress` and records it. Returns
+    /// whether rounds remain — the driver loop of [`Engine::run`], exposed
+    /// so callers can checkpoint (or abort) between rounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn step_round(&mut self, progress: &mut RunProgress) -> Result<bool, EngineError> {
+        if progress.next_round >= self.config.rounds {
+            return Ok(false);
+        }
+        let round = progress.next_round;
+        let mut now = progress.now;
+        let record = self.run_round(round, &mut now)?;
+        progress.now = now;
+        progress.rounds.push(record);
+        progress.next_round = round + 1;
+        Ok(progress.next_round < self.config.rounds)
+    }
+
+    /// Wraps up a finished (or resumed-to-completion) run: evaluates the
+    /// final global model and assembles the [`RunResult`].
+    pub fn finish_run(&mut self, progress: RunProgress) -> RunResult {
         let final_accuracy = match self.config.mode {
             Mode::Real => self.evaluate_global(),
             Mode::Timing => f64::NAN,
         };
-        Ok(RunResult { rounds, pretraining, finished_at: now, final_accuracy })
+        RunResult {
+            rounds: progress.rounds,
+            pretraining: progress.pretraining,
+            finished_at: progress.now,
+            final_accuracy,
+        }
+    }
+
+    /// Resumes a run from `progress` (fresh or checkpoint-restored) to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn resume_run(&mut self, mut progress: RunProgress) -> Result<RunResult, EngineError> {
+        while self.step_round(&mut progress)? {}
+        Ok(self.finish_run(progress))
     }
 
     /// Runs a single round (exposed for tests and custom drivers).
@@ -419,8 +479,10 @@ impl Engine {
     /// See [`Engine::run`].
     pub fn run_round(&mut self, round: u32, now: &mut SimTime) -> Result<RoundRecord, EngineError> {
         let participants = self.select_participants(round);
+        let bytes_before = self.network.bytes_delivered();
         let outcome = round::simulate_round(self, round, *now, &participants)?;
         let duration = self.finalize_round(round, &outcome)?;
+        let bytes_on_wire = self.network.bytes_delivered() - bytes_before;
         *now += duration;
 
         let (test_accuracy, train_loss) = match self.config.mode {
@@ -439,6 +501,7 @@ impl Engine {
             participants,
             offloads: outcome.offload_pairs(),
             dropped: outcome.dropped.clone(),
+            bytes_on_wire,
         })
     }
 
@@ -511,13 +574,21 @@ impl Engine {
     }
 
     /// Builds a fresh optimizer for a client's local round. FedProx
-    /// installs the round's global weights as the proximal anchor.
-    pub(crate) fn make_optimizer(&self) -> Sgd {
+    /// installs `anchor` — the round's *received* (codec-decoded) global
+    /// weights, which is what a real client would anchor to — as the
+    /// proximal term's reference point.
+    pub(crate) fn make_optimizer(&self, anchor: &[Tensor]) -> Sgd {
         let mut opt = Sgd::new(SgdConfig { ..self.config.sgd });
         if let Strategy::FedProx { mu } = self.strategy {
-            opt.set_prox(mu, self.global.clone());
+            opt.set_prox(mu, anchor.to_vec());
         }
         opt
+    }
+
+    /// Encodes the round's global-model broadcast (split borrow helper:
+    /// the wire state and the global snapshot are disjoint fields).
+    pub(crate) fn broadcast_global(&mut self) -> (aergia_codec::Frame, Vec<Tensor>) {
+        self.wire.broadcast(&self.global)
     }
 
     /// Test accuracy of the current global model.

@@ -36,7 +36,7 @@ use aergia_simnet::{EventQueue, NodeId, SimDuration, SimTime};
 use aergia_tensor::Tensor;
 
 use crate::config::Mode;
-use crate::messages::{Message, SignedAssignment};
+use crate::messages::{Message, RoundWireSizes, SignedAssignment};
 use crate::profiler::{OnlineProfiler, ProfileReport};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
@@ -212,23 +212,48 @@ pub(crate) fn simulate_round(
     let mut offload_results: Vec<OffloadResultArrival> = Vec::new();
     let mut offloads_activated: Vec<(usize, usize)> = Vec::new();
 
-    // Kick off: ship the global model to every participant. Weight
-    // payloads never ride the event stage (wire sizes are explicit), so
-    // even real-mode messages carry `None` here; the execution stage
-    // attaches the tensors afterwards.
-    for &p in participants {
-        let msg = Message::StartRound { round, weights: None };
-        let size = msg.wire_size(engine.full_model_bytes, engine.feature_bytes);
-        if let Delivery::After(d) = engine.network.send(NodeId::FEDERATOR, node(p), size) {
-            queue.push(start + d, Ev::Deliver(Dest::Client(p), msg));
+    // Frame sizes for this round, derived from shapes and codec policy
+    // alone — the event stage charges transfers before any value exists.
+    let sizes = engine.wire.round_sizes();
+
+    // Encode the round's broadcast. The frame is real (its encoded length
+    // must match the size the clock is charged), and its reconstruction —
+    // identical for every receiver — becomes the round base all other
+    // streams diff against. Timing mode only advances the stream position.
+    let round_base: Option<Vec<Tensor>> = if mode == Mode::Real {
+        let (frame, view) = engine.broadcast_global();
+        debug_assert_eq!(frame.wire_len(), sizes.start_round, "broadcast frame size drifted");
+        // Kick off: ship the encoded global model to every participant —
+        // one frame, Arc-shared across the fan-out.
+        let frame = std::sync::Arc::new(frame);
+        for &p in participants {
+            let msg = Message::StartRound { round, payload: Some(frame.clone()) };
+            let size = msg.wire_size(&sizes);
+            if let Delivery::After(d) = engine.network.send(NodeId::FEDERATOR, node(p), size) {
+                queue.push(start + d, Ev::Deliver(Dest::Client(p), msg));
+            }
         }
-    }
+        Some(view)
+    } else {
+        engine.wire.note_broadcast();
+        for &p in participants {
+            let msg = Message::StartRound { round, payload: None };
+            let size = msg.wire_size(&sizes);
+            if let Delivery::After(d) = engine.network.send(NodeId::FEDERATOR, node(p), size) {
+                queue.push(start + d, Ev::Deliver(Dest::Client(p), msg));
+            }
+        }
+        None
+    };
 
     // Helper: enqueue a message through the network (drops vanish).
+    // Client-originated weight payloads carry `None` in the event stage —
+    // the tensors they stand for are only produced by the execution stage
+    // afterwards — but are charged their exact frame size regardless.
     macro_rules! send {
         ($now:expr, $from:expr, $to:expr, $dest:expr, $msg:expr) => {{
             let msg = $msg;
-            let size = msg.wire_size(engine.full_model_bytes, engine.feature_bytes);
+            let size = msg.wire_size(&sizes);
             if let Delivery::After(d) = engine.network.send($from, $to, size) {
                 queue.push($now + d, Ev::Deliver($dest, msg));
             }
@@ -286,7 +311,7 @@ pub(crate) fn simulate_round(
                         Message::ClientUpdate {
                             round,
                             client: c,
-                            weights: None,
+                            payload: None,
                             num_samples: engine.clients[c].shard_len,
                             tau: rc.batches_done,
                         }
@@ -369,7 +394,7 @@ pub(crate) fn simulate_round(
                     node(c),
                     node(signed.assignment.receiver),
                     Dest::Client(signed.assignment.receiver),
-                    Message::OffloadModel { round, from: c, weights: None }
+                    Message::OffloadModel { round, from: c, payload: None }
                 );
             }
 
@@ -407,7 +432,7 @@ pub(crate) fn simulate_round(
                         node(c),
                         NodeId::FEDERATOR,
                         Dest::Federator,
-                        Message::OffloadedResult { round, weak, features: None }
+                        Message::OffloadedResult { round, weak, payload: None }
                     );
                 } else {
                     queue.push(now + engine.clients[c].feature_batch(), Ev::OffloadBatchDone(c));
@@ -416,19 +441,25 @@ pub(crate) fn simulate_round(
 
             Ev::Deliver(
                 Dest::Federator,
-                Message::ClientUpdate { round: r, client, weights, num_samples, tau },
+                Message::ClientUpdate { round: r, client, num_samples, tau, .. },
             ) => {
                 if r != round {
                     continue;
                 }
-                updates.push(UpdateArrival { client, weights, num_samples, tau, arrived: now });
+                updates.push(UpdateArrival {
+                    client,
+                    weights: None,
+                    num_samples,
+                    tau,
+                    arrived: now,
+                });
             }
 
-            Ev::Deliver(Dest::Federator, Message::OffloadedResult { round: r, weak, features }) => {
+            Ev::Deliver(Dest::Federator, Message::OffloadedResult { round: r, weak, .. }) => {
                 if r != round {
                     continue;
                 }
-                offload_results.push(OffloadResultArrival { weak, features, arrived: now });
+                offload_results.push(OffloadResultArrival { weak, features: None, arrived: now });
             }
 
             // Remaining combinations are protocol violations; in a
@@ -459,7 +490,16 @@ pub(crate) fn simulate_round(
                 plans[offload.weak].snapshot_wanted = true;
             }
         }
-        execute_plans(engine, participants, &plans, &mut updates, &mut offload_results)?
+        let base = round_base.as_deref().expect("real mode always decodes a broadcast");
+        execute_plans(
+            engine,
+            participants,
+            &plans,
+            &mut updates,
+            &mut offload_results,
+            base,
+            &sizes,
+        )?
     } else {
         Vec::new()
     };
@@ -539,6 +579,16 @@ fn run_tasks(
 /// order (own batches, then offloaded batches) matches the virtual event
 /// order exactly, so results are independent of the parallelism setting.
 ///
+/// Every weight hand-off passes through the wire codec exactly as the
+/// protocol ships it: clients train from `round_base` (the decoded
+/// broadcast), offload snapshots are encoded/decoded between stages, and
+/// the fold phase encodes each upload so the federator aggregates what
+/// the wire delivered — bit-identical to the unencoded values under the
+/// dense codec, lossy under the others. Codec calls happen at round
+/// start, between the stages, and in the fixed-order fold — never inside
+/// the parallel tasks — so delta/residual state updates are ordered
+/// deterministically whatever the thread pool did.
+///
 /// Each task owns its client's persistent [`ClientWorkspace`]: the model
 /// is reset from the round snapshot via `set_weights` (a bit-exact copy)
 /// rather than cloning the template, and batches run through the
@@ -550,12 +600,14 @@ fn execute_plans(
     plans: &[ClientPlan],
     updates: &mut [UpdateArrival],
     offload_results: &mut [OffloadResultArrival],
+    round_base: &[Tensor],
+    sizes: &RoundWireSizes,
 ) -> Result<Vec<f32>, EngineError> {
     // Optimizers must be built before `engine.clients` is mutably split.
-    let opts: Vec<Sgd> = participants.iter().map(|_| engine.make_optimizer()).collect();
+    // FedProx anchors to the round base — the global model as received.
+    let opts: Vec<Sgd> = participants.iter().map(|_| engine.make_optimizer(round_base)).collect();
     let parallelism = engine.config.parallelism;
     let template = &engine.template;
-    let global = &engine.global;
     let train = &engine.train;
 
     let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
@@ -584,9 +636,10 @@ fn execute_plans(
         })
         .collect();
 
-    // Stage 1: every client's own local training.
+    // Stage 1: every client's own local training, from the weights the
+    // broadcast actually delivered.
     run_tasks(&mut tasks, parallelism, |task| {
-        if let Err(e) = task.cw.reset_model(global) {
+        if let Err(e) = task.cw.reset_model(round_base) {
             task.error = Some(e);
             return;
         }
@@ -611,9 +664,18 @@ fn execute_plans(
     });
 
     // Stage 2: offloaded feature training on the receivers (barrier: the
-    // straggler snapshots come out of stage 1).
-    let snapshots: HashMap<usize, Vec<Tensor>> =
-        tasks.iter_mut().filter_map(|t| t.snapshot.take().map(|s| (t.id, s))).collect();
+    // straggler snapshots come out of stage 1). Each snapshot crosses the
+    // client-to-client wire, so the receiver trains what the codec
+    // delivered, not the sender's exact weights.
+    let snapshots: HashMap<usize, Vec<Tensor>> = tasks
+        .iter_mut()
+        .filter_map(|t| t.snapshot.take().map(|s| (t.id, s)))
+        .map(|(id, s)| {
+            let (frame, delivered) = engine.wire.encode_snapshot(&s, round_base);
+            debug_assert_eq!(frame.wire_len(), sizes.offload_model, "snapshot frame size drifted");
+            (id, delivered)
+        })
+        .collect();
     run_tasks(&mut tasks, parallelism, |task| {
         if task.error.is_some() {
             return;
@@ -657,14 +719,23 @@ fn execute_plans(
         }
     }
 
+    // Uplinks cross the wire here, in fixed arrival order: the federator
+    // aggregates the decoded reconstructions, and each client's
+    // error-feedback residual advances exactly once per upload.
     for update in updates.iter_mut() {
-        update.weights = Some(
-            final_weights.remove(&update.client).expect("every update sender trained this round"),
-        );
+        let trained =
+            final_weights.remove(&update.client).expect("every update sender trained this round");
+        let (frame, delivered) = engine.wire.encode_update(update.client, &trained, round_base);
+        debug_assert_eq!(frame.wire_len(), sizes.client_update, "update frame size drifted");
+        update.weights = Some(delivered);
     }
+    let feature_tensors = engine.wire.feature_tensors;
     for result in offload_results.iter_mut() {
-        result.features =
-            Some(features.remove(&result.weak).expect("every offload result was trained"));
+        let trained = features.remove(&result.weak).expect("every offload result was trained");
+        let (frame, delivered) =
+            engine.wire.encode_features(&trained, &round_base[..feature_tensors]);
+        debug_assert_eq!(frame.wire_len(), sizes.offload_result, "feature frame size drifted");
+        result.features = Some(delivered);
     }
     Ok(losses)
 }

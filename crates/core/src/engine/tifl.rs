@@ -29,6 +29,15 @@ pub(crate) struct TiflState {
 /// we use a generous constant so credits only bite in long runs.
 const CREDITS_PER_TIER: u32 = 400;
 
+/// The serializable slice of [`TiflState`] (see [`TiflState::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TiflSnapshot {
+    pub(crate) credits: Vec<u32>,
+    pub(crate) accuracy: Vec<f64>,
+    pub(crate) last_selected: Option<usize>,
+    pub(crate) rng: [u64; 4],
+}
+
 impl TiflState {
     /// Groups `speeds` into `tiers` rank-based tiers.
     pub(crate) fn new(speeds: &[f64], tiers: usize, seed: u64) -> Self {
@@ -96,6 +105,37 @@ impl TiflState {
         let mut members = self.scratch.clone();
         members.sort_unstable();
         members
+    }
+
+    /// Number of speed tiers.
+    pub(crate) fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Captures the adaptive-selection state for a resumable checkpoint
+    /// (the tier partition itself is rebuilt from the configuration).
+    pub(crate) fn snapshot(&self) -> TiflSnapshot {
+        TiflSnapshot {
+            credits: self.credits.clone(),
+            accuracy: self.accuracy.clone(),
+            last_selected: self.last_selected,
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Restores the state captured by [`TiflState::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's tier count differs from this state's —
+    /// the snapshot came from a different configuration.
+    pub(crate) fn restore(&mut self, snapshot: TiflSnapshot) {
+        assert_eq!(snapshot.credits.len(), self.tiers.len(), "TiflState::restore: tier count");
+        assert_eq!(snapshot.accuracy.len(), self.tiers.len(), "TiflState::restore: tier count");
+        self.credits = snapshot.credits;
+        self.accuracy = snapshot.accuracy;
+        self.last_selected = snapshot.last_selected;
+        self.rng = rand::rngs::StdRng::from_state(snapshot.rng);
     }
 
     /// Records the global accuracy observed after the last selected tier's

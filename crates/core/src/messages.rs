@@ -7,7 +7,9 @@
 //! (paper §4.1). The signature here is a keyed FNV hash — a simulation of
 //! an HMAC, consistent with the honest-but-curious threat model.
 
-use aergia_nn::weights;
+use std::sync::Arc;
+
+use aergia_codec::{frame, Frame};
 use aergia_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -68,17 +70,22 @@ impl SignedAssignment {
 
 /// Everything that travels over the simulated network.
 ///
-/// Weight payloads carry real tensors in [`crate::Mode::Real`] runs and
-/// `None` in timing-only runs; either way the *wire size* used for
-/// transfer-time accounting is explicit so both modes share one timeline.
+/// Weight payloads are encoded [`Frame`]s of the experiment's codec,
+/// shared by `Arc` so a broadcast frame fanning out to N participants is
+/// encoded once. Client-originated payloads carry `None` during the
+/// event stage that walks a round's virtual clock (its timing must never
+/// depend on gradient values, and the tensors they stand for are only
+/// produced by the execution stage afterwards); every message is charged
+/// the shape-deterministic frame size in [`RoundWireSizes`] either way,
+/// and the execution stage asserts the frames it produces match.
 #[derive(Debug, Clone)]
 pub enum Message {
     /// Federator → client: begin round `round` from the given global model.
     StartRound {
         /// Round number.
         round: u32,
-        /// Global weights (absent in timing mode).
-        weights: Option<Vec<Tensor>>,
+        /// The encoded global-model broadcast.
+        payload: Option<Arc<Frame>>,
     },
     /// Client → federator: online profiling finished.
     Profile {
@@ -98,8 +105,8 @@ pub enum Message {
         round: u32,
         /// The straggler sending its model.
         from: usize,
-        /// Full weight snapshot (absent in timing mode).
-        weights: Option<Vec<Tensor>>,
+        /// Encoded full snapshot (elided in the event stage).
+        payload: Option<Arc<Frame>>,
     },
     /// Client → federator: the round's local update.
     ClientUpdate {
@@ -107,8 +114,8 @@ pub enum Message {
         round: u32,
         /// Reporting client.
         client: usize,
-        /// Trained weights (absent in timing mode).
-        weights: Option<Vec<Tensor>>,
+        /// Encoded trained weights (elided in the event stage).
+        payload: Option<Arc<Frame>>,
         /// Local dataset size (FedAvg weighting).
         num_samples: usize,
         /// Local steps actually executed (FedNova's τ).
@@ -121,32 +128,60 @@ pub enum Message {
         round: u32,
         /// The straggler whose model was trained.
         weak: usize,
-        /// Feature-section weights (absent in timing mode).
-        features: Option<Vec<Tensor>>,
+        /// Encoded feature section (elided in the event stage).
+        payload: Option<Arc<Frame>>,
     },
 }
 
+/// Per-message wire sizes of one round's weight frames, computed from the
+/// model's shapes by the codec sizing API before any training runs.
+///
+/// The four entries differ because codec policy is stream-aware: a
+/// `TopKDelta` broadcast opens with a dense keyframe in round 0, and the
+/// offload-result frame carries only the feature section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundWireSizes {
+    /// `StartRound` frame length (the global-model broadcast).
+    pub start_round: usize,
+    /// `ClientUpdate` frame length (a full trained snapshot).
+    pub client_update: usize,
+    /// `OffloadModel` frame length (a full frozen snapshot).
+    pub offload_model: usize,
+    /// `OffloadedResult` frame length (the feature section only).
+    pub offload_result: usize,
+}
+
+/// Bytes charged per message on top of its payload: routing metadata,
+/// the federator signature and sequence number.
+const CONTROL: usize = 64;
+
+/// Control envelope of a weight-carrying message. Historically these
+/// messages were charged `4-byte tensor count + tensors + CONTROL`; the
+/// frame header ([`frame::HEADER_LEN`]) now carries that count (and the
+/// codec/section map) inside the payload, so the envelope shrinks by the
+/// difference and the dense-codec wire size stays byte-for-byte what it
+/// always was.
+const WEIGHT_CONTROL: usize = CONTROL + 4 - frame::HEADER_LEN;
+
 impl Message {
-    /// Size in bytes charged to the network for this message.
-    ///
-    /// Weight-carrying messages are charged their encoded size (computed
-    /// from `payload_params` when the tensors themselves are elided in
-    /// timing mode); control messages are charged a small constant.
-    pub fn wire_size(&self, full_model_bytes: usize, feature_bytes: usize) -> usize {
-        const CONTROL: usize = 64;
+    /// Size in bytes charged to the network for this message: the round's
+    /// frame size for weight-carrying messages (whether or not the frame
+    /// itself rides along) plus a small control envelope.
+    pub fn wire_size(&self, sizes: &RoundWireSizes) -> usize {
         match self {
-            Message::StartRound { .. } => full_model_bytes + CONTROL,
+            Message::StartRound { .. } => sizes.start_round + WEIGHT_CONTROL,
             Message::Profile { .. } => CONTROL + 4 * 8,
             Message::Schedule(_) | Message::ScheduleNotice(_) => CONTROL,
-            Message::OffloadModel { .. } => full_model_bytes + CONTROL,
-            Message::ClientUpdate { .. } => full_model_bytes + CONTROL,
-            Message::OffloadedResult { .. } => feature_bytes + CONTROL,
+            Message::OffloadModel { .. } => sizes.offload_model + WEIGHT_CONTROL,
+            Message::ClientUpdate { .. } => sizes.client_update + WEIGHT_CONTROL,
+            Message::OffloadedResult { .. } => sizes.offload_result + WEIGHT_CONTROL,
         }
     }
 
-    /// Exact encoded size of a weight snapshot (helper re-export).
+    /// Exact encoded size of a standalone weight snapshot — routed through
+    /// the codec sizing API (see [`aergia_nn::weights::byte_size`]).
     pub fn weights_bytes(weights: &[Tensor]) -> usize {
-        weights::byte_size(weights)
+        aergia_nn::weights::byte_size(weights)
     }
 }
 
@@ -186,7 +221,13 @@ mod tests {
 
     #[test]
     fn wire_sizes_charge_models_appropriately() {
-        let start = Message::StartRound { round: 0, weights: None };
+        let sizes = RoundWireSizes {
+            start_round: 1_000_000,
+            client_update: 1_000_000,
+            offload_model: 1_000_000,
+            offload_result: 800_000,
+        };
+        let start = Message::StartRound { round: 0, payload: None };
         let profile = Message::Profile {
             client: 0,
             report: crate::profiler::ProfileReport {
@@ -195,10 +236,29 @@ mod tests {
                 remaining_updates: 0,
             },
         };
-        let result = Message::OffloadedResult { round: 0, weak: 0, features: None };
-        assert!(start.wire_size(1_000_000, 800_000) > 1_000_000);
-        assert!(profile.wire_size(1_000_000, 800_000) < 200);
-        let r = result.wire_size(1_000_000, 800_000);
+        let result = Message::OffloadedResult { round: 0, weak: 0, payload: None };
+        assert!(start.wire_size(&sizes) > 1_000_000);
+        assert!(profile.wire_size(&sizes) < 200);
+        let r = result.wire_size(&sizes);
         assert!(r > 800_000 && r < 1_000_000, "features are smaller than the full model");
+    }
+
+    #[test]
+    fn dense_accounting_matches_the_historical_formula() {
+        // One weight message used to be charged `weights::byte_size + 64`;
+        // the frame header absorbed the old 4-byte count plus 20 bytes of
+        // envelope, so `frame len + WEIGHT_CONTROL` must land on the same
+        // total for the dense codec.
+        use aergia_codec::{dense, CodecId, FrameBuilder, SectionKind};
+        let weights = vec![Tensor::ones(&[3, 4]), Tensor::ones(&[4])];
+        let mut b = FrameBuilder::new();
+        b.push_section(SectionKind::Features, CodecId::DenseF32, 1, |out| {
+            dense::encode_payload_into(&weights[..1], out);
+        });
+        b.push_section(SectionKind::Classifier, CodecId::DenseF32, 1, |out| {
+            dense::encode_payload_into(&weights[1..], out);
+        });
+        let frame_len = b.finish().wire_len();
+        assert_eq!(frame_len + WEIGHT_CONTROL, Message::weights_bytes(&weights) + 64);
     }
 }

@@ -21,6 +21,10 @@ pub struct RoundRecord {
     pub offloads: Vec<(usize, usize)>,
     /// Participants whose update was dropped (deadline strategies).
     pub dropped: Vec<usize>,
+    /// Payload bytes delivered over the simulated network this round —
+    /// actual encoded frame sizes under the experiment's wire codec, plus
+    /// control envelopes.
+    pub bytes_on_wire: u64,
 }
 
 /// The result of a whole FL run.
@@ -76,6 +80,19 @@ impl RunResult {
     /// Total dropped updates across the run.
     pub fn total_dropped(&self) -> usize {
         self.rounds.iter().map(|r| r.dropped.len()).sum()
+    }
+
+    /// Total bytes delivered on the wire across all rounds.
+    pub fn total_bytes_on_wire(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_on_wire).sum()
+    }
+
+    /// Mean bytes on the wire per round.
+    pub fn mean_round_bytes(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes_on_wire() as f64 / self.rounds.len() as f64
     }
 }
 
@@ -139,6 +156,7 @@ mod tests {
             participants: vec![0, 1],
             offloads: vec![],
             dropped: vec![],
+            bytes_on_wire: 1_000,
         }
     }
 
@@ -168,6 +186,12 @@ mod tests {
         assert!((curve[0].0 - 15.0).abs() < 1e-9);
         assert!((curve[2].0 - 65.0).abs() < 1e-9);
         assert_eq!(curve[2].1, 0.7);
+    }
+
+    #[test]
+    fn byte_totals_sum_over_rounds() {
+        assert_eq!(run().total_bytes_on_wire(), 3_000);
+        assert!((run().mean_round_bytes() - 1_000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -7,6 +7,18 @@ use rand::SeedableRng;
 use crate::synth::Dataset;
 use aergia_tensor::Tensor;
 
+/// The serializable iteration state of a [`Batcher`] (see
+/// [`Batcher::state`] / [`Batcher::restore_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatcherState {
+    /// The shard's sample indices in their current shuffled order.
+    pub indices: Vec<usize>,
+    /// Position of the next draw within `indices`.
+    pub cursor: usize,
+    /// Raw RNG state driving the epoch reshuffles.
+    pub rng: [u64; 4],
+}
+
 /// Cycles through a client's sample indices in shuffled epochs, yielding
 /// fixed-size mini-batches forever.
 ///
@@ -70,6 +82,32 @@ impl Batcher {
         let mut y = Vec::new();
         self.next_batch_into(dataset, &mut x, &mut y);
         (x, y)
+    }
+
+    /// Captures the full iteration state — the current shuffled index
+    /// order, the epoch cursor and the RNG — for a resumable checkpoint.
+    pub fn state(&self) -> BatcherState {
+        BatcherState { indices: self.indices.clone(), cursor: self.cursor, rng: self.rng.state() }
+    }
+
+    /// Restores the state captured by [`Batcher::state`]: subsequent
+    /// draws continue the interrupted stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shard size differs from this batcher's or
+    /// its cursor lies beyond the shard — either means the snapshot came
+    /// from a different configuration.
+    pub fn restore_state(&mut self, state: BatcherState) {
+        assert_eq!(
+            state.indices.len(),
+            self.indices.len(),
+            "Batcher::restore_state: shard size mismatch"
+        );
+        assert!(state.cursor <= state.indices.len(), "Batcher::restore_state: cursor out of range");
+        self.indices = state.indices;
+        self.cursor = state.cursor;
+        self.rng = StdRng::from_state(state.rng);
     }
 
     /// Fills a caller-provided `(Tensor, Vec<usize>)` pair with the next
@@ -136,6 +174,29 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(a.next_batch(&ds).1, b.next_batch(&ds).1);
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_draw_stream() {
+        let ds = dataset();
+        let mut a = Batcher::new((0..10).collect(), 3, 4);
+        for _ in 0..4 {
+            a.next_batch(&ds);
+        }
+        let snap = a.state();
+        let tail: Vec<Vec<usize>> = (0..6).map(|_| a.next_batch(&ds).1).collect();
+        let mut b = Batcher::new((0..10).collect(), 3, 999); // different seed
+        b.restore_state(snap);
+        let replay: Vec<Vec<usize>> = (0..6).map(|_| b.next_batch(&ds).1).collect();
+        assert_eq!(tail, replay);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size mismatch")]
+    fn restore_rejects_foreign_shards() {
+        let mut a = Batcher::new((0..10).collect(), 3, 4);
+        let foreign = Batcher::new((0..4).collect(), 3, 4).state();
+        a.restore_state(foreign);
     }
 
     #[test]

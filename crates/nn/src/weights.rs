@@ -4,14 +4,17 @@
 //! [`crate::Cnn::weights`]; this module provides the arithmetic the
 //! aggregation rules need (weighted averaging for FedAvg, normalized
 //! deltas for FedNova, squared distances for FedProx analysis) plus a
-//! little-endian binary encoding used to size and ship model transfers in
-//! the network simulation.
+//! little-endian binary encoding of standalone snapshots. The tensor
+//! layout and all byte-size accounting are [`aergia_codec::dense`]'s —
+//! this module only prepends a tensor count, so there is exactly one
+//! sizing authority in the workspace ([`aergia_codec::sizing`]).
 
 use std::error::Error;
 use std::fmt;
 
+use aergia_codec::{dense, CodecError, ShapeSpec};
 use aergia_tensor::Tensor;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 /// Errors produced when decoding a weight snapshot from bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,14 +37,22 @@ impl fmt::Display for WireError {
 
 impl Error for WireError {}
 
-/// Upper bound on tensors/dims/elements honoured by [`decode`]; prevents
-/// pathological allocations from corrupt buffers.
-const SANITY_LIMIT: u64 = 1 << 31;
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => WireError::Truncated,
+            CodecError::Corrupt(what) | CodecError::BaseMismatch(what) => WireError::Corrupt(what),
+            CodecError::BadMagic => WireError::Corrupt("magic"),
+            CodecError::UnsupportedVersion(_) => WireError::Corrupt("version"),
+            _ => WireError::Corrupt("encoding"),
+        }
+    }
+}
 
 /// Serializes a weight snapshot into a compact little-endian buffer.
 ///
-/// Layout: `u32 tensor_count`, then per tensor `u32 rank`, `u32 dims[rank]`,
-/// `f32 data[numel]`.
+/// Layout: `u32 tensor_count`, then the [`aergia_codec::dense`] payload
+/// (per tensor `u32 rank`, `u32 dims[rank]`, `f32 data[numel]`).
 ///
 /// # Examples
 ///
@@ -54,18 +65,10 @@ const SANITY_LIMIT: u64 = 1 << 31;
 /// assert_eq!(decode(&bytes).unwrap(), snapshot);
 /// ```
 pub fn encode(weights: &[Tensor]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(byte_size(weights));
-    buf.put_u32_le(weights.len() as u32);
-    for t in weights {
-        buf.put_u32_le(t.dims().len() as u32);
-        for &d in t.dims() {
-            buf.put_u32_le(d as u32);
-        }
-        for &v in t.data() {
-            buf.put_f32_le(v);
-        }
-    }
-    buf.freeze()
+    let mut buf = Vec::with_capacity(byte_size(weights));
+    buf.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+    dense::encode_payload_into(weights, &mut buf);
+    Bytes::from(buf)
 }
 
 /// Reconstructs a snapshot from [`encode`]'s format.
@@ -75,52 +78,18 @@ pub fn encode(weights: &[Tensor]) -> Bytes {
 /// Returns [`WireError::Truncated`] or [`WireError::Corrupt`] on malformed
 /// input.
 pub fn decode(mut buf: &[u8]) -> Result<Vec<Tensor>, WireError> {
-    fn need(buf: &[u8], n: usize) -> Result<(), WireError> {
-        if buf.remaining() < n {
-            Err(WireError::Truncated)
-        } else {
-            Ok(())
-        }
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
     }
-    need(buf, 4)?;
-    let count = buf.get_u32_le() as u64;
-    if count > SANITY_LIMIT {
-        return Err(WireError::Corrupt("tensor count"));
-    }
-    let mut out = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        need(buf, 4)?;
-        let rank = buf.get_u32_le() as usize;
-        if rank as u64 > 16 {
-            return Err(WireError::Corrupt("rank"));
-        }
-        let mut dims = Vec::with_capacity(rank);
-        let mut numel: u64 = 1;
-        for _ in 0..rank {
-            need(buf, 4)?;
-            let d = buf.get_u32_le() as u64;
-            numel = numel.saturating_mul(d.max(1));
-            if numel > SANITY_LIMIT {
-                return Err(WireError::Corrupt("element count"));
-            }
-            dims.push(d as usize);
-        }
-        let numel: usize = dims.iter().product();
-        need(buf, 4 * numel)?;
-        let mut data = Vec::with_capacity(numel);
-        for _ in 0..numel {
-            data.push(buf.get_f32_le());
-        }
-        let t = Tensor::from_vec(data, &dims).map_err(|_| WireError::Corrupt("shape"))?;
-        out.push(t);
-    }
-    Ok(out)
+    let count = buf.get_u32_le() as usize;
+    Ok(dense::decode_payload(buf, count)?)
 }
 
-/// Exact size in bytes of [`encode`]'s output for `weights`; the network
-/// simulation charges transfers by this size.
+/// Exact size in bytes of [`encode`]'s output for `weights` — the count
+/// prefix plus the dense payload as sized by the one workspace-wide
+/// authority, [`aergia_codec::sizing`].
 pub fn byte_size(weights: &[Tensor]) -> usize {
-    4 + weights.iter().map(|t| 4 + 4 * t.dims().len() + 4 * t.numel()).sum::<usize>()
+    4 + ShapeSpec::of(weights).dense_payload_len()
 }
 
 /// Weighted average of snapshots: `Σ wᵢ·sᵢ / Σ wᵢ` — FedAvg's aggregation
@@ -208,9 +177,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_corrupt_rank() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(1);
-        buf.put_u32_le(99); // absurd rank
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&99u32.to_le_bytes()); // absurd rank
         assert_eq!(decode(&buf).unwrap_err(), WireError::Corrupt("rank"));
     }
 

@@ -67,6 +67,7 @@ pub struct Network {
     drop_prob: f64,
     jitter_max: SimDuration,
     rng: StdRng,
+    bytes_delivered: u64,
 }
 
 impl Network {
@@ -78,7 +79,42 @@ impl Network {
             drop_prob: 0.0,
             jitter_max: SimDuration::ZERO,
             rng: StdRng::seed_from_u64(0),
+            bytes_delivered: 0,
         }
+    }
+
+    /// Total payload bytes of every successfully delivered message since
+    /// construction — the run's bytes-on-wire odometer. Dropped messages
+    /// (fault injection) are not counted.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Captures the fault-injection state (drop probability, jitter bound,
+    /// raw RNG state) for a resumable checkpoint.
+    pub fn fault_state(&self) -> (f64, SimDuration, [u64; 4]) {
+        (self.drop_prob, self.jitter_max, self.rng.state())
+    }
+
+    /// Restores the state captured by [`Network::fault_state`] plus the
+    /// bytes odometer, continuing drop/jitter draws exactly where the
+    /// snapshot left them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= drop_prob < 1`.
+    pub fn restore_fault_state(
+        &mut self,
+        drop_prob: f64,
+        jitter_max: SimDuration,
+        rng: [u64; 4],
+        bytes_delivered: u64,
+    ) {
+        assert!((0.0..1.0).contains(&drop_prob), "Network: drop_prob {drop_prob} outside [0,1)");
+        self.drop_prob = drop_prob;
+        self.jitter_max = jitter_max;
+        self.rng = StdRng::from_state(rng);
+        self.bytes_delivered = bytes_delivered;
     }
 
     /// Overrides the link model for the directed pair `from → to`.
@@ -115,6 +151,7 @@ impl Network {
             let extra = self.rng.random_range(0..=self.jitter_max.as_micros());
             delay += SimDuration::from_micros(extra);
         }
+        self.bytes_delivered += bytes as u64;
         Delivery::After(delay)
     }
 }
@@ -175,6 +212,36 @@ mod tests {
                 Delivery::Dropped => panic!("no drops configured"),
             }
         }
+    }
+
+    #[test]
+    fn bytes_odometer_counts_deliveries_not_drops() {
+        let mut net = Network::new(LinkModel::datacenter());
+        net.send(NodeId(0), NodeId(1), 100);
+        net.send(NodeId(1), NodeId(0), 23);
+        assert_eq!(net.bytes_delivered(), 123);
+        net.enable_faults(0.999, SimDuration::ZERO, 1);
+        for _ in 0..50 {
+            net.send(NodeId(0), NodeId(1), 1_000_000);
+        }
+        assert!(net.bytes_delivered() < 123 + 3_000_000, "drops must not count");
+    }
+
+    #[test]
+    fn fault_state_round_trip_resumes_draws() {
+        let mut net = Network::new(LinkModel::datacenter());
+        net.enable_faults(0.4, SimDuration::from_micros(100), 11);
+        for _ in 0..25 {
+            net.send(NodeId(0), NodeId(1), 5);
+        }
+        let (p, j, rng) = net.fault_state();
+        let odometer = net.bytes_delivered();
+        let tail: Vec<_> = (0..25).map(|_| net.send(NodeId(0), NodeId(1), 5)).collect();
+        let mut restored = Network::new(LinkModel::datacenter());
+        restored.restore_fault_state(p, j, rng, odometer);
+        let replay: Vec<_> = (0..25).map(|_| restored.send(NodeId(0), NodeId(1), 5)).collect();
+        assert_eq!(tail, replay);
+        assert_eq!(net.bytes_delivered(), restored.bytes_delivered());
     }
 
     #[test]

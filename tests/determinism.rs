@@ -121,6 +121,30 @@ fn workspace_reuse_is_bit_identical_across_serial_parallel_and_reruns() {
 }
 
 #[test]
+fn compressed_runs_are_bit_identical_across_parallelism() {
+    force_pool_workers();
+    // The lossy codecs thread extra state through a round (quantized
+    // reconstructions; top-k bases and per-client error-feedback
+    // residuals). All codec work happens at round start, between the two
+    // execution stages and in the fixed-order fold — never inside the
+    // parallel tasks — so a compressed fig6-smoke must stay bit-identical
+    // between serial and work-stealing execution too.
+    let strategy = Strategy::aergia_default();
+    for codec in [
+        aergia_codec::CodecConfig::QuantI8,
+        aergia_codec::CodecConfig::TopKDelta { keep_permille: 100 },
+    ] {
+        let mut config = fig6_smoke(33);
+        config.codec = codec;
+        let serial = run_with_parallelism(config.clone(), strategy, 1);
+        let parallel = run_with_parallelism(config, strategy, 0);
+        assert_bit_identical(&serial, &parallel, codec.name());
+        let total: usize = serial.0.rounds.iter().map(|r| r.offloads.len()).sum();
+        assert!(total > 0, "{codec}: offload path must be exercised");
+    }
+}
+
+#[test]
 fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
     force_pool_workers();
     let strategy = Strategy::FedAvg;

@@ -190,6 +190,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state — a shim-only extension used by the
+        /// workspace's resumable checkpoints (the real `rand` crate has no
+        /// equivalent; swap-in code must serialize a seed instead).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`], continuing the
+        /// stream exactly where the snapshot left it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -232,6 +247,19 @@ mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn state_snapshot_resumes_the_stream_exactly() {
+        let mut a = StdRng::seed_from_u64(123);
+        for _ in 0..10 {
+            let _: u64 = a.random();
+        }
+        let snap = a.state();
+        let tail: Vec<u64> = (0..20).map(|_| a.random()).collect();
+        let mut b = StdRng::from_state(snap);
+        let replay: Vec<u64> = (0..20).map(|_| b.random()).collect();
+        assert_eq!(tail, replay);
+    }
 
     #[test]
     fn same_seed_same_stream() {
