@@ -28,7 +28,6 @@ use aergia_codec::CodecConfig;
 use aergia_data::DatasetSpec;
 use aergia_nn::models::ModelArch;
 use aergia_runtime::alloc_count::CountingAllocator;
-use aergia_simnet::SimTime;
 use aergia_tensor::gemm::PackedB;
 use aergia_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
@@ -105,11 +104,11 @@ fn measure_allocs_per_round() -> f64 {
     let rounds = config.rounds;
     assert!(rounds >= 2, "need a warm-up round plus at least one measured round");
     let mut engine = Engine::new(config, Strategy::aergia_default()).expect("valid smoke config");
-    let mut now = SimTime::ZERO;
-    engine.run_round(0, &mut now).expect("warm-up round");
+    let mut progress = engine.start_progress();
+    engine.step_round(&mut progress).expect("warm-up round");
     let before = ALLOC.allocations();
-    for round in 1..rounds {
-        engine.run_round(round, &mut now).expect("measured round");
+    for _ in 1..rounds {
+        engine.step_round(&mut progress).expect("measured round");
     }
     (ALLOC.allocations() - before) as f64 / f64::from(rounds - 1)
 }

@@ -14,10 +14,7 @@ pub mod regression;
 
 use std::fmt::Display;
 
-use aergia::config::{ExperimentConfig, Mode};
-use aergia::engine::Engine;
-use aergia::metrics::RunResult;
-use aergia::strategy::Strategy;
+use aergia::prelude::*;
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;

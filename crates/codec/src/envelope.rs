@@ -1,0 +1,305 @@
+//! Length-prefixed message envelopes for the networked runtime.
+//!
+//! `aergia-net` ships [`frame`](crate::frame)/[`checkpoint`](crate::checkpoint)
+//! payloads over TCP; this module is the outermost layer of that wire
+//! format — a fixed 12-byte header that names the message and bounds its
+//! body, so a reader can validate *before* allocating:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"AENV"
+//! 4       2     version (little-endian, currently 1)
+//! 6       1     message kind (MsgKind)
+//! 7       1     reserved (must be 0)
+//! 8       4     body length (little-endian, ≤ MAX_BODY_LEN)
+//! ```
+//!
+//! The header is deliberately self-contained: [`parse`] borrows from the
+//! input and never allocates, and [`read_from`] checks the declared body
+//! length against [`MAX_BODY_LEN`] before reserving a single byte — a
+//! corrupt or hostile length prefix costs nothing. The property suite
+//! pins that truncated, corrupt and oversized inputs error (never panic,
+//! never over-allocate).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::io::{put_u16, put_u32, Reader};
+use crate::CodecError;
+
+/// Envelope magic bytes.
+pub const MAGIC: [u8; 4] = *b"AENV";
+
+/// Current envelope format version.
+pub const VERSION: u16 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a message body (256 MiB) — far above any frame the
+/// protocol produces, far below anything that could exhaust memory.
+/// Checked before allocation on the read path.
+pub const MAX_BODY_LEN: usize = 256 << 20;
+
+/// The message kinds of the coordinator⇄client protocol, as carried in
+/// the envelope header. Bodies are chunked containers / frames built by
+/// `aergia-net` on top of this crate's primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Client → coordinator: introduce client id, request admission.
+    Hello = 1,
+    /// Coordinator → client: admission plus the experiment description.
+    Welcome = 2,
+    /// Coordinator → client: train your own batches for a round.
+    TrainOrder = 3,
+    /// Client → coordinator: trained weights and losses.
+    TrainReply = 4,
+    /// Coordinator → client: train a straggler's frozen snapshot.
+    OffloadOrder = 5,
+    /// Client → coordinator: the trained feature section.
+    OffloadReply = 6,
+    /// Coordinator → client: the run is over, shut down.
+    Finish = 7,
+}
+
+impl MsgKind {
+    /// Decodes the one-byte wire representation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] for unknown kinds.
+    pub fn from_wire(byte: u8) -> Result<Self, CodecError> {
+        match byte {
+            1 => Ok(MsgKind::Hello),
+            2 => Ok(MsgKind::Welcome),
+            3 => Ok(MsgKind::TrainOrder),
+            4 => Ok(MsgKind::TrainReply),
+            5 => Ok(MsgKind::OffloadOrder),
+            6 => Ok(MsgKind::OffloadReply),
+            7 => Ok(MsgKind::Finish),
+            _ => Err(CodecError::Corrupt("envelope message kind")),
+        }
+    }
+}
+
+/// Errors surfaced while reading an envelope from a stream.
+#[derive(Debug)]
+pub enum EnvelopeError {
+    /// The underlying stream failed (including EOF mid-envelope).
+    Io(std::io::Error),
+    /// The bytes read do not form a valid envelope.
+    Codec(CodecError),
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::Io(e) => write!(f, "envelope i/o error: {e}"),
+            EnvelopeError::Codec(e) => write!(f, "envelope decode error: {e}"),
+        }
+    }
+}
+
+impl Error for EnvelopeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnvelopeError::Io(e) => Some(e),
+            EnvelopeError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for EnvelopeError {
+    fn from(e: std::io::Error) -> Self {
+        EnvelopeError::Io(e)
+    }
+}
+
+impl From<CodecError> for EnvelopeError {
+    fn from(e: CodecError) -> Self {
+        EnvelopeError::Codec(e)
+    }
+}
+
+/// Validates a 12-byte header and returns `(kind, body_len)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(MsgKind, usize), CodecError> {
+    let mut r = Reader::new(header);
+    let magic = r.take(4).expect("header is 12 bytes");
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16().expect("header is 12 bytes");
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = MsgKind::from_wire(r.u8().expect("header is 12 bytes"))?;
+    if r.u8().expect("header is 12 bytes") != 0 {
+        return Err(CodecError::Corrupt("envelope reserved byte"));
+    }
+    let body_len = r.u32().expect("header is 12 bytes") as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(CodecError::Corrupt("envelope body length over cap"));
+    }
+    Ok((kind, body_len))
+}
+
+/// Parses one envelope from the front of `buf` without allocating.
+/// Returns the kind, the borrowed body, and the total bytes consumed
+/// (header + body) so callers can advance through a buffer of
+/// back-to-back envelopes.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] if `buf` ends before the header or the
+/// declared body; [`CodecError::BadMagic`] /
+/// [`CodecError::UnsupportedVersion`] / [`CodecError::Corrupt`] for
+/// invalid headers (including a body length over [`MAX_BODY_LEN`]).
+pub fn parse(buf: &[u8]) -> Result<(MsgKind, &[u8], usize), CodecError> {
+    if buf.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("sliced to length");
+    let (kind, body_len) = parse_header(header)?;
+    let total = HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Err(CodecError::Truncated);
+    }
+    Ok((kind, &buf[HEADER_LEN..total], total))
+}
+
+/// Encodes an envelope into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_BODY_LEN`] — protocol messages are
+/// sized by the model's shapes, orders of magnitude below the cap, so an
+/// oversized body indicates an internal bug.
+pub fn encode(kind: MsgKind, body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_BODY_LEN, "envelope body exceeds MAX_BODY_LEN");
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(kind as u8);
+    out.push(0);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one envelope to `w` (a single buffered write of header +
+/// body).
+///
+/// # Errors
+///
+/// Propagates the sink's i/o errors.
+///
+/// # Panics
+///
+/// See [`encode`].
+pub fn write_to<W: Write>(w: &mut W, kind: MsgKind, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode(kind, body))
+}
+
+/// Reads one complete envelope from `r`, validating the header —
+/// including the [`MAX_BODY_LEN`] cap — before allocating the body.
+///
+/// # Errors
+///
+/// [`EnvelopeError::Io`] on stream failure or EOF mid-envelope;
+/// [`EnvelopeError::Codec`] for invalid headers.
+pub fn read_from<R: Read>(r: &mut R) -> Result<(MsgKind, Vec<u8>), EnvelopeError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, body_len) = parse_header(&header)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    Ok((kind, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_round_trip_through_parse_and_read() {
+        let body = vec![7u8; 33];
+        let bytes = encode(MsgKind::TrainReply, &body);
+        assert_eq!(bytes.len(), HEADER_LEN + body.len());
+
+        let (kind, parsed, consumed) = parse(&bytes).unwrap();
+        assert_eq!(kind, MsgKind::TrainReply);
+        assert_eq!(parsed, &body[..]);
+        assert_eq!(consumed, bytes.len());
+
+        let (kind, read) = read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(kind, MsgKind::TrainReply);
+        assert_eq!(read, body);
+    }
+
+    #[test]
+    fn back_to_back_envelopes_parse_sequentially() {
+        let mut stream = encode(MsgKind::Hello, &[1]);
+        stream.extend_from_slice(&encode(MsgKind::Finish, &[]));
+        let (kind, _, used) = parse(&stream).unwrap();
+        assert_eq!(kind, MsgKind::Hello);
+        let (kind, body, _) = parse(&stream[used..]).unwrap();
+        assert_eq!(kind, MsgKind::Finish);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_corruption_error_cleanly() {
+        let bytes = encode(MsgKind::Welcome, &[9u8; 16]);
+        for cut in 0..bytes.len() {
+            assert_eq!(parse(&bytes[..cut]).unwrap_err(), CodecError::Truncated, "cut {cut}");
+            assert!(read_from(&mut &bytes[..cut]).is_err(), "cut {cut}");
+        }
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(parse(&bad_magic).unwrap_err(), CodecError::BadMagic);
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(parse(&bad_version).unwrap_err(), CodecError::UnsupportedVersion(_)));
+
+        let mut bad_kind = bytes.clone();
+        bad_kind[6] = 0;
+        assert!(matches!(parse(&bad_kind).unwrap_err(), CodecError::Corrupt(_)));
+
+        let mut bad_reserved = bytes;
+        bad_reserved[7] = 1;
+        assert!(matches!(parse(&bad_reserved).unwrap_err(), CodecError::Corrupt(_)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode(MsgKind::TrainOrder, &[]);
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(parse(&bytes).unwrap_err(), CodecError::Corrupt(_)));
+        // read_from must reject from the header alone — no body needed.
+        assert!(matches!(
+            read_from(&mut &bytes[..HEADER_LEN]).unwrap_err(),
+            EnvelopeError::Codec(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn kinds_round_trip_the_wire_byte() {
+        for kind in [
+            MsgKind::Hello,
+            MsgKind::Welcome,
+            MsgKind::TrainOrder,
+            MsgKind::TrainReply,
+            MsgKind::OffloadOrder,
+            MsgKind::OffloadReply,
+            MsgKind::Finish,
+        ] {
+            assert_eq!(MsgKind::from_wire(kind as u8).unwrap(), kind);
+        }
+        assert!(MsgKind::from_wire(0).is_err());
+        assert!(MsgKind::from_wire(8).is_err());
+    }
+}

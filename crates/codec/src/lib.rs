@@ -46,6 +46,7 @@
 
 pub mod checkpoint;
 pub mod dense;
+pub mod envelope;
 pub mod frame;
 pub mod io;
 pub mod quant;

@@ -3,7 +3,9 @@
 //! invariant every codec must honour.
 
 use aergia_codec::sizing::{frame_len, ShapeSpec};
-use aergia_codec::{dense, quant, topk, CodecId, Frame, FrameBuilder, SectionKind};
+use aergia_codec::{
+    dense, envelope, quant, topk, CodecError, CodecId, Frame, FrameBuilder, SectionKind,
+};
 use aergia_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -202,5 +204,101 @@ proptest! {
         let frame = builder.finish();
         let cut = ((frame.wire_len() - 1) as f64 * cut_fraction) as usize;
         prop_assert!(Frame::from_bytes(frame.as_bytes()[..cut].to_vec()).is_err());
+    }
+}
+
+/// One of the seven protocol message kinds, uniformly.
+fn msg_kind() -> impl Strategy<Value = envelope::MsgKind> {
+    use envelope::MsgKind;
+    const KINDS: [MsgKind; 7] = [
+        MsgKind::Hello,
+        MsgKind::Welcome,
+        MsgKind::TrainOrder,
+        MsgKind::TrainReply,
+        MsgKind::OffloadOrder,
+        MsgKind::OffloadReply,
+        MsgKind::Finish,
+    ];
+    (0usize..KINDS.len()).prop_map(|i| KINDS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn envelopes_round_trip_any_body(
+        kind in msg_kind(),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        trailer in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut bytes = envelope::encode(kind, &body);
+        let total = bytes.len();
+        bytes.extend_from_slice(&trailer); // parse must not read past the envelope
+        let (k, b, consumed) = envelope::parse(&bytes).unwrap();
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(b, &body[..]);
+        prop_assert_eq!(consumed, total);
+        let (k, b) = envelope::read_from(&mut &bytes[..]).unwrap();
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(b, body);
+    }
+
+    #[test]
+    fn truncated_envelopes_error_at_every_cut(
+        kind in msg_kind(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = envelope::encode(kind, &body);
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert_eq!(envelope::parse(&bytes[..cut]).unwrap_err(), CodecError::Truncated);
+        prop_assert!(envelope::read_from(&mut &bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_envelope_parser(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Must return (never panic), and on success stay inside the input.
+        if let Ok((_, body, consumed)) = envelope::parse(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(body.len() <= consumed);
+        }
+        let _ = envelope::read_from(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn corrupted_headers_never_panic_and_magic_damage_is_detected(
+        kind in msg_kind(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        at in 0usize..envelope::HEADER_LEN,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = envelope::encode(kind, &body);
+        bytes[at] ^= flip;
+        // Any single-byte header corruption must be handled without
+        // panicking; damage to the magic specifically must be detected.
+        let outcome = envelope::parse(&bytes);
+        if at < 4 {
+            prop_assert_eq!(outcome.unwrap_err(), CodecError::BadMagic);
+        }
+        let _ = envelope::read_from(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_not_allocated(
+        kind in msg_kind(),
+        over in (envelope::MAX_BODY_LEN as u32 + 1)..=u32::MAX,
+    ) {
+        // A hostile length prefix: header only, no body behind it. Both
+        // entry points must reject from the 12 header bytes alone —
+        // read_from checks the cap before reserving the body buffer.
+        let mut bytes = envelope::encode(kind, &[]);
+        bytes[8..12].copy_from_slice(&over.to_le_bytes());
+        prop_assert!(matches!(envelope::parse(&bytes), Err(CodecError::Corrupt(_))));
+        prop_assert!(matches!(
+            envelope::read_from(&mut &bytes[..]),
+            Err(envelope::EnvelopeError::Codec(CodecError::Corrupt(_)))
+        ));
     }
 }

@@ -133,6 +133,9 @@ pub enum ConfigError {
         /// Classes the model predicts.
         model_classes: usize,
     },
+    /// A [`TopologyBuilder`](crate::topology::TopologyBuilder) override
+    /// is out of range for the configured cluster.
+    BadTopology(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -150,6 +153,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ArchMismatch { data_classes, model_classes } => {
                 write!(f, "dataset has {data_classes} classes but model predicts {model_classes}")
             }
+            ConfigError::BadTopology(what) => write!(f, "topology override invalid: {what}"),
         }
     }
 }

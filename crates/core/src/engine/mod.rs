@@ -33,22 +33,23 @@ use aergia_data::batcher::Batcher;
 use aergia_data::partition::Partition;
 use aergia_data::synth::Dataset;
 use aergia_enclave::{establish_session, EnclaveError, SimilarityEnclave};
-use aergia_nn::optim::{Sgd, SgdConfig};
+use aergia_nn::optim::Sgd;
 use aergia_nn::profile::PhaseCost;
 use aergia_nn::weights as w;
 use aergia_nn::{Cnn, NnError};
 use aergia_simnet::node::BASE_FLOPS;
 use aergia_simnet::{CpuModel, LinkModel, Network, SimDuration, SimTime};
-use aergia_tensor::{Tensor, Workspace};
+use aergia_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{ConfigError, ExperimentConfig, Mode};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::strategy::Strategy;
+use crate::transport::{self, ClientWorkspace, InProcess, Transport, TransportError};
 
 pub use checkpoint::{CheckpointError, RunProgress};
-pub use round::RoundOutcome;
+pub(crate) use round::RoundOutcome;
 
 /// Errors surfaced while constructing or running an experiment.
 #[derive(Debug)]
@@ -62,6 +63,10 @@ pub enum EngineError {
     Enclave(EnclaveError),
     /// Saving or restoring a checkpoint failed.
     Checkpoint(Box<CheckpointError>),
+    /// The round's [`Transport`] failed in a way that leaves it unusable
+    /// (losing a single client is tolerated, not an error — see
+    /// [`crate::transport::Transport`]).
+    Transport(TransportError),
 }
 
 impl fmt::Display for EngineError {
@@ -71,6 +76,7 @@ impl fmt::Display for EngineError {
             EngineError::Nn(e) => write!(f, "model error: {e}"),
             EngineError::Enclave(e) => write!(f, "enclave error: {e}"),
             EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
@@ -82,6 +88,7 @@ impl Error for EngineError {
             EngineError::Nn(e) => Some(e),
             EngineError::Enclave(e) => Some(e),
             EngineError::Checkpoint(e) => Some(e.as_ref()),
+            EngineError::Transport(e) => Some(e),
         }
     }
 }
@@ -104,44 +111,15 @@ impl From<EnclaveError> for EngineError {
     }
 }
 
-/// Persistent per-client training workspace (real mode only): a live model
-/// whose weights are reset from the round's snapshot via
-/// [`Cnn::set_weights`] instead of cloning the template, a [`Workspace`]
-/// of reusable tensor buffers, and the mini-batch buffer pair. Together
-/// these make a client's steady-state batch loop allocation-free; because
-/// weight resets copy values bit-for-bit and the workspace never changes
-/// arithmetic order, reuse is invisible to results (pinned by the
-/// determinism suite).
-pub(crate) struct ClientWorkspace {
-    pub(crate) model: Cnn,
-    pub(crate) ws: Workspace,
-    pub(crate) batch_x: Tensor,
-    pub(crate) batch_y: Vec<usize>,
-}
-
-impl ClientWorkspace {
-    fn new(template: &Cnn) -> Self {
-        ClientWorkspace {
-            model: template.clone(),
-            ws: Workspace::new(),
-            batch_x: Tensor::default(),
-            batch_y: Vec::new(),
+impl From<TransportError> for EngineError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            // The in-process transport surfaces model failures directly;
+            // unwrap them so the error story is unchanged for simulator
+            // users (and tests matching on `EngineError::Nn`).
+            TransportError::Nn(e) => EngineError::Nn(e),
+            other => EngineError::Transport(other),
         }
-    }
-
-    /// Resets the persistent model to `weights` and clears any freeze
-    /// flags left by an earlier round — exactly the state a fresh
-    /// template clone would start in. Both execution stages go through
-    /// this one helper so their reset contracts cannot drift apart.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::SnapshotLength`] if `weights` does not match
-    /// the model (indicates an internal bug; snapshots are shape-checked).
-    pub(crate) fn reset_model(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
-        self.model.unfreeze_features();
-        self.model.unfreeze_classifier();
-        self.model.set_weights(weights)
     }
 }
 
@@ -216,7 +194,32 @@ impl Engine {
     /// Returns [`EngineError::Config`] for invalid configurations and
     /// [`EngineError::Enclave`] if the similarity protocol fails.
     pub fn new(config: ExperimentConfig, strategy: Strategy) -> Result<Self, EngineError> {
+        Self::with_topology(config, strategy, crate::topology::TopologyBuilder::new())
+    }
+
+    /// [`Engine::new`] with validated cluster-topology overrides (link
+    /// models, per-client speeds, fault injection) applied before the
+    /// first round. See [`crate::topology::TopologyBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadTopology`] (wrapped in [`EngineError::Config`])
+    /// for out-of-range overrides, plus everything [`Engine::new`]
+    /// returns.
+    pub fn with_topology(
+        config: ExperimentConfig,
+        strategy: Strategy,
+        topology: crate::topology::TopologyBuilder,
+    ) -> Result<Self, EngineError> {
         config.validate()?;
+        topology.validate(config.num_clients)?;
+        let mut engine = Self::build(config, strategy)?;
+        topology.apply(&mut engine);
+        Ok(engine)
+    }
+
+    /// Constructs the engine from a validated configuration.
+    fn build(config: ExperimentConfig, strategy: Strategy) -> Result<Self, EngineError> {
         let (train, test) = config.dataset.generate_pair();
         let partition = Partition::split(&train, config.num_clients, config.partition, config.seed);
 
@@ -238,7 +241,7 @@ impl Engine {
             vec![vec![0.0]]
         };
 
-        let template = config.arch.build(config.seed ^ 0x6d6f_64656c); // "model"
+        let template = transport::build_template(&config);
         let global = template.weights();
         // One sizing authority: every transfer is charged by its frame's
         // encoded length, derived from these shapes by aergia-codec.
@@ -330,6 +333,7 @@ impl Engine {
 
     /// Overrides the federator→client downlink (e.g. to model a slow
     /// control path in robustness tests).
+    #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn set_federator_link(&mut self, to: usize, link: LinkModel) {
         self.network.set_link(
             aergia_simnet::NodeId::FEDERATOR,
@@ -353,6 +357,11 @@ impl Engine {
     /// # Panics
     ///
     /// Panics if `client` is out of range or `speed` is outside `(0, 1]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "for initial topology use TopologyBuilder::client_speed via Engine::with_topology; \
+                mid-run transient-load changes remain available through this shim"
+    )]
     pub fn set_client_speed(&mut self, client: usize, speed: f64) {
         let node = &mut self.clients[client];
         node.cpu.set_speed(speed);
@@ -363,11 +372,13 @@ impl Engine {
     /// Injects network faults for robustness experiments (drops break the
     /// synchronous protocol's liveness, so only jitter is recommended for
     /// full runs).
+    #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn inject_network_faults(&mut self, drop_prob: f64, jitter: SimDuration, seed: u64) {
         self.network.enable_faults(drop_prob, jitter, seed);
     }
 
     /// Overrides the link model of a specific client pair.
+    #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn set_client_link(&mut self, from: usize, to: usize, link: LinkModel) {
         self.network.set_link(
             aergia_simnet::NodeId(from as u32),
@@ -434,12 +445,31 @@ impl Engine {
     ///
     /// See [`Engine::run`].
     pub fn step_round(&mut self, progress: &mut RunProgress) -> Result<bool, EngineError> {
+        self.step_round_with(progress, &mut InProcess)
+    }
+
+    /// [`Engine::step_round`], with the round's numeric training executed
+    /// through `transport` instead of the in-process default — the entry
+    /// point `aergia-net`'s coordinator drives with its TCP transport.
+    /// The federator state machine (event trace, codec streams,
+    /// aggregation) is identical either way, which is what keeps a
+    /// networked run bit-identical to the simulator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`]; additionally [`EngineError::Transport`] if
+    /// `transport` fails irrecoverably.
+    pub fn step_round_with(
+        &mut self,
+        progress: &mut RunProgress,
+        transport: &mut dyn Transport,
+    ) -> Result<bool, EngineError> {
         if progress.next_round >= self.config.rounds {
             return Ok(false);
         }
         let round = progress.next_round;
         let mut now = progress.now;
-        let record = self.run_round(round, &mut now)?;
+        let record = self.run_round_with(round, &mut now, transport)?;
         progress.now = now;
         progress.rounds.push(record);
         progress.next_round = round + 1;
@@ -472,15 +502,18 @@ impl Engine {
         Ok(self.finish_run(progress))
     }
 
-    /// Runs a single round (exposed for tests and custom drivers).
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::run`].
-    pub fn run_round(&mut self, round: u32, now: &mut SimTime) -> Result<RoundRecord, EngineError> {
+    /// Runs a single round: selects participants, simulates the event
+    /// trace, executes the numeric training through `transport` and
+    /// aggregates.
+    fn run_round_with(
+        &mut self,
+        round: u32,
+        now: &mut SimTime,
+        transport: &mut dyn Transport,
+    ) -> Result<RoundRecord, EngineError> {
         let participants = self.select_participants(round);
         let bytes_before = self.network.bytes_delivered();
-        let outcome = round::simulate_round(self, round, *now, &participants)?;
+        let outcome = round::simulate_round(self, round, *now, &participants, transport)?;
         let duration = self.finalize_round(round, &outcome)?;
         let bytes_on_wire = self.network.bytes_delivered() - bytes_before;
         *now += duration;
@@ -541,7 +574,10 @@ impl Engine {
             if update.arrived > cutoff {
                 continue;
             }
-            let mut weights = update.weights.clone().expect("real mode carries weights");
+            // `None` weights past the event stage mean the transport lost
+            // this client mid-round: it is already in the dropped set, so
+            // it simply does not contribute.
+            let Some(mut weights) = update.weights.clone() else { continue };
             // Aergia recombination: feature layers from the strong client,
             // classifier from the straggler (§3.3 "Model aggregation").
             if let Some(features) = outcome.offload_features_for(update.client) {
@@ -578,11 +614,7 @@ impl Engine {
     /// weights, which is what a real client would anchor to — as the
     /// proximal term's reference point.
     pub(crate) fn make_optimizer(&self, anchor: &[Tensor]) -> Sgd {
-        let mut opt = Sgd::new(SgdConfig { ..self.config.sgd });
-        if let Strategy::FedProx { mu } = self.strategy {
-            opt.set_prox(mu, anchor.to_vec());
-        }
-        opt
+        transport::round_optimizer(&self.config, &self.strategy, anchor)
     }
 
     /// Encodes the round's global-model broadcast (split borrow helper:

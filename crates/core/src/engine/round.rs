@@ -15,22 +15,29 @@
 //! the gradient values, so it can run first and record a [`ClientPlan`]
 //! per client — how many local batches ran, after which batch the
 //! feature section froze, and which offloaded model was trained for how
-//! many batches. The *execution stage* (real mode only) then replays the
-//! numeric work those plans describe. Each client's work — its own
-//! batches, then any offloaded batches — touches only private state (its
-//! model clone, optimizer and batcher), so the plans execute
+//! many batches. The *execution stage* (real mode only) then hands the
+//! numeric work those plans describe to the round's
+//! [`Transport`](crate::transport::Transport): first every participant's
+//! own batches ([`crate::transport::TrainOrder`]), then — after the
+//! engine pushes the straggler snapshots through the wire codec — the
+//! receiver-side offloaded batches
+//! ([`crate::transport::OffloadOrder`]). The default
+//! [`InProcess`](crate::transport::InProcess) transport executes orders
 //! concurrently on the [`aergia_runtime`] work-stealing pool, bounded by
-//! [`crate::config::ExperimentConfig::parallelism`].
+//! [`crate::config::ExperimentConfig::parallelism`]; `aergia-net`'s TCP
+//! transport ships them to remote worker processes instead.
 //!
 //! Results are folded back in fixed client order, which makes a parallel
 //! round **bit-identical** to a serial one: the workspace determinism
 //! suite asserts equality of per-round losses, accuracies and final
-//! weights across `parallelism` settings.
+//! weights across `parallelism` settings. A transport may *omit* a
+//! reply (a real client crashing mid-upload): the round then completes
+//! with the remaining participants and the silent client joins the
+//! dropped set.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use aergia_nn::optim::Sgd;
-use aergia_nn::NnError;
 use aergia_simnet::network::Delivery;
 use aergia_simnet::{EventQueue, NodeId, SimDuration, SimTime};
 use aergia_tensor::Tensor;
@@ -40,8 +47,9 @@ use crate::messages::{Message, RoundWireSizes, SignedAssignment};
 use crate::profiler::{OnlineProfiler, ProfileReport};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
+use crate::transport::{ClientWorkspace, OffloadOrder, RoundContext, TrainOrder, Transport};
 
-use super::{ClientNode, ClientWorkspace, Engine, EngineError};
+use super::{ClientNode, Engine, EngineError};
 
 /// Where an event is delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,12 +191,15 @@ fn node(id: usize) -> NodeId {
     NodeId(id as u32)
 }
 
-/// Simulates one round and returns what the federator observed.
+/// Simulates one round and returns what the federator observed. The
+/// numeric training dictated by the event trace executes through
+/// `transport` (real mode only).
 pub(crate) fn simulate_round(
     engine: &mut Engine,
     round: u32,
     start: SimTime,
     participants: &[usize],
+    transport: &mut dyn Transport,
 ) -> Result<RoundOutcome, EngineError> {
     let mode = engine.config.mode;
     let local_updates = engine.config.local_updates;
@@ -493,12 +504,14 @@ pub(crate) fn simulate_round(
         let base = round_base.as_deref().expect("real mode always decodes a broadcast");
         execute_plans(
             engine,
+            round,
             participants,
             &plans,
             &mut updates,
             &mut offload_results,
             base,
             &sizes,
+            transport,
         )?
     } else {
         Vec::new()
@@ -517,11 +530,20 @@ pub(crate) fn simulate_round(
         duration = duration.min(deadline);
     }
 
+    // A participant is dropped if its update missed the cutoff — or, in
+    // real mode, if the transport never delivered its trained weights (a
+    // remote client that died mid-round).
     let cutoff = start + duration;
     let dropped: Vec<usize> = participants
         .iter()
         .copied()
-        .filter(|&p| !updates.iter().any(|u| u.client == p && u.arrived <= cutoff))
+        .filter(|&p| {
+            !updates.iter().any(|u| {
+                u.client == p
+                    && u.arrived <= cutoff
+                    && (mode == Mode::Timing || u.weights.is_some())
+            })
+        })
         .collect();
 
     Ok(RoundOutcome {
@@ -535,187 +557,153 @@ pub(crate) fn simulate_round(
     })
 }
 
-/// One client's slice of the execution stage: exclusive access to its
-/// persistent node state and training workspace plus everything its plan
-/// produces.
-struct ClientTask<'a> {
-    id: usize,
-    node: &'a mut ClientNode,
-    cw: &'a mut ClientWorkspace,
-    plan: ClientPlan,
-    opt: Sgd,
-    final_weights: Option<Vec<Tensor>>,
-    snapshot: Option<Vec<Tensor>>,
-    offload_features: Option<Vec<Tensor>>,
-    losses: Vec<f32>,
-    error: Option<NnError>,
-}
-
-/// Runs `f` over the tasks honouring the `parallelism` knob: `1` stays on
-/// the calling thread (and never touches the pool), anything else fans
-/// out on the global pool with at most `parallelism` concurrent tasks
-/// (`0` = one task per client).
-fn run_tasks(
-    tasks: &mut [ClientTask<'_>],
-    parallelism: usize,
-    f: impl Fn(&mut ClientTask<'_>) + Sync,
-) {
-    if parallelism == 1 {
-        for task in tasks {
-            f(task);
-        }
-    } else {
-        aergia_runtime::par_for_each_mut(tasks, parallelism, f);
-    }
-}
-
-/// Executes the round's numeric training per the recorded plans and
-/// attaches the resulting tensors to the federator's arrivals.
+/// Executes the round's numeric training per the recorded plans —
+/// through the round's [`Transport`] — and attaches the resulting
+/// tensors to the federator's arrivals.
 ///
-/// Stage 1 trains every participant's own batches concurrently (capturing
-/// the frozen snapshot where a receiver needs it); stage 2 — after a
-/// barrier, because receivers consume stage-1 snapshots — trains the
-/// offloaded feature sections. Within one client the batcher/optimizer
-/// order (own batches, then offloaded batches) matches the virtual event
-/// order exactly, so results are independent of the parallelism setting.
+/// Stage 1 trains every participant's own batches (capturing the frozen
+/// snapshot where a receiver needs it); stage 2 — after a barrier,
+/// because receivers consume stage-1 snapshots — trains the offloaded
+/// feature sections. Within one client the batcher/optimizer order (own
+/// batches, then offloaded batches) matches the virtual event order
+/// exactly, so results are independent of where and how concurrently the
+/// orders execute.
 ///
 /// Every weight hand-off passes through the wire codec exactly as the
 /// protocol ships it: clients train from `round_base` (the decoded
 /// broadcast), offload snapshots are encoded/decoded between stages, and
 /// the fold phase encodes each upload so the federator aggregates what
 /// the wire delivered — bit-identical to the unencoded values under the
-/// dense codec, lossy under the others. Codec calls happen at round
-/// start, between the stages, and in the fixed-order fold — never inside
-/// the parallel tasks — so delta/residual state updates are ordered
-/// deterministically whatever the thread pool did.
+/// dense codec, lossy under the others. All codec calls happen here on
+/// the federator side — at round start, between the stages, and in the
+/// fixed-order fold — never inside the transport — so delta/residual
+/// state updates are ordered deterministically whatever the transport's
+/// thread pool (or remote cluster) did.
 ///
-/// Each task owns its client's persistent [`ClientWorkspace`]: the model
-/// is reset from the round snapshot via `set_weights` (a bit-exact copy)
-/// rather than cloning the template, and batches run through the
-/// workspace-backed `train_batch_with`, so a client's steady-state batch
-/// loop performs no heap allocation.
+/// A missing reply means the transport lost that participant: its
+/// arrival keeps `weights: None` / `features: None`, the client counts
+/// as dropped (or its offload recombination is skipped), and the round
+/// completes with everyone else. Its uplink residual does not advance —
+/// no upload crossed the wire.
+#[allow(clippy::too_many_arguments)] // round plumbing, called from one site
 fn execute_plans(
     engine: &mut Engine,
+    round: u32,
     participants: &[usize],
     plans: &[ClientPlan],
     updates: &mut [UpdateArrival],
     offload_results: &mut [OffloadResultArrival],
     round_base: &[Tensor],
     sizes: &RoundWireSizes,
+    transport: &mut dyn Transport,
 ) -> Result<Vec<f32>, EngineError> {
     // Optimizers must be built before `engine.clients` is mutably split.
     // FedProx anchors to the round base — the global model as received.
     let opts: Vec<Sgd> = participants.iter().map(|_| engine.make_optimizer(round_base)).collect();
     let parallelism = engine.config.parallelism;
-    let template = &engine.template;
-    let train = &engine.train;
-
-    let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
-    // A client's workspace materialises the first time it trains, so
-    // memory follows actual participation, not cluster size.
-    let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
-        engine.client_ws.iter_mut().map(Some).collect();
-    let mut tasks: Vec<ClientTask<'_>> = participants
-        .iter()
-        .zip(opts)
-        .filter(|(&p, _)| plans[p].own_batches > 0)
-        .map(|(&p, opt)| ClientTask {
-            id: p,
-            node: slots[p].take().expect("participant ids are unique"),
-            cw: cw_slots[p]
-                .take()
-                .expect("real mode keeps one workspace slot per client")
-                .get_or_insert_with(|| ClientWorkspace::new(template)),
-            plan: plans[p],
-            opt,
-            final_weights: None,
-            snapshot: None,
-            offload_features: None,
-            losses: Vec::new(),
-            error: None,
-        })
-        .collect();
 
     // Stage 1: every client's own local training, from the weights the
     // broadcast actually delivered.
-    run_tasks(&mut tasks, parallelism, |task| {
-        if let Err(e) = task.cw.reset_model(round_base) {
-            task.error = Some(e);
-            return;
-        }
-        let ClientWorkspace { model, ws, batch_x, batch_y } = &mut *task.cw;
-        for batch in 0..task.plan.own_batches {
-            if task.plan.freeze_after == Some(batch) {
-                model.freeze_features();
-                if task.plan.snapshot_wanted {
-                    task.snapshot = Some(model.weights());
-                }
+    let mut losses = Vec::new();
+    let mut final_weights: HashMap<usize, Vec<Tensor>> = HashMap::new();
+    let mut opts_back: HashMap<usize, Sgd> = HashMap::new();
+    let mut replied: HashSet<usize> = HashSet::new();
+    let mut raw_snapshots: Vec<(usize, Vec<Tensor>)> = Vec::new();
+    {
+        let ctx = RoundContext {
+            round,
+            round_base,
+            parallelism,
+            train: &engine.train,
+            template: &engine.template,
+        };
+        let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
+        // A client's workspace materialises the first time it trains, so
+        // memory follows actual participation, not cluster size.
+        let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
+            engine.client_ws.iter_mut().map(Some).collect();
+        let mut orders: Vec<TrainOrder<'_>> = Vec::new();
+        for (&p, opt) in participants.iter().zip(opts) {
+            if plans[p].own_batches == 0 {
+                continue;
             }
-            task.node.batcher.next_batch_into(train, batch_x, batch_y);
-            match model.train_batch_with(batch_x, batch_y, &mut task.opt, ws) {
-                Ok(stats) => task.losses.push(stats.loss),
-                Err(e) => {
-                    task.error = Some(e);
-                    return;
-                }
+            let ClientNode { batcher, .. } = slots[p].take().expect("participant ids are unique");
+            orders.push(TrainOrder {
+                client: p,
+                own_batches: plans[p].own_batches,
+                freeze_after: plans[p].freeze_after,
+                snapshot_wanted: plans[p].snapshot_wanted,
+                opt,
+                batcher,
+                workspace: cw_slots[p]
+                    .take()
+                    .expect("real mode keeps one workspace slot per client"),
+            });
+        }
+        // Fold replies in participant order (the transport preserves
+        // relative order) — fixed, whatever its thread pool did.
+        for reply in transport.train_participants(&ctx, orders)? {
+            losses.extend(reply.losses);
+            replied.insert(reply.client);
+            final_weights.insert(reply.client, reply.weights);
+            if let Some(opt) = reply.opt {
+                opts_back.insert(reply.client, opt);
+            }
+            if let Some(snapshot) = reply.snapshot {
+                raw_snapshots.push((reply.client, snapshot));
             }
         }
-        task.final_weights = Some(model.weights());
-    });
+    }
 
     // Stage 2: offloaded feature training on the receivers (barrier: the
     // straggler snapshots come out of stage 1). Each snapshot crosses the
     // client-to-client wire, so the receiver trains what the codec
     // delivered, not the sender's exact weights.
-    let snapshots: HashMap<usize, Vec<Tensor>> = tasks
-        .iter_mut()
-        .filter_map(|t| t.snapshot.take().map(|s| (t.id, s)))
+    let mut snapshots: HashMap<usize, Vec<Tensor>> = raw_snapshots
+        .into_iter()
         .map(|(id, s)| {
             let (frame, delivered) = engine.wire.encode_snapshot(&s, round_base);
             debug_assert_eq!(frame.wire_len(), sizes.offload_model, "snapshot frame size drifted");
             (id, delivered)
         })
         .collect();
-    run_tasks(&mut tasks, parallelism, |task| {
-        if task.error.is_some() {
-            return;
-        }
-        let Some(offload) = task.plan.offload else { return };
-        let snapshot = snapshots
-            .get(&offload.weak)
-            .expect("offload causality: the straggler froze and snapshotted in stage 1");
-        if let Err(e) = task.cw.reset_model(snapshot) {
-            task.error = Some(e);
-            return;
-        }
-        let ClientWorkspace { model, ws, batch_x, batch_y } = &mut *task.cw;
-        // Train only the feature section on the receiver's data; the
-        // straggler's classifier stays fixed (§4.1).
-        model.freeze_classifier();
-        for _ in 0..offload.batches {
-            task.node.batcher.next_batch_into(train, batch_x, batch_y);
-            if let Err(e) = model.train_batch_with(batch_x, batch_y, &mut task.opt, ws) {
-                task.error = Some(e);
-                return;
-            }
-        }
-        task.offload_features = Some(model.feature_weights());
-    });
-
-    // Fold results in participant order — fixed, whatever the pool did.
-    let mut losses = Vec::new();
-    let mut final_weights: HashMap<usize, Vec<Tensor>> = HashMap::new();
     let mut features: HashMap<usize, Vec<Tensor>> = HashMap::new();
-    for task in &mut tasks {
-        if let Some(e) = task.error.take() {
-            return Err(e.into());
+    {
+        let ctx = RoundContext {
+            round,
+            round_base,
+            parallelism,
+            train: &engine.train,
+            template: &engine.template,
+        };
+        let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
+        let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
+            engine.client_ws.iter_mut().map(Some).collect();
+        let mut orders: Vec<OffloadOrder<'_>> = Vec::new();
+        for &p in participants {
+            let Some(offload) = plans[p].offload else { continue };
+            // The receiver or the straggler may have been lost in stage 1
+            // (a remote client dying); the offload then silently lapses
+            // and the straggler's own (frozen) update stands alone.
+            if !replied.contains(&p) {
+                continue;
+            }
+            let Some(snapshot) = snapshots.remove(&offload.weak) else { continue };
+            let ClientNode { batcher, .. } = slots[p].take().expect("participant ids are unique");
+            orders.push(OffloadOrder {
+                receiver: p,
+                weak: offload.weak,
+                batches: offload.batches,
+                snapshot,
+                opt: opts_back.remove(&p),
+                batcher,
+                workspace: cw_slots[p]
+                    .take()
+                    .expect("real mode keeps one workspace slot per client"),
+            });
         }
-        losses.append(&mut task.losses);
-        if let Some(weights) = task.final_weights.take() {
-            final_weights.insert(task.id, weights);
-        }
-        if let (Some(feat), Some(offload)) = (task.offload_features.take(), task.plan.offload) {
-            features.insert(offload.weak, feat);
+        for reply in transport.train_offloads(&ctx, orders)? {
+            features.insert(reply.weak, reply.features);
         }
     }
 
@@ -723,15 +711,14 @@ fn execute_plans(
     // aggregates the decoded reconstructions, and each client's
     // error-feedback residual advances exactly once per upload.
     for update in updates.iter_mut() {
-        let trained =
-            final_weights.remove(&update.client).expect("every update sender trained this round");
+        let Some(trained) = final_weights.remove(&update.client) else { continue };
         let (frame, delivered) = engine.wire.encode_update(update.client, &trained, round_base);
         debug_assert_eq!(frame.wire_len(), sizes.client_update, "update frame size drifted");
         update.weights = Some(delivered);
     }
     let feature_tensors = engine.wire.feature_tensors;
     for result in offload_results.iter_mut() {
-        let trained = features.remove(&result.weak).expect("every offload result was trained");
+        let Some(trained) = features.remove(&result.weak) else { continue };
         let (frame, delivered) =
             engine.wire.encode_features(&trained, &round_base[..feature_tensors]);
         debug_assert_eq!(frame.wire_len(), sizes.offload_result, "feature frame size drifted");

@@ -64,9 +64,12 @@ pub mod config;
 pub mod engine;
 pub mod messages;
 pub mod metrics;
+pub mod prelude;
 pub mod profiler;
 pub mod scheduler;
 pub mod strategy;
+pub mod topology;
+pub mod transport;
 
 pub use config::{ExperimentConfig, Mode};
 pub use engine::Engine;

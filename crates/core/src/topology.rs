@@ -1,0 +1,181 @@
+//! Declarative cluster-topology overrides, applied at engine build time.
+//!
+//! [`ExperimentConfig`](crate::config::ExperimentConfig) describes the
+//! *uniform* cluster (one link model for every edge, per-client speed
+//! fractions). Experiments that need a non-uniform topology — a slow
+//! federator control path, a degraded client pair, injected faults —
+//! used to poke the built [`Engine`] through ad-hoc mutators; those are
+//! now deprecated in favour of a [`TopologyBuilder`] handed to
+//! [`Engine::with_topology`](crate::engine::Engine::with_topology),
+//! which validates every override against the configuration before the
+//! engine exists.
+//!
+//! ```
+//! use aergia::config::{ExperimentConfig, Mode};
+//! use aergia::engine::Engine;
+//! use aergia::strategy::Strategy;
+//! use aergia::topology::TopologyBuilder;
+//! use aergia_simnet::{LinkModel, SimDuration};
+//!
+//! let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+//! let topology = TopologyBuilder::new()
+//!     .client_speed(2, 0.1)
+//!     .federator_link(0, LinkModel { latency: SimDuration::from_secs_f64(0.2), bandwidth_bps: 1e6 })
+//!     .network_faults(0.0, SimDuration::from_secs_f64(0.05), 9);
+//! let engine = Engine::with_topology(config, Strategy::aergia_default(), topology).unwrap();
+//! # let _ = engine;
+//! ```
+
+use aergia_simnet::node::BASE_FLOPS;
+use aergia_simnet::{LinkModel, NodeId, SimDuration};
+
+use crate::config::ConfigError;
+use crate::engine::Engine;
+
+/// Accumulates validated topology overrides for [`Engine::with_topology`].
+///
+/// The builder is inert data: nothing is checked until it is consumed,
+/// at which point every override is validated against the configuration
+/// ([`ConfigError::BadTopology`] on the first violation) and applied
+/// atomically to the freshly built engine.
+#[derive(Debug, Clone, Default)]
+#[must_use = "a TopologyBuilder does nothing until passed to Engine::with_topology"]
+pub struct TopologyBuilder {
+    federator_links: Vec<(usize, LinkModel)>,
+    client_links: Vec<(usize, usize, LinkModel)>,
+    client_speeds: Vec<(usize, f64)>,
+    faults: Option<(f64, SimDuration, u64)>,
+}
+
+impl TopologyBuilder {
+    /// An empty override set (the configuration's uniform topology).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the federator→client downlink for `to` (e.g. to model a
+    /// slow control path in robustness experiments).
+    pub fn federator_link(mut self, to: usize, link: LinkModel) -> Self {
+        self.federator_links.push((to, link));
+        self
+    }
+
+    /// Overrides the link model of the `from`→`to` client pair.
+    pub fn client_link(mut self, from: usize, to: usize, link: LinkModel) -> Self {
+        self.client_links.push((from, to, link));
+        self
+    }
+
+    /// Overrides one client's CPU speed fraction (must be in `(0, 1]`),
+    /// taking precedence over
+    /// [`ExperimentConfig::speeds`](crate::config::ExperimentConfig::speeds).
+    pub fn client_speed(mut self, client: usize, speed: f64) -> Self {
+        self.client_speeds.push((client, speed));
+        self
+    }
+
+    /// Enables network fault injection: every transfer is dropped with
+    /// probability `drop_prob` (in `[0, 1)`; drops break the synchronous
+    /// protocol's liveness, so only jitter is recommended for full runs)
+    /// and delayed by a uniform jitter in `[0, jitter]`, deterministically
+    /// from `seed`.
+    pub fn network_faults(mut self, drop_prob: f64, jitter: SimDuration, seed: u64) -> Self {
+        self.faults = Some((drop_prob, jitter, seed));
+        self
+    }
+
+    /// Whether the builder carries no overrides at all.
+    pub fn is_empty(&self) -> bool {
+        self.federator_links.is_empty()
+            && self.client_links.is_empty()
+            && self.client_speeds.is_empty()
+            && self.faults.is_none()
+    }
+
+    /// Validates every override against a cluster of `num_clients`.
+    pub(crate) fn validate(&self, num_clients: usize) -> Result<(), ConfigError> {
+        for &(to, _) in &self.federator_links {
+            if to >= num_clients {
+                return Err(ConfigError::BadTopology("federator_link client out of range"));
+            }
+        }
+        for &(from, to, _) in &self.client_links {
+            if from >= num_clients || to >= num_clients {
+                return Err(ConfigError::BadTopology("client_link endpoint out of range"));
+            }
+            if from == to {
+                return Err(ConfigError::BadTopology("client_link endpoints must differ"));
+            }
+        }
+        for &(client, speed) in &self.client_speeds {
+            if client >= num_clients {
+                return Err(ConfigError::BadTopology("client_speed client out of range"));
+            }
+            if !(speed > 0.0 && speed <= 1.0) {
+                return Err(ConfigError::BadTopology("client_speed outside (0, 1]"));
+            }
+        }
+        if let Some((drop_prob, _, _)) = self.faults {
+            if !(0.0..1.0).contains(&drop_prob) {
+                return Err(ConfigError::BadTopology("network_faults drop_prob outside [0, 1)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the (already validated) overrides to a built engine.
+    pub(crate) fn apply(self, engine: &mut Engine) {
+        for (to, link) in self.federator_links {
+            engine.network.set_link(NodeId::FEDERATOR, NodeId(to as u32), link);
+        }
+        for (from, to, link) in self.client_links {
+            engine.network.set_link(NodeId(from as u32), NodeId(to as u32), link);
+        }
+        for (client, speed) in self.client_speeds {
+            let node = &mut engine.clients[client];
+            node.cpu.set_speed(speed);
+            let secs_per_flop = 1.0 / (node.cpu.speed() * BASE_FLOPS);
+            node.phase_secs =
+                engine.template.phase_flops(engine.config.batch_size).scaled(secs_per_flop);
+        }
+        if let Some((drop_prob, jitter, seed)) = self.faults {
+            engine.network.enable_faults(drop_prob, jitter, seed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_overrides_are_rejected() {
+        let cases = [
+            TopologyBuilder::new().federator_link(4, LinkModel::datacenter()),
+            TopologyBuilder::new().client_link(0, 4, LinkModel::datacenter()),
+            TopologyBuilder::new().client_link(1, 1, LinkModel::datacenter()),
+            TopologyBuilder::new().client_speed(9, 0.5),
+            TopologyBuilder::new().client_speed(0, 0.0),
+            TopologyBuilder::new().client_speed(0, 1.5),
+            TopologyBuilder::new().network_faults(1.0, SimDuration::ZERO, 1),
+        ];
+        for (i, builder) in cases.into_iter().enumerate() {
+            assert!(
+                matches!(builder.validate(4), Err(ConfigError::BadTopology(_))),
+                "case {i} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_overrides_pass_and_empty_builder_is_empty() {
+        assert!(TopologyBuilder::new().is_empty());
+        let builder = TopologyBuilder::new()
+            .federator_link(3, LinkModel::datacenter())
+            .client_link(0, 1, LinkModel::datacenter())
+            .client_speed(2, 0.25)
+            .network_faults(0.1, SimDuration::from_secs_f64(0.5), 7);
+        assert!(!builder.is_empty());
+        builder.validate(4).unwrap();
+    }
+}

@@ -1,0 +1,477 @@
+//! The transport-agnostic participant boundary of a round.
+//!
+//! A communication round has two halves. The *federator half* — client
+//! selection, the virtual-clock event trace, wire-codec encoding,
+//! deadline bookkeeping and aggregation — is deterministic given the
+//! configuration and lives in the [`Engine`](crate::engine::Engine). The
+//! *participant half* — the actual numeric training each selected client
+//! performs — is the only part that must physically run *somewhere*: on
+//! this process's thread pool for the simulator, or on remote worker
+//! processes for the networked runtime (`aergia-net`).
+//!
+//! The [`Transport`] trait is that seam. Each round the engine hands the
+//! transport two batches of work derived from the event trace:
+//!
+//! 1. [`Transport::train_participants`] — every participant's own local
+//!    training, from the round's decoded broadcast ([`TrainOrder`] →
+//!    [`TrainReply`]);
+//! 2. [`Transport::train_offloads`] — after the engine has pushed each
+//!    straggler's frozen snapshot through the wire codec, the
+//!    receiver-side offloaded feature training ([`OffloadOrder`] →
+//!    [`OffloadReply`]).
+//!
+//! Everything *stateful* stays on the engine side: batchers advance
+//! through the `&mut` handles carried by the orders, codec residuals and
+//! delta bases never leave the engine, and the global model is
+//! aggregated from whatever replies come back. A transport is therefore
+//! free to drop a participant (a real client crashing mid-upload): the
+//! engine counts the client as dropped and completes the round with the
+//! remaining replies.
+//!
+//! [`InProcess`] is the default implementation — it executes orders on
+//! the calling thread or the [`aergia_runtime`] work-stealing pool,
+//! exactly as the engine did before this boundary existed. The
+//! determinism suite pins that a run through [`InProcess`] is
+//! bit-identical across `parallelism` settings; the networked e2e suite
+//! pins that a run through `aergia-net`'s TCP transport is bit-identical
+//! to [`InProcess`] on the same seeds.
+
+use std::error::Error;
+use std::fmt;
+
+use aergia_data::batcher::Batcher;
+use aergia_data::synth::Dataset;
+use aergia_nn::optim::Sgd;
+use aergia_nn::{Cnn, NnError};
+use aergia_tensor::{Tensor, Workspace};
+
+use crate::config::ExperimentConfig;
+use crate::strategy::Strategy;
+
+/// Errors surfaced by a [`Transport`] while executing a round's orders.
+///
+/// [`InProcess`] only ever produces [`TransportError::Nn`]; the variants
+/// beyond it exist for transports that cross a process boundary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A model operation failed while executing an order.
+    Nn(NnError),
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// An encoded payload failed to decode.
+    Codec(aergia_codec::CodecError),
+    /// The remote end violated the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Nn(e) => write!(f, "model error: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Codec(e) => write!(f, "transport decode error: {e}"),
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Nn(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            TransportError::Codec(e) => Some(e),
+            TransportError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for TransportError {
+    fn from(e: NnError) -> Self {
+        TransportError::Nn(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<aergia_codec::CodecError> for TransportError {
+    fn from(e: aergia_codec::CodecError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+/// Round-scoped context shared by every order of the round.
+pub struct RoundContext<'a> {
+    /// The round index (0-based).
+    pub round: u32,
+    /// The decoded broadcast — the weights every participant trains from.
+    pub round_base: &'a [Tensor],
+    /// The engine's `parallelism` knob (honoured by [`InProcess`];
+    /// irrelevant to transports whose clients run elsewhere).
+    pub parallelism: usize,
+    /// The training dataset (every client batches its own shard of it).
+    pub train: &'a Dataset,
+    /// The model template a fresh [`ClientWorkspace`] clones.
+    pub template: &'a Cnn,
+}
+
+/// One participant's own local training for the round.
+///
+/// The `batcher` handle is the engine's — however the order is executed,
+/// the draw stream must advance here (remote transports ship
+/// [`Batcher::state`] out and restore the returned state), because the
+/// engine's checkpoints are the single source of truth for resumption.
+pub struct TrainOrder<'a> {
+    /// The client this order belongs to.
+    pub client: usize,
+    /// Local batches to train, in the event trace's count.
+    pub own_batches: u32,
+    /// Freeze the feature section before this (0-based) batch index.
+    pub freeze_after: Option<u32>,
+    /// Capture the frozen snapshot (a strong client will train it).
+    pub snapshot_wanted: bool,
+    /// The round's optimizer, freshly built by the engine (FedProx
+    /// carries its proximal anchor). Returned through
+    /// [`TrainReply::opt`] so offloaded training continues with the same
+    /// momentum state.
+    pub opt: Sgd,
+    /// The client's persistent mini-batch stream.
+    pub batcher: &'a mut Batcher,
+    /// The client's persistent training workspace slot (materialised on
+    /// first use by in-process execution; remote transports keep their
+    /// own workspace on the worker and leave this slot alone).
+    pub workspace: &'a mut Option<ClientWorkspace>,
+}
+
+/// What one participant's own training produced.
+pub struct TrainReply {
+    /// The client that trained.
+    pub client: usize,
+    /// The full trained snapshot (uploaded through the wire codec by the
+    /// engine).
+    pub weights: Vec<Tensor>,
+    /// The frozen snapshot captured at the freeze point, if the order
+    /// asked for one.
+    pub snapshot: Option<Vec<Tensor>>,
+    /// Per-batch training losses, in batch order.
+    pub losses: Vec<f32>,
+    /// The optimizer after the client's own batches — [`InProcess`]
+    /// returns it so the engine can thread it into the client's
+    /// [`OffloadOrder`]; transports whose workers keep their optimizer
+    /// remotely return `None`.
+    pub opt: Option<Sgd>,
+}
+
+/// Receiver-side offloaded training: train a straggler's frozen model.
+pub struct OffloadOrder<'a> {
+    /// The strong client doing the training.
+    pub receiver: usize,
+    /// The straggler whose model is being trained.
+    pub weak: usize,
+    /// Feature-only batches to run.
+    pub batches: u32,
+    /// The straggler's frozen snapshot *as the wire delivered it* (the
+    /// engine already pushed it through the offload codec stream).
+    pub snapshot: Vec<Tensor>,
+    /// The receiver's optimizer as returned by its [`TrainReply`]
+    /// (`None` when the transport keeps optimizer state on the worker).
+    pub opt: Option<Sgd>,
+    /// The receiver's persistent mini-batch stream (continues after its
+    /// own batches, matching the virtual event order).
+    pub batcher: &'a mut Batcher,
+    /// The receiver's persistent training workspace slot.
+    pub workspace: &'a mut Option<ClientWorkspace>,
+}
+
+/// What one receiver's offloaded training produced.
+pub struct OffloadReply {
+    /// The strong client that trained.
+    pub receiver: usize,
+    /// The straggler whose model was trained.
+    pub weak: usize,
+    /// The trained feature section of the straggler's model.
+    pub features: Vec<Tensor>,
+}
+
+/// Executes the participant half of a round (see the module docs).
+///
+/// # Contract
+///
+/// * Replies must preserve order: reply `i` may be omitted, but the
+///   replies present must appear in the same relative order as their
+///   orders (the engine folds losses in that order).
+/// * An omitted reply means the participant is gone this round; the
+///   engine drops it and completes the round with the rest.
+/// * An `Err` aborts the whole run — reserve it for failures that leave
+///   the transport unusable, not for one lost client.
+pub trait Transport {
+    /// Executes every participant's own local training.
+    fn train_participants(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<TrainOrder<'_>>,
+    ) -> Result<Vec<TrainReply>, TransportError>;
+
+    /// Executes the receiver-side offloaded feature training.
+    fn train_offloads(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<OffloadOrder<'_>>,
+    ) -> Result<Vec<OffloadReply>, TransportError>;
+}
+
+/// Persistent per-client training workspace: a live model whose weights
+/// are reset from the round's snapshot via [`Cnn::set_weights`] instead
+/// of cloning the template, a [`Workspace`] of reusable tensor buffers,
+/// and the mini-batch buffer pair. Together these make a client's
+/// steady-state batch loop allocation-free; because weight resets copy
+/// values bit-for-bit and the workspace never changes arithmetic order,
+/// reuse is invisible to results (pinned by the determinism suite).
+///
+/// [`ClientWorkspace::run_own_batches`] and
+/// [`ClientWorkspace::run_offload_batches`] are the *only* training
+/// loops in the system: the in-process transport and `aergia-net`'s
+/// remote client binary both call them, which is what makes a networked
+/// run bit-identical to the simulator.
+pub struct ClientWorkspace {
+    pub(crate) model: Cnn,
+    pub(crate) ws: Workspace,
+    pub(crate) batch_x: Tensor,
+    pub(crate) batch_y: Vec<usize>,
+}
+
+/// What [`ClientWorkspace::run_own_batches`] produced.
+pub struct OwnTraining {
+    /// The full trained snapshot.
+    pub weights: Vec<Tensor>,
+    /// The frozen snapshot at the freeze point, if requested.
+    pub snapshot: Option<Vec<Tensor>>,
+    /// Per-batch losses, in batch order.
+    pub losses: Vec<f32>,
+}
+
+impl ClientWorkspace {
+    /// A fresh workspace cloned from the model template.
+    pub fn new(template: &Cnn) -> Self {
+        ClientWorkspace {
+            model: template.clone(),
+            ws: Workspace::new(),
+            batch_x: Tensor::default(),
+            batch_y: Vec::new(),
+        }
+    }
+
+    /// Resets the persistent model to `weights` and clears any freeze
+    /// flags left by an earlier round — exactly the state a fresh
+    /// template clone would start in. Both training loops go through
+    /// this one helper so their reset contracts cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLength`] if `weights` does not match
+    /// the model (indicates an internal bug; snapshots are shape-checked).
+    pub(crate) fn reset_model(&mut self, weights: &[Tensor]) -> Result<(), NnError> {
+        self.model.unfreeze_features();
+        self.model.unfreeze_classifier();
+        self.model.set_weights(weights)
+    }
+
+    /// One client's own local training for a round: reset to the round
+    /// base, train `own_batches` mini-batches (freezing the feature
+    /// section — and snapshotting, if wanted — at the freeze point), and
+    /// return the trained snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first model error; snapshots are shape-checked so an
+    /// error indicates an internal bug.
+    // Mirrors TrainOrder field-for-field; a params struct would just
+    // duplicate that type under another name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_own_batches(
+        &mut self,
+        round_base: &[Tensor],
+        own_batches: u32,
+        freeze_after: Option<u32>,
+        snapshot_wanted: bool,
+        batcher: &mut Batcher,
+        train: &Dataset,
+        opt: &mut Sgd,
+    ) -> Result<OwnTraining, NnError> {
+        self.reset_model(round_base)?;
+        let ClientWorkspace { model, ws, batch_x, batch_y } = self;
+        let mut snapshot = None;
+        let mut losses = Vec::new();
+        for batch in 0..own_batches {
+            if freeze_after == Some(batch) {
+                model.freeze_features();
+                if snapshot_wanted {
+                    snapshot = Some(model.weights());
+                }
+            }
+            batcher.next_batch_into(train, batch_x, batch_y);
+            let stats = model.train_batch_with(batch_x, batch_y, opt, ws)?;
+            losses.push(stats.loss);
+        }
+        Ok(OwnTraining { weights: model.weights(), snapshot, losses })
+    }
+
+    /// Receiver-side offloaded training: reset to the straggler's
+    /// delivered snapshot, freeze the classifier (only the feature
+    /// section trains, §4.1), run `batches` feature-only batches on the
+    /// receiver's own data and return the trained feature section.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientWorkspace::run_own_batches`].
+    pub fn run_offload_batches(
+        &mut self,
+        snapshot: &[Tensor],
+        batches: u32,
+        batcher: &mut Batcher,
+        train: &Dataset,
+        opt: &mut Sgd,
+    ) -> Result<Vec<Tensor>, NnError> {
+        self.reset_model(snapshot)?;
+        let ClientWorkspace { model, ws, batch_x, batch_y } = self;
+        model.freeze_classifier();
+        for _ in 0..batches {
+            batcher.next_batch_into(train, batch_x, batch_y);
+            model.train_batch_with(batch_x, batch_y, opt, ws)?;
+        }
+        Ok(model.feature_weights())
+    }
+}
+
+/// Builds the experiment's model template — the same derivation
+/// [`Engine::new`](crate::engine::Engine::new) uses, exposed so remote
+/// workers reconstruct bit-identical initial weights from the
+/// configuration alone.
+pub fn build_template(config: &ExperimentConfig) -> Cnn {
+    config.arch.build(config.seed ^ 0x6d6f_64656c) // "model"
+}
+
+/// Builds the optimizer a client uses for one round. FedProx installs
+/// `anchor` — the round's *received* (codec-decoded) global weights,
+/// which is what a real client would anchor to — as the proximal term's
+/// reference point. Exposed so remote workers build the exact optimizer
+/// the simulator would.
+pub fn round_optimizer(config: &ExperimentConfig, strategy: &Strategy, anchor: &[Tensor]) -> Sgd {
+    let mut opt = Sgd::new(config.sgd);
+    if let Strategy::FedProx { mu } = strategy {
+        opt.set_prox(*mu, anchor.to_vec());
+    }
+    opt
+}
+
+/// The default [`Transport`]: orders execute in this process, on the
+/// calling thread (`parallelism == 1`) or the [`aergia_runtime`]
+/// work-stealing pool, with workspaces materialised lazily in the
+/// engine's per-client slots. This is exactly the execution path the
+/// engine used before the transport boundary existed — the determinism
+/// suite pins its results bit-for-bit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InProcess;
+
+/// Runs `f` over the slots honouring the `parallelism` knob: `1` stays
+/// on the calling thread (and never touches the pool), anything else
+/// fans out on the global pool with at most `parallelism` concurrent
+/// tasks (`0` = one task per order).
+fn run_slots<T: Send>(slots: &mut [T], parallelism: usize, f: impl Fn(&mut T) + Sync) {
+    if parallelism == 1 {
+        for slot in slots {
+            f(slot);
+        }
+    } else {
+        aergia_runtime::par_for_each_mut(slots, parallelism, f);
+    }
+}
+
+impl Transport for InProcess {
+    fn train_participants(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<TrainOrder<'_>>,
+    ) -> Result<Vec<TrainReply>, TransportError> {
+        struct Slot<'a> {
+            order: TrainOrder<'a>,
+            outcome: Option<Result<OwnTraining, NnError>>,
+        }
+        let mut slots: Vec<Slot<'_>> =
+            orders.into_iter().map(|order| Slot { order, outcome: None }).collect();
+        run_slots(&mut slots, ctx.parallelism, |slot| {
+            let order = &mut slot.order;
+            let cw = order.workspace.get_or_insert_with(|| ClientWorkspace::new(ctx.template));
+            slot.outcome = Some(cw.run_own_batches(
+                ctx.round_base,
+                order.own_batches,
+                order.freeze_after,
+                order.snapshot_wanted,
+                order.batcher,
+                ctx.train,
+                &mut order.opt,
+            ));
+        });
+        let mut replies = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let own = slot.outcome.expect("every slot executed")?;
+            replies.push(TrainReply {
+                client: slot.order.client,
+                weights: own.weights,
+                snapshot: own.snapshot,
+                losses: own.losses,
+                opt: Some(slot.order.opt),
+            });
+        }
+        Ok(replies)
+    }
+
+    fn train_offloads(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<OffloadOrder<'_>>,
+    ) -> Result<Vec<OffloadReply>, TransportError> {
+        struct Slot<'a> {
+            order: OffloadOrder<'a>,
+            outcome: Option<Result<Vec<Tensor>, TransportError>>,
+        }
+        let mut slots: Vec<Slot<'_>> =
+            orders.into_iter().map(|order| Slot { order, outcome: None }).collect();
+        run_slots(&mut slots, ctx.parallelism, |slot| {
+            let order = &mut slot.order;
+            let Some(opt) = order.opt.as_mut() else {
+                slot.outcome = Some(Err(TransportError::Protocol(format!(
+                    "offload order for client {} carries no optimizer state",
+                    order.receiver
+                ))));
+                return;
+            };
+            let cw = order.workspace.get_or_insert_with(|| ClientWorkspace::new(ctx.template));
+            slot.outcome = Some(
+                cw.run_offload_batches(
+                    &order.snapshot,
+                    order.batches,
+                    order.batcher,
+                    ctx.train,
+                    opt,
+                )
+                .map_err(TransportError::Nn),
+            );
+        });
+        let mut replies = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let features = slot.outcome.expect("every slot executed")?;
+            replies.push(OffloadReply {
+                receiver: slot.order.receiver,
+                weak: slot.order.weak,
+                features,
+            });
+        }
+        Ok(replies)
+    }
+}

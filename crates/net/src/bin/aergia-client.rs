@@ -1,0 +1,48 @@
+//! Client worker binary: joins a coordinator's run and serves training
+//! orders until told to finish.
+//!
+//! ```text
+//! aergia-client --dir RUNDIR --id N [--crash-at-round R]
+//! ```
+//!
+//! `RUNDIR` must be the coordinator's run directory (the port file is
+//! read from it — repeatedly, so the worker also finds a coordinator
+//! that restarts on a new port). `--crash-at-round` is the e2e suite's
+//! fault-injection hook: the process dies mid-upload of that round's
+//! train reply with exit code 2.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use aergia_net::client::{run, ClientOpts};
+
+fn usage() -> ! {
+    eprintln!("usage: aergia-client --dir RUNDIR --id N [--crash-at-round R]");
+    std::process::exit(64);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    let mut id: Option<usize> = None;
+    let mut crash_at_round = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value())),
+            "--id" => id = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--crash-at-round" => {
+                crash_at_round = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(dir), Some(id)) = (dir, id) else { usage() };
+
+    let opts = ClientOpts { id, port_file: dir.join("coordinator.port"), crash_at_round };
+    if let Err(e) = run(&opts) {
+        eprintln!("aergia-client {id}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Coordinator binary: serves one smoke-preset experiment over TCP.
+//!
+//! ```text
+//! aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P]
+//!                    [--strategy aergia|fedavg|fedprox]
+//!                    [--halt-after-round N] [--reply-timeout-secs N]
+//! ```
+//!
+//! `RUNDIR` holds the port file, the per-round checkpoint and the final
+//! result; restarting the binary with the same directory resumes from
+//! the checkpoint.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use aergia_net::coordinator::{serve, CoordinatorOpts};
+use aergia_net::presets::{codec_by_name, smoke_config, strategy_by_name};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P] \
+         [--strategy aergia|fedavg|fedprox] [--halt-after-round N] [--reply-timeout-secs N]"
+    );
+    std::process::exit(64);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    let mut seed = 33u64;
+    let mut codec = "dense".to_string();
+    let mut strategy = "aergia".to_string();
+    let mut halt_after_round = None;
+    let mut reply_timeout = Duration::from_secs(120);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value())),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--codec" => codec = value(),
+            "--strategy" => strategy = value(),
+            "--halt-after-round" => {
+                halt_after_round = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--reply-timeout-secs" => {
+                reply_timeout = Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let Some(codec) = codec_by_name(&codec) else { usage() };
+    let Some(strategy) = strategy_by_name(&strategy) else { usage() };
+
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("aergia-coordinator: cannot create {dir:?}: {e}");
+        std::process::exit(1);
+    }
+    let mut opts = CoordinatorOpts::in_dir(&dir);
+    opts.halt_after_round = halt_after_round;
+    opts.reply_timeout = reply_timeout;
+
+    match serve(smoke_config(seed, codec), strategy, &opts) {
+        Ok(Some(outcome)) => {
+            eprintln!(
+                "aergia-coordinator: finished {} rounds, final accuracy {:.3}",
+                outcome.result.rounds.len(),
+                outcome.result.final_accuracy
+            );
+        }
+        Ok(None) => eprintln!("aergia-coordinator: halted early as requested"),
+        Err(e) => {
+            eprintln!("aergia-coordinator: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The coordinator: the engine's federator half served over TCP.
+//!
+//! [`serve`] owns the whole run: it binds a loopback listener, admits
+//! every client (Hello → Welcome), then drives
+//! [`Engine::step_round_with`] using [`TcpTransport`] — the remote
+//! implementation of the round's participant boundary — writing a
+//! checkpoint file after every round. A coordinator that crashes (or is
+//! killed) between rounds resumes from that file bit-identically: the
+//! engine, not the network, is the source of truth for all state.
+//!
+//! [`TcpTransport`] keeps the in-process execution semantics exactly:
+//! orders fan out to per-connection workers on the
+//! [`aergia_runtime`] pool (each worker writes its order and blocks on
+//! the reply with a read timeout), and replies fold back in order-index
+//! order. A client that fails mid-round — connection lost, timeout,
+//! malformed or mismatched reply — is logged, disconnected and simply
+//! *omitted* from the replies, which the engine turns into a dropped
+//! participant; the round completes with everyone else.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use aergia::prelude::*;
+use aergia::transport::{
+    OffloadOrder, OffloadReply, RoundContext, TrainOrder, TrainReply, Transport, TransportError,
+};
+use aergia_codec::envelope::{self, MsgKind};
+use aergia_data::batcher::{Batcher, BatcherState};
+
+use crate::proto::{
+    Hello, OffloadOrderMsg, OffloadReplyMsg, RunOutcome, TrainOrderMsg, TrainReplyMsg, WorkerSetup,
+};
+use crate::NetError;
+
+/// Where a coordinator run keeps its files and how patient it is.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOpts {
+    /// File the bound port is published to (written atomically; clients
+    /// poll it, including across a coordinator restart).
+    pub port_file: PathBuf,
+    /// Checkpoint file written after every round; if it exists at
+    /// startup the run resumes from it.
+    pub checkpoint: PathBuf,
+    /// Result file written once the run completes (a
+    /// [`RunOutcome`] encoding).
+    pub result: PathBuf,
+    /// Test hook: exit right after the checkpoint for this (0-based)
+    /// round hits the disk — before any Finish or result file — to
+    /// simulate a coordinator crash at a deterministic point.
+    pub halt_after_round: Option<u32>,
+    /// Per-order timeout covering the remote client's training time plus
+    /// both transfers.
+    pub reply_timeout: Duration,
+    /// Timeout for a connecting client's Hello/Welcome exchange.
+    pub hello_timeout: Duration,
+}
+
+impl CoordinatorOpts {
+    /// Conventional file layout inside one run directory.
+    pub fn in_dir(dir: &Path) -> Self {
+        CoordinatorOpts {
+            port_file: dir.join("coordinator.port"),
+            checkpoint: dir.join("run.ckpt"),
+            result: dir.join("run.outcome"),
+            halt_after_round: None,
+            reply_timeout: Duration::from_secs(120),
+            hello_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp file + rename), so readers
+/// polling the path never observe a half-written file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Writes one envelope and blocks for the expected reply kind.
+fn exchange(
+    stream: &mut TcpStream,
+    wire: &[u8],
+    expect: MsgKind,
+    timeout: Duration,
+) -> Result<Vec<u8>, NetError> {
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.write_all(wire)?;
+    let (kind, body) = envelope::read_from(stream)?;
+    if kind != expect {
+        return Err(NetError::Protocol(format!("expected {expect:?} reply, got {kind:?}")));
+    }
+    Ok(body)
+}
+
+/// A wire batcher state is only restorable if it matches the engine-side
+/// shard (restore panics otherwise — a remote peer must not be able to
+/// panic the coordinator).
+fn restorable(engine_side: &Batcher, state: &BatcherState) -> bool {
+    state.indices.len() == engine_side.state().indices.len() && state.cursor <= state.indices.len()
+}
+
+/// The remote [`Transport`]: ships each order to its client's TCP
+/// connection and folds the replies back, omitting clients that fail.
+pub struct TcpTransport<'a> {
+    conns: &'a mut [Option<TcpStream>],
+    reply_timeout: Duration,
+}
+
+impl<'a> TcpTransport<'a> {
+    /// Wraps the admitted connections (index = client id) for one round.
+    pub fn new(conns: &'a mut [Option<TcpStream>], reply_timeout: Duration) -> Self {
+        TcpTransport { conns, reply_timeout }
+    }
+}
+
+impl Transport for TcpTransport<'_> {
+    fn train_participants(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<TrainOrder<'_>>,
+    ) -> Result<Vec<TrainReply>, TransportError> {
+        struct Slot<'o> {
+            order: TrainOrder<'o>,
+            wire: Vec<u8>,
+            stream: Option<TcpStream>,
+            reply: Option<TrainReplyMsg>,
+        }
+        let round = ctx.round;
+        let mut slots: Vec<Slot<'_>> = orders
+            .into_iter()
+            .map(|order| {
+                let msg = TrainOrderMsg {
+                    round,
+                    client: order.client,
+                    own_batches: order.own_batches,
+                    freeze_after: order.freeze_after,
+                    snapshot_wanted: order.snapshot_wanted,
+                    batcher: order.batcher.state(),
+                    round_base: ctx.round_base.to_vec(),
+                };
+                let wire = envelope::encode(MsgKind::TrainOrder, &msg.encode());
+                let stream = self.conns[order.client].take();
+                Slot { order, wire, stream, reply: None }
+            })
+            .collect();
+        let timeout = self.reply_timeout;
+        aergia_runtime::par_for_each_mut(&mut slots, 0, |slot| {
+            let Some(stream) = slot.stream.as_mut() else { return };
+            match exchange(stream, &slot.wire, MsgKind::TrainReply, timeout)
+                .and_then(|body| Ok(TrainReplyMsg::decode(&body)?))
+            {
+                Ok(msg) => slot.reply = Some(msg),
+                Err(e) => {
+                    eprintln!(
+                        "coordinator: client {} lost during round {round}: {e}",
+                        slot.order.client
+                    );
+                    slot.stream = None;
+                }
+            }
+        });
+        let mut replies = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let Slot { order, stream, reply, .. } = slot;
+            let client = order.client;
+            let mut keep = stream;
+            if let Some(msg) = reply {
+                let consistent = msg.round == round
+                    && msg.client == client
+                    && msg.weights.len() == ctx.round_base.len()
+                    && restorable(order.batcher, &msg.batcher);
+                if consistent {
+                    order.batcher.restore_state(msg.batcher);
+                    replies.push(TrainReply {
+                        client,
+                        weights: msg.weights,
+                        snapshot: msg.snapshot,
+                        losses: msg.losses,
+                        opt: None,
+                    });
+                } else {
+                    eprintln!(
+                        "coordinator: client {client} answered round {round} inconsistently; \
+                         dropping it"
+                    );
+                    keep = None;
+                }
+            }
+            self.conns[client] = keep;
+        }
+        Ok(replies)
+    }
+
+    fn train_offloads(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        orders: Vec<OffloadOrder<'_>>,
+    ) -> Result<Vec<OffloadReply>, TransportError> {
+        struct Slot<'o> {
+            order: OffloadOrder<'o>,
+            wire: Vec<u8>,
+            stream: Option<TcpStream>,
+            reply: Option<OffloadReplyMsg>,
+        }
+        let round = ctx.round;
+        let mut slots: Vec<Slot<'_>> = orders
+            .into_iter()
+            .map(|order| {
+                let msg = OffloadOrderMsg {
+                    round,
+                    receiver: order.receiver,
+                    weak: order.weak,
+                    batches: order.batches,
+                    snapshot: order.snapshot.clone(),
+                    batcher: order.batcher.state(),
+                };
+                let wire = envelope::encode(MsgKind::OffloadOrder, &msg.encode());
+                let stream = self.conns[order.receiver].take();
+                Slot { order, wire, stream, reply: None }
+            })
+            .collect();
+        let timeout = self.reply_timeout;
+        aergia_runtime::par_for_each_mut(&mut slots, 0, |slot| {
+            let Some(stream) = slot.stream.as_mut() else { return };
+            match exchange(stream, &slot.wire, MsgKind::OffloadReply, timeout)
+                .and_then(|body| Ok(OffloadReplyMsg::decode(&body)?))
+            {
+                Ok(msg) => slot.reply = Some(msg),
+                Err(e) => {
+                    eprintln!(
+                        "coordinator: receiver {} lost during round {round} offload: {e}",
+                        slot.order.receiver
+                    );
+                    slot.stream = None;
+                }
+            }
+        });
+        let mut replies = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let Slot { order, stream, reply, .. } = slot;
+            let receiver = order.receiver;
+            let mut keep = stream;
+            if let Some(msg) = reply {
+                let consistent = msg.round == round
+                    && msg.receiver == receiver
+                    && msg.weak == order.weak
+                    && restorable(order.batcher, &msg.batcher);
+                if consistent {
+                    order.batcher.restore_state(msg.batcher);
+                    replies.push(OffloadReply {
+                        receiver,
+                        weak: order.weak,
+                        features: msg.features,
+                    });
+                } else {
+                    eprintln!(
+                        "coordinator: receiver {receiver} answered round {round} offload \
+                         inconsistently; dropping it"
+                    );
+                    keep = None;
+                }
+            }
+            self.conns[receiver] = keep;
+        }
+        Ok(replies)
+    }
+}
+
+/// Runs one experiment as the networked coordinator (see the module
+/// docs). Returns `Ok(None)` when the `halt_after_round` test hook cut
+/// the run short, `Ok(Some(outcome))` when the run completed and the
+/// result file was written.
+///
+/// # Errors
+///
+/// [`NetError`] on engine, checkpoint, socket or file failures. Losing
+/// individual clients is *not* an error — they are dropped from their
+/// rounds.
+pub fn serve(
+    config: ExperimentConfig,
+    strategy: Strategy,
+    opts: &CoordinatorOpts,
+) -> Result<Option<RunOutcome>, NetError> {
+    let num_clients = config.num_clients;
+    let setup = WorkerSetup::from_experiment(&config, &strategy);
+    let mut engine = Engine::new(config, strategy)?;
+
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let port = listener.local_addr()?.port();
+    write_atomic(&opts.port_file, format!("{port}\n").as_bytes())?;
+    eprintln!("coordinator: listening on 127.0.0.1:{port}, waiting for {num_clients} clients");
+
+    let welcome = envelope::encode(MsgKind::Welcome, &setup.encode());
+    let mut conns: Vec<Option<TcpStream>> = (0..num_clients).map(|_| None).collect();
+    while conns.iter().any(Option::is_none) {
+        let (mut stream, peer) = listener.accept()?;
+        let admit = (|| -> Result<usize, NetError> {
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(opts.hello_timeout))?;
+            stream.set_write_timeout(Some(opts.hello_timeout))?;
+            let (kind, body) = envelope::read_from(&mut stream)?;
+            if kind != MsgKind::Hello {
+                return Err(NetError::Protocol(format!("expected Hello, got {kind:?}")));
+            }
+            let hello = Hello::decode(&body)?;
+            if hello.client >= num_clients {
+                return Err(NetError::Protocol(format!(
+                    "client id {} out of range 0..{num_clients}",
+                    hello.client
+                )));
+            }
+            stream.write_all(&welcome)?;
+            Ok(hello.client)
+        })();
+        match admit {
+            // The newest connection for an id wins (a client that timed
+            // out waiting for Welcome may have retried).
+            Ok(id) => conns[id] = Some(stream),
+            Err(e) => eprintln!("coordinator: rejected connection from {peer}: {e}"),
+        }
+    }
+    eprintln!("coordinator: all {num_clients} clients admitted");
+
+    let mut progress = if opts.checkpoint.exists() {
+        let progress = engine.restore_checkpoint_from(&opts.checkpoint)?;
+        eprintln!("coordinator: resumed from checkpoint at round {}", progress.next_round);
+        progress
+    } else {
+        engine.start_progress()
+    };
+
+    loop {
+        let more = {
+            let mut transport = TcpTransport::new(&mut conns, opts.reply_timeout);
+            engine.step_round_with(&mut progress, &mut transport)?
+        };
+        write_atomic(&opts.checkpoint, &engine.save_checkpoint(&progress))?;
+        if let Some(halt) = opts.halt_after_round {
+            if progress.next_round > halt {
+                eprintln!("coordinator: halting after round {halt} (simulated crash)");
+                return Ok(None);
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+
+    let result = engine.finish_run(progress);
+    let outcome = RunOutcome { result, weights: engine.global_weights().to_vec() };
+    write_atomic(&opts.result, &outcome.encode())?;
+    let finish = envelope::encode(MsgKind::Finish, &[]);
+    for conn in conns.iter_mut().flatten() {
+        // A client that died earlier simply misses the goodbye.
+        let _ = conn.write_all(&finish);
+    }
+    eprintln!("coordinator: run complete, result written");
+    Ok(Some(outcome))
+}

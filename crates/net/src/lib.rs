@@ -1,0 +1,145 @@
+//! The networked Aergia runtime: one coordinator process drives the
+//! engine's rounds over real TCP against remote client workers.
+//!
+//! # Design: one state machine, two transports
+//!
+//! The simulator and this runtime are *the same program*. The engine owns
+//! everything deterministic — selection, the virtual-clock event trace,
+//! wire-codec encoding, aggregation, checkpoints — and delegates only the
+//! participant-side numeric work through the
+//! [`aergia::transport::Transport`] seam. The in-process implementation
+//! runs orders on the local pool; [`coordinator::TcpTransport`] ships the
+//! *same orders* to remote worker processes as length-prefixed
+//! [`aergia_codec::envelope`] frames and folds the replies back in the
+//! same fixed order. Because every source of randomness and every codec
+//! operation stays coordinator-side, a networked run is **bit-identical**
+//! to the in-process simulator on the same configuration — the e2e suite
+//! asserts this down to the last weight bit, across a coordinator
+//! kill/resume.
+//!
+//! ```text
+//!   coordinator process                     client process (×N)
+//!   ┌─────────────────────────┐   TCP    ┌──────────────────────────┐
+//!   │ Engine (event trace,    │ ───────▶ │ enum-of-states machine:  │
+//!   │  codecs, aggregation,   │  orders  │  Connecting → Awaiting → │
+//!   │  checkpoints)           │ ◀─────── │  Selected → Uploading    │
+//!   │  └ TcpTransport         │  replies │  └ ClientWorkspace       │
+//!   └─────────────────────────┘          └──────────────────────────┘
+//! ```
+//!
+//! Fault model: a client that disappears mid-round is *dropped* — the
+//! engine completes the round with the remaining replies — while a
+//! coordinator crash is survived through the per-round checkpoint file
+//! (clients reconnect with backoff and the resumed coordinator replays
+//! from the last completed round).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coordinator;
+pub mod presets;
+pub mod proto;
+
+use std::error::Error;
+use std::fmt;
+
+use aergia::prelude::{CheckpointError, EngineError};
+use aergia_codec::envelope::EnvelopeError;
+use aergia_codec::CodecError;
+
+/// The one error type of the networked runtime: every layer the
+/// coordinator and client touch — engine, checkpoints, envelopes, codec
+/// payloads, sockets and files — funnels into it.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The engine rejected a configuration or failed a round.
+    Engine(EngineError),
+    /// A checkpoint failed to save or restore.
+    Checkpoint(CheckpointError),
+    /// An envelope failed to read or decode.
+    Envelope(EnvelopeError),
+    /// A message body failed to decode.
+    Codec(CodecError),
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// The remote end violated the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Engine(e) => write!(f, "engine error: {e}"),
+            NetError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            NetError::Envelope(e) => write!(f, "envelope error: {e}"),
+            NetError::Codec(e) => write!(f, "message decode error: {e}"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Engine(e) => Some(e),
+            NetError::Checkpoint(e) => Some(e),
+            NetError::Envelope(e) => Some(e),
+            NetError::Codec(e) => Some(e),
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for NetError {
+    fn from(e: EngineError) -> Self {
+        NetError::Engine(e)
+    }
+}
+
+impl From<CheckpointError> for NetError {
+    fn from(e: CheckpointError) -> Self {
+        NetError::Checkpoint(e)
+    }
+}
+
+impl From<EnvelopeError> for NetError {
+    fn from(e: EnvelopeError) -> Self {
+        NetError::Envelope(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_into_net_error() {
+        let io: NetError = std::io::Error::other("boom").into();
+        assert!(matches!(io, NetError::Io(_)));
+        let codec: NetError = CodecError::Truncated.into();
+        assert!(matches!(codec, NetError::Codec(_)));
+        let envelope: NetError = EnvelopeError::Codec(CodecError::BadMagic).into();
+        assert!(matches!(envelope, NetError::Envelope(_)));
+        // Sources chain for error reporting.
+        assert!(Error::source(&envelope).is_some());
+        let protocol = NetError::Protocol("client 3 answered round 1 with round 2".into());
+        assert!(Error::source(&protocol).is_none());
+        assert!(protocol.to_string().contains("client 3"));
+    }
+}

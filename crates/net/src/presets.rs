@@ -1,0 +1,78 @@
+//! Shared experiment presets for the networked harnesses.
+//!
+//! The e2e suite's core assertion is that a TCP run is bit-identical to
+//! the in-process simulator *on the same configuration* — so the
+//! configuration must be constructed in exactly one place. The
+//! coordinator binary and the test harness both call [`smoke_config`].
+
+use aergia::prelude::*;
+use aergia_codec::CodecConfig;
+use aergia_data::partition::Scheme;
+use aergia_data::{DataConfig, DatasetSpec};
+use aergia_nn::models::ModelArch;
+
+/// A four-client, three-round MNIST-like experiment sized for CI: small
+/// enough that a full multi-process run takes seconds, heterogeneous
+/// enough that Aergia's scheduler actually freezes and offloads.
+pub fn smoke_config(seed: u64, codec: CodecConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DataConfig { spec: DatasetSpec::MnistLike, train_size: 240, test_size: 120, seed },
+        arch: ModelArch::MnistCnn,
+        partition: Scheme::Iid,
+        num_clients: 4,
+        clients_per_round: 4,
+        rounds: 3,
+        local_updates: 10,
+        batch_size: 8,
+        speeds: vec![0.15, 0.4, 0.7, 1.0],
+        mode: Mode::Real,
+        parallelism: 1,
+        codec,
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Parses the coordinator CLI's strategy name.
+pub fn strategy_by_name(name: &str) -> Option<Strategy> {
+    match name {
+        "aergia" => Some(Strategy::aergia_default()),
+        "fedavg" => Some(Strategy::FedAvg),
+        "fedprox" => Some(Strategy::FedProx { mu: 0.05 }),
+        _ => None,
+    }
+}
+
+/// Parses the coordinator CLI's codec name (`dense`, `quant`, or
+/// `topk:<keep_permille>`).
+pub fn codec_by_name(name: &str) -> Option<CodecConfig> {
+    match name {
+        "dense" => Some(CodecConfig::DenseF32),
+        "quant" => Some(CodecConfig::QuantI8),
+        _ => {
+            let permille = name.strip_prefix("topk:")?.parse().ok()?;
+            (1..=1000)
+                .contains(&permille)
+                .then_some(CodecConfig::TopKDelta { keep_permille: permille })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_to_the_expected_presets() {
+        assert!(matches!(strategy_by_name("aergia"), Some(Strategy::Aergia { .. })));
+        assert!(matches!(strategy_by_name("fedavg"), Some(Strategy::FedAvg)));
+        assert!(strategy_by_name("sgd").is_none());
+        assert_eq!(codec_by_name("dense"), Some(CodecConfig::DenseF32));
+        assert_eq!(codec_by_name("topk:100"), Some(CodecConfig::TopKDelta { keep_permille: 100 }));
+        assert!(codec_by_name("topk:0").is_none());
+        assert!(codec_by_name("gzip").is_none());
+        // The smoke preset must be valid — the whole e2e suite builds on it.
+        let config = smoke_config(33, CodecConfig::DenseF32);
+        assert!(aergia::Engine::new(config, Strategy::aergia_default()).is_ok());
+    }
+}

@@ -1,0 +1,800 @@
+//! Protocol message bodies for the coordinator⇄client TCP runtime.
+//!
+//! Every message travels as an [`aergia_codec::envelope`] whose kind byte
+//! names one of the types here and whose body is the type's hand-rolled
+//! little-endian encoding (the vendored serde shim has no byte format).
+//! Tensor lists ride as [`aergia_codec::dense`] payloads — the same
+//! bit-exact encoding the simulator's wire codec and checkpoints use —
+//! and batcher snapshots mirror the layout of the engine checkpoint's
+//! `BTCH` chunk, so a state that round-trips the network is byte-for-byte
+//! the state a checkpoint would have persisted.
+//!
+//! The protocol keeps remote clients *stateless between orders*: a
+//! [`TrainOrderMsg`] carries everything the numeric work needs (round
+//! base, batcher snapshot) and the [`TrainReplyMsg`] returns the advanced
+//! batcher state for the engine to restore, because the engine — and its
+//! checkpoints — remain the single source of truth for resumption. The
+//! only state a worker retains across messages within a round is its
+//! stage-1 optimizer, which [`OffloadOrderMsg`] implicitly reuses (the
+//! same momentum-threading the in-process transport performs explicitly).
+//!
+//! Decoders validate counts against [`Reader`] bounds before allocating
+//! and reject trailing garbage, matching the rigor of the envelope layer.
+
+use aergia::metrics::{RoundRecord, RunResult};
+use aergia::prelude::*;
+use aergia_codec::dense;
+use aergia_codec::io::{put_f32, put_f64, put_u32, put_u64, Reader};
+use aergia_codec::CodecError;
+use aergia_data::batcher::BatcherState;
+use aergia_data::{DataConfig, DatasetSpec};
+use aergia_nn::models::ModelArch;
+use aergia_nn::optim::SgdConfig;
+use aergia_simnet::{SimDuration, SimTime};
+use aergia_tensor::Tensor;
+
+fn put_tensors(out: &mut Vec<u8>, tensors: &[Tensor]) {
+    put_u32(out, tensors.len() as u32);
+    put_u32(out, dense::payload_len(tensors) as u32);
+    dense::encode_payload_into(tensors, out);
+}
+
+fn read_tensors(r: &mut Reader<'_>) -> Result<Vec<Tensor>, CodecError> {
+    let count = r.u32()? as usize;
+    let len = r.u32()? as usize;
+    let payload = r.take(len)?;
+    dense::decode_payload(payload, count)
+}
+
+/// Mirrors the engine checkpoint's `BTCH` chunk layout exactly.
+fn put_batcher(out: &mut Vec<u8>, state: &BatcherState) {
+    put_u64(out, state.cursor as u64);
+    for s in state.rng {
+        put_u64(out, s);
+    }
+    put_u32(out, state.indices.len() as u32);
+    for &i in &state.indices {
+        put_u32(out, i as u32);
+    }
+}
+
+fn read_batcher(r: &mut Reader<'_>) -> Result<BatcherState, CodecError> {
+    let cursor = r.u64()? as usize;
+    let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let n = r.u32()? as usize;
+    if cursor > n {
+        return Err(CodecError::Corrupt("batcher cursor out of range"));
+    }
+    let mut indices = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        indices.push(r.u32()? as usize);
+    }
+    Ok(BatcherState { indices, cursor, rng })
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u32(out, v);
+        }
+        None => {
+            out.push(0);
+            put_u32(out, 0);
+        }
+    }
+}
+
+fn read_opt_u32(r: &mut Reader<'_>) -> Result<Option<u32>, CodecError> {
+    let flag = r.u8()?;
+    let v = r.u32()?;
+    match flag {
+        0 => Ok(None),
+        1 => Ok(Some(v)),
+        _ => Err(CodecError::Corrupt("option flag")),
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, CodecError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::Corrupt("bool flag")),
+    }
+}
+
+/// Rejects messages with bytes past their declared content.
+fn finish(r: &Reader<'_>) -> Result<(), CodecError> {
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes after message"));
+    }
+    Ok(())
+}
+
+fn spec_to_wire(spec: DatasetSpec) -> u8 {
+    match spec {
+        DatasetSpec::MnistLike => 0,
+        DatasetSpec::FmnistLike => 1,
+        DatasetSpec::Cifar10Like => 2,
+        DatasetSpec::Cifar100Like => 3,
+        // `DatasetSpec` is #[non_exhaustive]; a future variant must get a
+        // wire code (and a version bump) before it can cross the network.
+        _ => unimplemented!("dataset spec has no wire encoding yet"),
+    }
+}
+
+fn spec_from_wire(byte: u8) -> Result<DatasetSpec, CodecError> {
+    match byte {
+        0 => Ok(DatasetSpec::MnistLike),
+        1 => Ok(DatasetSpec::FmnistLike),
+        2 => Ok(DatasetSpec::Cifar10Like),
+        3 => Ok(DatasetSpec::Cifar100Like),
+        _ => Err(CodecError::Corrupt("dataset spec")),
+    }
+}
+
+fn arch_to_wire(arch: ModelArch) -> u8 {
+    match arch {
+        ModelArch::MnistCnn => 0,
+        ModelArch::FmnistCnn => 1,
+        ModelArch::Cifar10Cnn => 2,
+        ModelArch::Cifar10ResNet => 3,
+        ModelArch::Cifar100Vgg => 4,
+        ModelArch::Cifar100ResNet => 5,
+        // `ModelArch` is #[non_exhaustive]; same rule as `spec_to_wire`.
+        _ => unimplemented!("model arch has no wire encoding yet"),
+    }
+}
+
+fn arch_from_wire(byte: u8) -> Result<ModelArch, CodecError> {
+    match byte {
+        0 => Ok(ModelArch::MnistCnn),
+        1 => Ok(ModelArch::FmnistCnn),
+        2 => Ok(ModelArch::Cifar10Cnn),
+        3 => Ok(ModelArch::Cifar10ResNet),
+        4 => Ok(ModelArch::Cifar100Vgg),
+        5 => Ok(ModelArch::Cifar100ResNet),
+        _ => Err(CodecError::Corrupt("model arch")),
+    }
+}
+
+/// Client → coordinator: introduce a client id and request admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The sender's client id (`0..num_clients`).
+    pub client: usize,
+}
+
+impl Hello {
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4);
+        put_u32(&mut out, self.client as u32);
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let client = r.u32()? as usize;
+        finish(&r)?;
+        Ok(Hello { client })
+    }
+}
+
+/// Coordinator → client: the slice of the experiment description a
+/// stateless numeric worker needs.
+///
+/// This is deliberately *not* the whole [`ExperimentConfig`] — link
+/// models, speeds, selection policy and the wire codec are federator
+/// concerns the event trace already resolved. A worker only has to
+/// regenerate the dataset, rebuild the model template and construct the
+/// round optimizer bit-identically, which takes exactly these fields.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSetup {
+    /// The synthetic dataset description (workers regenerate the full
+    /// training set; shards arrive as batcher index lists).
+    pub dataset: DataConfig,
+    /// The model architecture.
+    pub arch: ModelArch,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Local optimizer hyper-parameters.
+    pub sgd: SgdConfig,
+    /// The experiment master seed (model init derives from it).
+    pub seed: u64,
+    /// FedProx proximal coefficient, if that strategy is active (the only
+    /// strategy knob that changes client-side arithmetic).
+    pub prox_mu: Option<f32>,
+}
+
+impl WorkerSetup {
+    /// Extracts the worker-relevant slice of an experiment.
+    pub fn from_experiment(config: &ExperimentConfig, strategy: &Strategy) -> Self {
+        WorkerSetup {
+            dataset: config.dataset,
+            arch: config.arch,
+            batch_size: config.batch_size,
+            sgd: config.sgd,
+            seed: config.seed,
+            prox_mu: match strategy {
+                Strategy::FedProx { mu } => Some(*mu),
+                _ => None,
+            },
+        }
+    }
+
+    /// Reconstitutes an [`ExperimentConfig`] carrying this setup, with
+    /// every federator-only field left at its default. Only valid as
+    /// input to the worker-side helpers
+    /// ([`aergia::transport::build_template`],
+    /// [`aergia::transport::round_optimizer`]), which read exactly the
+    /// fields this setup carries.
+    pub fn worker_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: self.dataset,
+            arch: self.arch,
+            batch_size: self.batch_size,
+            sgd: self.sgd,
+            seed: self.seed,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The strategy as far as a worker's arithmetic is concerned: FedProx
+    /// with the carried `μ`, or plain FedAvg otherwise (every other
+    /// strategy differs only in federator-side scheduling/aggregation).
+    pub fn worker_strategy(&self) -> Strategy {
+        match self.prox_mu {
+            Some(mu) => Strategy::FedProx { mu },
+            None => Strategy::FedAvg,
+        }
+    }
+
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(spec_to_wire(self.dataset.spec));
+        put_u64(&mut out, self.dataset.train_size as u64);
+        put_u64(&mut out, self.dataset.test_size as u64);
+        put_u64(&mut out, self.dataset.seed);
+        out.push(arch_to_wire(self.arch));
+        put_u32(&mut out, self.batch_size as u32);
+        put_f32(&mut out, self.sgd.lr);
+        put_f32(&mut out, self.sgd.momentum);
+        put_f32(&mut out, self.sgd.weight_decay);
+        put_u64(&mut out, self.seed);
+        match self.prox_mu {
+            Some(mu) => {
+                out.push(1);
+                put_f32(&mut out, mu);
+            }
+            None => {
+                out.push(0);
+                put_f32(&mut out, 0.0);
+            }
+        }
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let spec = spec_from_wire(r.u8()?)?;
+        let train_size = r.u64()? as usize;
+        let test_size = r.u64()? as usize;
+        let data_seed = r.u64()?;
+        let arch = arch_from_wire(r.u8()?)?;
+        let batch_size = r.u32()? as usize;
+        let sgd = SgdConfig { lr: r.f32()?, momentum: r.f32()?, weight_decay: r.f32()? };
+        let seed = r.u64()?;
+        let prox_flag = r.u8()?;
+        let mu = r.f32()?;
+        let prox_mu = match prox_flag {
+            0 => None,
+            1 => Some(mu),
+            _ => return Err(CodecError::Corrupt("prox flag")),
+        };
+        finish(&r)?;
+        Ok(WorkerSetup {
+            dataset: DataConfig { spec, train_size, test_size, seed: data_seed },
+            arch,
+            batch_size,
+            sgd,
+            seed,
+            prox_mu,
+        })
+    }
+}
+
+/// Coordinator → client: train your own batches for one round.
+#[derive(Debug, Clone)]
+pub struct TrainOrderMsg {
+    /// The round index (0-based).
+    pub round: u32,
+    /// The addressed client.
+    pub client: usize,
+    /// Local batches to run.
+    pub own_batches: u32,
+    /// Freeze the feature section before this batch index.
+    pub freeze_after: Option<u32>,
+    /// Capture and return the frozen snapshot.
+    pub snapshot_wanted: bool,
+    /// The engine's batcher state for this client (restored worker-side,
+    /// advanced, and shipped back — the engine stays authoritative).
+    pub batcher: BatcherState,
+    /// The round's decoded broadcast weights.
+    pub round_base: Vec<Tensor>,
+}
+
+impl TrainOrderMsg {
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.round);
+        put_u32(&mut out, self.client as u32);
+        put_u32(&mut out, self.own_batches);
+        put_opt_u32(&mut out, self.freeze_after);
+        put_bool(&mut out, self.snapshot_wanted);
+        put_batcher(&mut out, &self.batcher);
+        put_tensors(&mut out, &self.round_base);
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let round = r.u32()?;
+        let client = r.u32()? as usize;
+        let own_batches = r.u32()?;
+        let freeze_after = read_opt_u32(&mut r)?;
+        let snapshot_wanted = read_bool(&mut r)?;
+        let batcher = read_batcher(&mut r)?;
+        let round_base = read_tensors(&mut r)?;
+        finish(&r)?;
+        Ok(TrainOrderMsg {
+            round,
+            client,
+            own_batches,
+            freeze_after,
+            snapshot_wanted,
+            batcher,
+            round_base,
+        })
+    }
+}
+
+/// Client → coordinator: what one round of own training produced.
+#[derive(Debug, Clone)]
+pub struct TrainReplyMsg {
+    /// The round this reply answers.
+    pub round: u32,
+    /// The replying client.
+    pub client: usize,
+    /// Per-batch training losses, in batch order.
+    pub losses: Vec<f32>,
+    /// The full trained snapshot.
+    pub weights: Vec<Tensor>,
+    /// The frozen snapshot, if the order asked for one.
+    pub snapshot: Option<Vec<Tensor>>,
+    /// The advanced batcher state for the engine to restore.
+    pub batcher: BatcherState,
+}
+
+impl TrainReplyMsg {
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.round);
+        put_u32(&mut out, self.client as u32);
+        put_u32(&mut out, self.losses.len() as u32);
+        for &l in &self.losses {
+            put_f32(&mut out, l);
+        }
+        put_tensors(&mut out, &self.weights);
+        match &self.snapshot {
+            Some(snapshot) => {
+                out.push(1);
+                put_tensors(&mut out, snapshot);
+            }
+            None => out.push(0),
+        }
+        put_batcher(&mut out, &self.batcher);
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let round = r.u32()?;
+        let client = r.u32()? as usize;
+        let n = r.u32()? as usize;
+        let mut losses = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            losses.push(r.f32()?);
+        }
+        let weights = read_tensors(&mut r)?;
+        let snapshot = match r.u8()? {
+            0 => None,
+            1 => Some(read_tensors(&mut r)?),
+            _ => return Err(CodecError::Corrupt("snapshot flag")),
+        };
+        let batcher = read_batcher(&mut r)?;
+        finish(&r)?;
+        Ok(TrainReplyMsg { round, client, losses, weights, snapshot, batcher })
+    }
+}
+
+/// Coordinator → client: train a straggler's frozen snapshot.
+#[derive(Debug, Clone)]
+pub struct OffloadOrderMsg {
+    /// The round index.
+    pub round: u32,
+    /// The strong client doing the training.
+    pub receiver: usize,
+    /// The straggler whose snapshot is being trained.
+    pub weak: usize,
+    /// Feature-only batches to run.
+    pub batches: u32,
+    /// The straggler's snapshot as the wire codec delivered it.
+    pub snapshot: Vec<Tensor>,
+    /// The receiver's batcher state (continues after its own batches).
+    pub batcher: BatcherState,
+}
+
+impl OffloadOrderMsg {
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.round);
+        put_u32(&mut out, self.receiver as u32);
+        put_u32(&mut out, self.weak as u32);
+        put_u32(&mut out, self.batches);
+        put_tensors(&mut out, &self.snapshot);
+        put_batcher(&mut out, &self.batcher);
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let round = r.u32()?;
+        let receiver = r.u32()? as usize;
+        let weak = r.u32()? as usize;
+        let batches = r.u32()?;
+        let snapshot = read_tensors(&mut r)?;
+        let batcher = read_batcher(&mut r)?;
+        finish(&r)?;
+        Ok(OffloadOrderMsg { round, receiver, weak, batches, snapshot, batcher })
+    }
+}
+
+/// Client → coordinator: the trained feature section of an offload.
+#[derive(Debug, Clone)]
+pub struct OffloadReplyMsg {
+    /// The round this reply answers.
+    pub round: u32,
+    /// The strong client that trained.
+    pub receiver: usize,
+    /// The straggler whose snapshot was trained.
+    pub weak: usize,
+    /// The trained feature section.
+    pub features: Vec<Tensor>,
+    /// The advanced batcher state for the engine to restore.
+    pub batcher: BatcherState,
+}
+
+impl OffloadReplyMsg {
+    /// Encodes the message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.round);
+        put_u32(&mut out, self.receiver as u32);
+        put_u32(&mut out, self.weak as u32);
+        put_tensors(&mut out, &self.features);
+        put_batcher(&mut out, &self.batcher);
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let round = r.u32()?;
+        let receiver = r.u32()? as usize;
+        let weak = r.u32()? as usize;
+        let features = read_tensors(&mut r)?;
+        let batcher = read_batcher(&mut r)?;
+        finish(&r)?;
+        Ok(OffloadReplyMsg { round, receiver, weak, features, batcher })
+    }
+}
+
+/// Magic bytes of a serialized [`RunOutcome`] file.
+pub const OUTCOME_MAGIC: [u8; 4] = *b"ARES";
+/// Version of the [`RunOutcome`] file layout.
+pub const OUTCOME_VERSION: u16 = 1;
+
+/// What a completed coordinator run leaves on disk: the metrics *and*
+/// the final global weights, so harnesses can assert bit-identity
+/// against an in-process simulation of the same experiment.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The run's metrics, as [`aergia::Engine::finish_run`] returned them.
+    pub result: RunResult,
+    /// The final global model weights.
+    pub weights: Vec<Tensor>,
+}
+
+fn put_record(out: &mut Vec<u8>, record: &RoundRecord) {
+    put_u32(out, record.round);
+    put_u64(out, record.duration.as_micros());
+    put_f64(out, record.test_accuracy);
+    put_f64(out, record.train_loss);
+    put_u64(out, record.bytes_on_wire);
+    let put_ids = |out: &mut Vec<u8>, ids: &[usize]| {
+        put_u32(out, ids.len() as u32);
+        for &i in ids {
+            put_u32(out, i as u32);
+        }
+    };
+    put_ids(out, &record.participants);
+    put_u32(out, record.offloads.len() as u32);
+    for &(s, r) in &record.offloads {
+        put_u32(out, s as u32);
+        put_u32(out, r as u32);
+    }
+    put_ids(out, &record.dropped);
+}
+
+fn read_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
+    let round = r.u32()?;
+    let duration = SimDuration::from_micros(r.u64()?);
+    let test_accuracy = r.f64()?;
+    let train_loss = r.f64()?;
+    let bytes_on_wire = r.u64()?;
+    let read_ids = |r: &mut Reader<'_>| -> Result<Vec<usize>, CodecError> {
+        let n = r.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(r.u32()? as usize);
+        }
+        Ok(out)
+    };
+    let participants = read_ids(r)?;
+    let n = r.u32()? as usize;
+    let mut offloads = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let s = r.u32()? as usize;
+        let rr = r.u32()? as usize;
+        offloads.push((s, rr));
+    }
+    let dropped = read_ids(r)?;
+    Ok(RoundRecord {
+        round,
+        duration,
+        test_accuracy,
+        train_loss,
+        participants,
+        offloads,
+        dropped,
+        bytes_on_wire,
+    })
+}
+
+impl RunOutcome {
+    /// Encodes the outcome file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&OUTCOME_MAGIC);
+        aergia_codec::io::put_u16(&mut out, OUTCOME_VERSION);
+        put_u64(&mut out, self.result.pretraining.as_micros());
+        put_u64(&mut out, self.result.finished_at.as_micros());
+        put_f64(&mut out, self.result.final_accuracy);
+        put_u32(&mut out, self.result.rounds.len() as u32);
+        for record in &self.result.rounds {
+            put_record(&mut out, record);
+        }
+        put_tensors(&mut out, &self.weights);
+        out
+    }
+
+    /// Decodes an outcome file.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed bodies.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != OUTCOME_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != OUTCOME_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let pretraining = SimDuration::from_micros(r.u64()?);
+        let finished_at = SimTime::from_micros(r.u64()?);
+        let final_accuracy = r.f64()?;
+        let n = r.u32()? as usize;
+        let mut rounds = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            rounds.push(read_record(&mut r)?);
+        }
+        let weights = read_tensors(&mut r)?;
+        finish(&r)?;
+        Ok(RunOutcome {
+            result: RunResult { rounds, pretraining, finished_at, final_accuracy },
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensors() -> Vec<Tensor> {
+        vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[4])]
+    }
+
+    fn batcher_state() -> BatcherState {
+        BatcherState { indices: vec![5, 2, 9, 0], cursor: 2, rng: [1, 2, 3, 4] }
+    }
+
+    #[test]
+    fn hello_and_setup_round_trip() {
+        let hello = Hello { client: 3 };
+        assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+
+        let setup = WorkerSetup {
+            dataset: DataConfig {
+                spec: DatasetSpec::FmnistLike,
+                train_size: 240,
+                test_size: 60,
+                seed: 7,
+            },
+            arch: ModelArch::FmnistCnn,
+            batch_size: 8,
+            sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+            seed: 33,
+            prox_mu: Some(0.05),
+        };
+        let decoded = WorkerSetup::decode(&setup.encode()).unwrap();
+        assert_eq!(decoded.dataset, setup.dataset);
+        assert_eq!(decoded.arch, setup.arch);
+        assert_eq!(decoded.batch_size, setup.batch_size);
+        assert_eq!(decoded.sgd.lr.to_bits(), setup.sgd.lr.to_bits());
+        assert_eq!(decoded.seed, setup.seed);
+        assert_eq!(decoded.prox_mu, setup.prox_mu);
+        assert!(matches!(decoded.worker_strategy(), Strategy::FedProx { .. }));
+    }
+
+    #[test]
+    fn orders_and_replies_round_trip() {
+        let order = TrainOrderMsg {
+            round: 2,
+            client: 1,
+            own_batches: 10,
+            freeze_after: Some(4),
+            snapshot_wanted: true,
+            batcher: batcher_state(),
+            round_base: tensors(),
+        };
+        let decoded = TrainOrderMsg::decode(&order.encode()).unwrap();
+        assert_eq!(decoded.round, 2);
+        assert_eq!(decoded.freeze_after, Some(4));
+        assert_eq!(decoded.batcher, batcher_state());
+        assert_eq!(decoded.round_base, tensors());
+
+        let reply = TrainReplyMsg {
+            round: 2,
+            client: 1,
+            losses: vec![0.5, 0.25],
+            weights: tensors(),
+            snapshot: Some(tensors()),
+            batcher: batcher_state(),
+        };
+        let decoded = TrainReplyMsg::decode(&reply.encode()).unwrap();
+        assert_eq!(decoded.losses, vec![0.5, 0.25]);
+        assert_eq!(decoded.snapshot, Some(tensors()));
+
+        let offload = OffloadOrderMsg {
+            round: 1,
+            receiver: 3,
+            weak: 0,
+            batches: 6,
+            snapshot: tensors(),
+            batcher: batcher_state(),
+        };
+        let decoded = OffloadOrderMsg::decode(&offload.encode()).unwrap();
+        assert_eq!((decoded.receiver, decoded.weak, decoded.batches), (3, 0, 6));
+
+        let reply = OffloadReplyMsg {
+            round: 1,
+            receiver: 3,
+            weak: 0,
+            features: tensors(),
+            batcher: batcher_state(),
+        };
+        let decoded = OffloadReplyMsg::decode(&reply.encode()).unwrap();
+        assert_eq!(decoded.features, tensors());
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        let order = TrainOrderMsg {
+            round: 0,
+            client: 0,
+            own_batches: 1,
+            freeze_after: None,
+            snapshot_wanted: false,
+            batcher: batcher_state(),
+            round_base: tensors(),
+        };
+        let mut bytes = order.encode();
+        for cut in 0..bytes.len() {
+            assert!(TrainOrderMsg::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        bytes.push(0);
+        assert!(matches!(TrainOrderMsg::decode(&bytes), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn outcome_file_round_trips() {
+        let outcome = RunOutcome {
+            result: RunResult {
+                rounds: vec![RoundRecord {
+                    round: 0,
+                    duration: SimDuration::from_micros(1_500_000),
+                    test_accuracy: 0.75,
+                    train_loss: 1.25,
+                    participants: vec![0, 1, 2],
+                    offloads: vec![(0, 2)],
+                    dropped: vec![1],
+                    bytes_on_wire: 12345,
+                }],
+                pretraining: SimDuration::from_micros(10),
+                finished_at: SimTime::from_micros(1_500_010),
+                final_accuracy: 0.75,
+            },
+            weights: tensors(),
+        };
+        let decoded = RunOutcome::decode(&outcome.encode()).unwrap();
+        assert_eq!(decoded.weights, tensors());
+        let (a, b) = (&decoded.result.rounds[0], &outcome.result.rounds[0]);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.participants, b.participants);
+        assert_eq!(a.offloads, b.offloads);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(decoded.result.final_accuracy.to_bits(), 0.75f64.to_bits());
+        assert!(RunOutcome::decode(&outcome.encode()[..10]).is_err());
+    }
+}

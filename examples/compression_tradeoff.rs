@@ -14,9 +14,7 @@
 //! AERGIA_SCALE=smoke cargo run --release --example compression_tradeoff
 //! ```
 
-use aergia::config::{ExperimentConfig, Mode};
-use aergia::engine::Engine;
-use aergia::strategy::Strategy;
+use aergia::prelude::*;
 use aergia_bench::{engine_parallelism, Scale};
 use aergia_codec::CodecConfig;
 use aergia_data::partition::Scheme;

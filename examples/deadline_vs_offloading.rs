@@ -7,9 +7,7 @@
 //! cargo run --release --example deadline_vs_offloading
 //! ```
 
-use aergia::config::{ExperimentConfig, Mode};
-use aergia::engine::Engine;
-use aergia::strategy::Strategy;
+use aergia::prelude::*;
 use aergia_bench::{engine_parallelism, Scale};
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};

@@ -1,0 +1,75 @@
+//! Networked round demo: the `aergia-net` coordinator and four client
+//! workers, all over loopback TCP in one process, compared against the
+//! in-process simulator on the identical configuration.
+//!
+//! This is the library-level version of what the `aergia-coordinator` /
+//! `aergia-client` binaries do across processes (and what
+//! `crates/net/tests/e2e.rs` asserts with real process kills): the
+//! engine state machine is shared, so the networked run's metrics and
+//! final weights are bit-identical to the simulator's.
+//!
+//! ```sh
+//! cargo run --release --example networked_round
+//! ```
+
+use aergia::prelude::*;
+use aergia_codec::CodecConfig;
+use aergia_net::client::{self, ClientOpts};
+use aergia_net::coordinator::{self, CoordinatorOpts};
+use aergia_net::presets::smoke_config;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("aergia_networked_round_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create run dir");
+
+    let config = smoke_config(33, CodecConfig::DenseF32);
+    let num_clients = config.num_clients;
+    let opts = CoordinatorOpts::in_dir(&dir);
+    let port_file = opts.port_file.clone();
+
+    println!("serving {num_clients} workers over loopback TCP (run dir: {})", dir.display());
+    let workers: Vec<_> = (0..num_clients)
+        .map(|id| {
+            let opts = ClientOpts { id, port_file: port_file.clone(), crash_at_round: None };
+            std::thread::spawn(move || client::run(&opts))
+        })
+        .collect();
+
+    let outcome = coordinator::serve(config, Strategy::aergia_default(), &opts)
+        .expect("networked run")
+        .expect("no halt hook configured");
+    for (id, worker) in workers.into_iter().enumerate() {
+        worker.join().expect("worker thread").unwrap_or_else(|e| panic!("worker {id}: {e}"));
+    }
+
+    println!("\n round  accuracy  loss    offloads  dropped  bytes on wire");
+    for r in &outcome.result.rounds {
+        println!(
+            " {:>5}  {:>7.3}  {:>6.3}  {:>8}  {:>7}  {:>13}",
+            r.round,
+            r.test_accuracy,
+            r.train_loss,
+            r.offloads.len(),
+            r.dropped.len(),
+            r.bytes_on_wire,
+        );
+    }
+    println!(" final accuracy: {:.3}", outcome.result.final_accuracy);
+
+    // The whole point: the TCP run *is* the simulator run, bit for bit.
+    let mut engine =
+        Engine::new(smoke_config(33, CodecConfig::DenseF32), Strategy::aergia_default())
+            .expect("valid config");
+    let expected = engine.run().expect("in-process run");
+    assert_eq!(outcome.result, expected, "metrics diverged from the simulator");
+    let identical = outcome
+        .weights
+        .iter()
+        .zip(engine.global_weights())
+        .all(|(a, b)| a.shape() == b.shape() && a.data() == b.data());
+    assert!(identical, "final weights diverged from the simulator");
+    println!(" networked run is bit-identical to the in-process simulator ✓");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,9 +2,7 @@
 //! workspace (data generation → partitioning → enclave → engine →
 //! aggregation → evaluation).
 
-use aergia::config::{ExperimentConfig, Mode};
-use aergia::engine::Engine;
-use aergia::strategy::Strategy;
+use aergia::prelude::*;
 use aergia_data::partition::Scheme;
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;
@@ -202,12 +200,17 @@ fn mid_run_slowdown_turns_a_client_into_a_straggler() {
     config.local_updates = 24;
     let mut engine = Engine::new(config, Strategy::aergia_default()).unwrap();
 
-    let mut now = aergia_simnet::SimTime::ZERO;
-    let before = engine.run_round(0, &mut now).unwrap();
+    let mut progress = engine.start_progress();
+    engine.step_round(&mut progress).unwrap();
+    let before = &progress.rounds[0];
     assert!(before.offloads.is_empty(), "balanced cluster should not offload");
 
+    // Mid-run transient load has no declarative equivalent — the
+    // deprecated shim is the supported path for this scenario.
+    #[allow(deprecated)]
     engine.set_client_speed(2, 0.1);
-    let after = engine.run_round(1, &mut now).unwrap();
+    engine.step_round(&mut progress).unwrap();
+    let (before, after) = (&progress.rounds[0], &progress.rounds[1]);
     assert!(
         after.offloads.iter().any(|&(sender, _)| sender == 2),
         "slowed client 2 should offload, got {:?}",

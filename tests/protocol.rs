@@ -1,11 +1,9 @@
 //! Protocol-level integration tests: message authenticity, replay
 //! protection, network fault tolerance and the privacy boundary.
 
-use aergia::config::{ExperimentConfig, Mode};
-use aergia::engine::Engine;
 use aergia::messages::SignedAssignment;
+use aergia::prelude::*;
 use aergia::scheduler::Assignment;
-use aergia::strategy::Strategy;
 use aergia_data::partition::{Partition, Scheme};
 use aergia_data::{DataConfig, DatasetSpec};
 use aergia_enclave::{establish_session, EnclaveError, SimilarityEnclave};
@@ -44,8 +42,9 @@ fn schedule_signatures_reject_forgery_and_replay() {
 
 #[test]
 fn network_jitter_preserves_liveness_and_results_complete() {
-    let mut engine = Engine::new(timing_config(1), Strategy::aergia_default()).unwrap();
-    engine.inject_network_faults(0.0, SimDuration::from_secs_f64(0.5), 9);
+    let topology = TopologyBuilder::new().network_faults(0.0, SimDuration::from_secs_f64(0.5), 9);
+    let mut engine =
+        Engine::with_topology(timing_config(1), Strategy::aergia_default(), topology).unwrap();
     let result = engine.run().unwrap();
     assert_eq!(result.rounds.len(), 4);
     // Every participant still delivered every round (jitter only delays).
@@ -54,8 +53,8 @@ fn network_jitter_preserves_liveness_and_results_complete() {
 
 #[test]
 fn message_drops_surface_as_dropped_participants_not_hangs() {
-    let mut engine = Engine::new(timing_config(2), Strategy::FedAvg).unwrap();
-    engine.inject_network_faults(0.25, SimDuration::ZERO, 7);
+    let topology = TopologyBuilder::new().network_faults(0.25, SimDuration::ZERO, 7);
+    let mut engine = Engine::with_topology(timing_config(2), Strategy::FedAvg, topology).unwrap();
     let result = engine.run().unwrap();
     assert_eq!(result.rounds.len(), 4, "run must terminate despite drops");
     let dropped = result.total_dropped();
@@ -69,14 +68,13 @@ fn slow_scheduling_path_degrades_gracefully_to_no_offload() {
     // offload (late messages are ignored, §4.1).
     let mut config = timing_config(3);
     config.local_updates = 4; // training ends quickly
-    let mut engine = Engine::new(config, Strategy::aergia_default()).unwrap();
     let crawl = aergia_simnet::LinkModel {
         latency: SimDuration::from_secs_f64(10_000.0),
         bandwidth_bps: 1e9,
     };
-    for c in 0..6 {
-        engine.set_federator_link(c, crawl);
-    }
+    let topology =
+        (0..6).fold(TopologyBuilder::new(), |topology, c| topology.federator_link(c, crawl));
+    let mut engine = Engine::with_topology(config, Strategy::aergia_default(), topology).unwrap();
     let result = engine.run().unwrap();
     assert_eq!(result.rounds.len(), 4);
     assert_eq!(result.total_offloads(), 0, "offload must not happen on a dead path");
