@@ -46,6 +46,8 @@ const HARNESSES: &[&str] = &[
     "fig1bc_deadlines",
     "fig4_phase_profile",
     "fig6_iid",
+    "fig6_async",
+    "fig6_churn",
     "fig7_noniid",
     "fig8_round_density",
     "fig9_similarity_factor",

@@ -11,6 +11,8 @@ use aergia_nn::optim::SgdConfig;
 use aergia_simnet::LinkModel;
 use serde::{Deserialize, Serialize};
 
+use crate::scenario::ScenarioConfig;
+
 /// Whether clients really train models or only the timing is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Mode {
@@ -70,6 +72,10 @@ pub struct ExperimentConfig {
     /// to never serializing at all; the lossy codecs trade accuracy for
     /// bytes-on-wire (see the `compression_tradeoff` example).
     pub codec: CodecConfig,
+    /// Scenario knobs: buffered-async aggregation, churn injection, and
+    /// Byzantine adversaries (see [`crate::scenario`]). The default is
+    /// inert — synchronous rounds over honest, stable clients.
+    pub scenario: ScenarioConfig,
     /// Master seed (selection, batching, model init all derive from it).
     pub seed: u64,
 }
@@ -97,6 +103,7 @@ impl Default for ExperimentConfig {
             mode: Mode::Real,
             parallelism: 0,
             codec: CodecConfig::DenseF32,
+            scenario: ScenarioConfig::default(),
             seed: 7,
         }
     }
@@ -136,6 +143,9 @@ pub enum ConfigError {
     /// A [`TopologyBuilder`](crate::topology::TopologyBuilder) override
     /// is out of range for the configured cluster.
     BadTopology(&'static str),
+    /// A [`ScenarioConfig`] knob is out of range or the scenario is
+    /// incompatible with the chosen strategy.
+    BadScenario(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -154,6 +164,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "dataset has {data_classes} classes but model predicts {model_classes}")
             }
             ConfigError::BadTopology(what) => write!(f, "topology override invalid: {what}"),
+            ConfigError::BadScenario(what) => write!(f, "scenario misconfigured: {what}"),
         }
     }
 }
@@ -204,6 +215,7 @@ impl ExperimentConfig {
         if data_classes != model_classes {
             return Err(ConfigError::ArchMismatch { data_classes, model_classes });
         }
+        self.scenario.validate(self.num_clients)?;
         Ok(())
     }
 }
@@ -264,6 +276,19 @@ mod tests {
     fn zero_rounds_rejected() {
         let cfg = ExperimentConfig { rounds: 0, ..ExperimentConfig::default() };
         assert!(matches!(cfg.validate(), Err(ConfigError::ZeroSized("rounds"))));
+    }
+
+    #[test]
+    fn scenario_knobs_are_validated() {
+        use crate::scenario::{Attack, ByzantineSpec, ScenarioConfig};
+        let cfg = ExperimentConfig {
+            scenario: ScenarioConfig {
+                byzantine: vec![ByzantineSpec { client: 99, attack: Attack::SignFlip }],
+                ..ScenarioConfig::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadScenario(_))));
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! subsequent round record, the final accuracy and the final global
 //! weights match an uninterrupted run **bit for bit**, under every codec.
 //!
-//! Driver-applied overrides ([`Engine::set_client_speed`],
-//! [`Engine::set_client_link`], [`Engine::set_federator_link`]) are not
-//! part of engine state proper and must be re-applied after restore.
+//! Topology overrides (link models, speed overrides, fault injection)
+//! are not part of engine state proper: rebuild the engine through
+//! [`Engine::with_topology`] with the same
+//! [`TopologyBuilder`](crate::topology::TopologyBuilder) before
+//! restoring, exactly as the original run was constructed. The same goes
+//! for mid-run transient-load changes applied through the deprecated
+//! [`Engine::set_client_speed`] shim.
 
 use std::error::Error;
 use std::fmt;
@@ -109,11 +113,13 @@ const TIFL: [u8; 4] = *b"TIFL";
 const WDLB: [u8; 4] = *b"WDLB"; // wire: downlink base
 const WUPR: [u8; 4] = *b"WUPR"; // wire: one client's uplink residual
 const RNDS: [u8; 4] = *b"RNDS";
+const CHRN: [u8; 4] = *b"CHRN"; // churn: availability flags + rng
 const ENGV: [u8; 4] = *b"ENGV";
 
 /// Version of the engine's chunk *bodies* (the container frames the
-/// chunks; this versions what is inside them).
-const ENGINE_LAYOUT_VERSION: u16 = 1;
+/// chunks; this versions what is inside them). v2 added the optional
+/// `CHRN` chunk for scenario churn state.
+const ENGINE_LAYOUT_VERSION: u16 = 2;
 
 /// FNV-1a over the debug rendering of the config/strategy pair — enough
 /// to catch restoring into the wrong experiment, which would otherwise
@@ -304,6 +310,17 @@ impl Engine {
             }
         }
 
+        if let Some(churn) = &self.churn {
+            let (available, rng) = churn.snapshot();
+            let mut body = Vec::new();
+            put_u32(&mut body, available.len() as u32);
+            for &a in &available {
+                body.push(u8::from(a));
+            }
+            put_rng(&mut body, rng);
+            w.chunk(CHRN, body);
+        }
+
         let mut rnds = Vec::new();
         put_u32(&mut rnds, progress.rounds.len() as u32);
         for record in &progress.rounds {
@@ -444,6 +461,24 @@ impl Engine {
             }
             (None, None) => {}
             _ => return Err(CheckpointError::Mismatch("tifl state presence")),
+        }
+
+        match (&mut self.churn, chunks.get(CHRN)) {
+            (Some(churn), Some(body)) => {
+                let mut r = Reader::new(body);
+                let n = r.u32()? as usize;
+                if n != self.config.num_clients {
+                    return Err(CheckpointError::Mismatch("churn availability count"));
+                }
+                let mut available = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    available.push(r.u8()? == 1);
+                }
+                let rng = read_rng(&mut r)?;
+                churn.restore(available, rng);
+            }
+            (None, None) => {}
+            _ => return Err(CheckpointError::Mismatch("churn state presence")),
         }
 
         self.wire.broadcasts = broadcasts;

@@ -1,0 +1,154 @@
+//! Seeded client-churn state: availability evolution and crash draws.
+//!
+//! Churn is evaluated entirely on the federator side of the simulation,
+//! from one dedicated RNG stream (`seed ^ 0x6368_7572`, "chur"), so a
+//! churn run is a pure function of the configuration: availability is
+//! re-drawn at every round boundary in fixed client order, then crash
+//! points are drawn for the selected participants in ascending id order.
+//! The stream advances the same way whether the round later executes
+//! serially, in parallel, or over TCP — churn therefore inherits the
+//! workspace determinism contract for free.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::scenario::ChurnConfig;
+
+/// Mutable churn state carried by the engine across rounds (and through
+/// checkpoints — see the `CHRN` chunk).
+pub(crate) struct ChurnState {
+    pub(crate) cfg: ChurnConfig,
+    /// Availability flag per client, evolved at round boundaries.
+    pub(crate) available: Vec<bool>,
+    pub(crate) rng: StdRng,
+}
+
+impl ChurnState {
+    pub(crate) fn new(cfg: ChurnConfig, num_clients: usize, seed: u64) -> Self {
+        ChurnState {
+            cfg,
+            available: vec![true; num_clients],
+            rng: StdRng::seed_from_u64(seed ^ 0x6368_7572), // "chur"
+        }
+    }
+
+    /// Evolves availability at a round boundary: every available client
+    /// leaves with `leave_prob`, every absent client rejoins with
+    /// `rejoin_prob`. Exactly one draw per client, in id order.
+    pub(crate) fn begin_round(&mut self) {
+        for slot in self.available.iter_mut() {
+            *slot = if *slot {
+                !self.rng.random_bool(self.cfg.leave_prob)
+            } else {
+                self.rng.random_bool(self.cfg.rejoin_prob)
+            };
+        }
+    }
+
+    /// Ids currently available for selection, ascending.
+    pub(crate) fn available_ids(&self) -> Vec<usize> {
+        (0..self.available.len()).filter(|&id| self.available[id]).collect()
+    }
+
+    /// Draws this round's crash points: for each participant (ascending
+    /// id), with `crash_prob` the client dies when its `n`-th batch event
+    /// of the round fires (own and offloaded batches both count), for a
+    /// uniformly drawn `n` in `1..=max_batches`. Returns one slot per
+    /// cluster client.
+    pub(crate) fn draw_crashes(
+        &mut self,
+        participants: &[usize],
+        max_batches: u32,
+    ) -> Vec<Option<u32>> {
+        let mut plan = vec![None; self.available.len()];
+        let max = max_batches.max(1);
+        for &p in participants {
+            if self.rng.random_bool(self.cfg.crash_prob) {
+                plan[p] = Some(self.rng.random_range(1..=max));
+            }
+        }
+        plan
+    }
+
+    pub(crate) fn snapshot(&self) -> (Vec<bool>, [u64; 4]) {
+        (self.available.clone(), self.rng.state())
+    }
+
+    pub(crate) fn restore(&mut self, available: Vec<bool>, rng: [u64; 4]) {
+        debug_assert_eq!(available.len(), self.available.len());
+        self.available = available;
+        self.rng = StdRng::from_state(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::OffloadPolicy;
+
+    fn cfg(leave: f64, rejoin: f64, crash: f64) -> ChurnConfig {
+        ChurnConfig {
+            leave_prob: leave,
+            rejoin_prob: rejoin,
+            crash_prob: crash,
+            offload_policy: OffloadPolicy::Drop,
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_trace() {
+        let mut a = ChurnState::new(cfg(0.3, 0.5, 0.4), 8, 42);
+        let mut b = ChurnState::new(cfg(0.3, 0.5, 0.4), 8, 42);
+        for _ in 0..20 {
+            a.begin_round();
+            b.begin_round();
+            assert_eq!(a.available, b.available);
+            let ids = a.available_ids();
+            assert_eq!(ids, b.available_ids());
+            assert_eq!(a.draw_crashes(&ids, 16), b.draw_crashes(&ids, 16));
+        }
+    }
+
+    #[test]
+    fn zero_probabilities_leave_everyone_alone() {
+        let mut s = ChurnState::new(cfg(0.0, 1.0, 0.0), 5, 7);
+        for _ in 0..10 {
+            s.begin_round();
+            assert_eq!(s.available_ids(), vec![0, 1, 2, 3, 4]);
+            assert!(s.draw_crashes(&[0, 1, 2, 3, 4], 10).iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn certain_leave_drains_and_certain_rejoin_refills() {
+        let mut s = ChurnState::new(cfg(1.0, 1.0, 0.0), 3, 9);
+        s.begin_round();
+        assert!(s.available_ids().is_empty());
+        s.begin_round();
+        assert_eq!(s.available_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn crash_points_stay_in_range() {
+        let mut s = ChurnState::new(cfg(0.0, 1.0, 1.0), 4, 3);
+        for _ in 0..50 {
+            for point in s.draw_crashes(&[0, 1, 2, 3], 12).into_iter().flatten() {
+                assert!((1..=12).contains(&point));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_stream() {
+        let mut a = ChurnState::new(cfg(0.4, 0.4, 0.4), 6, 11);
+        a.begin_round();
+        let (avail, rng) = a.snapshot();
+        let mut b = ChurnState::new(cfg(0.4, 0.4, 0.4), 6, 999);
+        b.begin_round();
+        b.restore(avail, rng);
+        a.begin_round();
+        b.begin_round();
+        assert_eq!(a.available, b.available);
+        assert_eq!(a.draw_crashes(&[0, 1], 8), b.draw_crashes(&[0, 1], 8));
+    }
+}

@@ -22,6 +22,7 @@
 //! bit-identical to serial ones.
 
 mod checkpoint;
+mod churn;
 mod round;
 mod tifl;
 mod wire;
@@ -45,6 +46,7 @@ use rand::SeedableRng;
 
 use crate::config::{ConfigError, ExperimentConfig, Mode};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::scenario::{self, AggregationMode, RobustAggregation};
 use crate::strategy::Strategy;
 use crate::transport::{self, ClientWorkspace, InProcess, Transport, TransportError};
 
@@ -172,6 +174,8 @@ pub struct Engine {
     pub(crate) select_rng: StdRng,
     pub(crate) federator_secret: u64,
     pub(crate) tifl: Option<tifl::TiflState>,
+    /// Seeded churn trace; `None` unless the scenario configures churn.
+    pub(crate) churn: Option<churn::ChurnState>,
 }
 
 impl fmt::Debug for Engine {
@@ -212,6 +216,7 @@ impl Engine {
         topology: crate::topology::TopologyBuilder,
     ) -> Result<Self, EngineError> {
         config.validate()?;
+        scenario::validate_with_strategy(&config.scenario, &strategy)?;
         topology.validate(config.num_clients)?;
         let mut engine = Self::build(config, strategy)?;
         topology.apply(&mut engine);
@@ -277,6 +282,11 @@ impl Engine {
             _ => None,
         };
 
+        let churn = config
+            .scenario
+            .churn
+            .map(|cfg| churn::ChurnState::new(cfg, config.num_clients, config.seed));
+
         // Timing mode never executes numeric plans, so it skips the
         // per-client workspace slots entirely; real mode fills a slot the
         // first time its client trains.
@@ -303,6 +313,7 @@ impl Engine {
             config,
             strategy,
             tifl,
+            churn,
         })
     }
 
@@ -333,6 +344,26 @@ impl Engine {
 
     /// Overrides the federator→client downlink (e.g. to model a slow
     /// control path in robustness tests).
+    ///
+    /// # Migration
+    ///
+    /// Declare the link on a [`TopologyBuilder`](crate::topology::TopologyBuilder) instead, so it is
+    /// validated against the configuration before the engine exists:
+    ///
+    /// ```
+    /// use aergia::prelude::*;
+    /// use aergia_simnet::{LinkModel, SimDuration};
+    ///
+    /// let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+    /// let slow = LinkModel { latency: SimDuration::from_secs_f64(0.2), bandwidth_bps: 1e6 };
+    /// let engine = Engine::with_topology(
+    ///     config,
+    ///     Strategy::FedAvg,
+    ///     TopologyBuilder::new().federator_link(0, slow),
+    /// )
+    /// .unwrap();
+    /// # let _ = engine;
+    /// ```
     #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn set_federator_link(&mut self, to: usize, link: LinkModel) {
         self.network.set_link(
@@ -354,6 +385,25 @@ impl Engine {
     /// Changes `client`'s speed mid-run — the paper's transient-load
     /// scenario (§3.1). Takes effect from the next round.
     ///
+    /// # Migration
+    ///
+    /// For *initial* topology, declare the speed on a
+    /// [`TopologyBuilder`](crate::topology::TopologyBuilder); only mid-run transient-load changes still go
+    /// through this shim:
+    ///
+    /// ```
+    /// use aergia::prelude::*;
+    ///
+    /// let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+    /// let engine = Engine::with_topology(
+    ///     config,
+    ///     Strategy::FedAvg,
+    ///     TopologyBuilder::new().client_speed(2, 0.1),
+    /// )
+    /// .unwrap();
+    /// assert_eq!(engine.client_speed(2), 0.1);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `client` is out of range or `speed` is outside `(0, 1]`.
@@ -372,12 +422,42 @@ impl Engine {
     /// Injects network faults for robustness experiments (drops break the
     /// synchronous protocol's liveness, so only jitter is recommended for
     /// full runs).
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// use aergia::prelude::*;
+    /// use aergia_simnet::SimDuration;
+    ///
+    /// let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+    /// let jittery = TopologyBuilder::new()
+    ///     .network_faults(0.0, SimDuration::from_secs_f64(0.05), 9);
+    /// let engine = Engine::with_topology(config, Strategy::FedAvg, jittery).unwrap();
+    /// # let _ = engine;
+    /// ```
     #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn inject_network_faults(&mut self, drop_prob: f64, jitter: SimDuration, seed: u64) {
         self.network.enable_faults(drop_prob, jitter, seed);
     }
 
     /// Overrides the link model of a specific client pair.
+    ///
+    /// # Migration
+    ///
+    /// ```
+    /// use aergia::prelude::*;
+    /// use aergia_simnet::{LinkModel, SimDuration};
+    ///
+    /// let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+    /// let degraded = LinkModel { latency: SimDuration::from_secs_f64(0.1), bandwidth_bps: 5e5 };
+    /// let engine = Engine::with_topology(
+    ///     config,
+    ///     Strategy::FedAvg,
+    ///     TopologyBuilder::new().client_link(1, 3, degraded),
+    /// )
+    /// .unwrap();
+    /// # let _ = engine;
+    /// ```
     #[deprecated(since = "0.1.0", note = "pass a TopologyBuilder to Engine::with_topology instead")]
     pub fn set_client_link(&mut self, from: usize, to: usize, link: LinkModel) {
         self.network.set_link(
@@ -511,9 +591,23 @@ impl Engine {
         now: &mut SimTime,
         transport: &mut dyn Transport,
     ) -> Result<RoundRecord, EngineError> {
+        // Churn draws happen up front, in a fixed order (availability for
+        // every client, then crash points for the sorted participants), so
+        // the trace is a pure function of the configuration — independent
+        // of parallelism and transport.
+        if let Some(churn) = &mut self.churn {
+            churn.begin_round();
+        }
         let participants = self.select_participants(round);
+        let crash_plan = match &mut self.churn {
+            // A client can crash during its own batches or while serving an
+            // offload, so the crash point ranges over both budgets.
+            Some(churn) => churn.draw_crashes(&participants, 2 * self.config.local_updates),
+            None => Vec::new(),
+        };
         let bytes_before = self.network.bytes_delivered();
-        let outcome = round::simulate_round(self, round, *now, &participants, transport)?;
+        let outcome =
+            round::simulate_round(self, round, *now, &participants, &crash_plan, transport)?;
         let duration = self.finalize_round(round, &outcome)?;
         let bytes_on_wire = self.network.bytes_delivered() - bytes_before;
         *now += duration;
@@ -545,7 +639,13 @@ impl Engine {
         match &mut self.tifl {
             Some(tifl) => tifl.select(k),
             None => {
-                let mut ids: Vec<usize> = (0..self.config.num_clients).collect();
+                // Under churn only currently-available clients are
+                // selectable; a fully drained cluster yields an empty
+                // round (the global model stalls until someone rejoins).
+                let mut ids: Vec<usize> = match &self.churn {
+                    Some(churn) => churn.available_ids(),
+                    None => (0..self.config.num_clients).collect(),
+                };
                 ids.shuffle(&mut self.select_rng);
                 ids.truncate(k);
                 ids.sort_unstable();
@@ -569,7 +669,7 @@ impl Engine {
 
         // Deadline strategies drop updates that arrived too late.
         let cutoff = outcome.start + duration;
-        let mut contributions: Vec<(f32, Vec<Tensor>, u32)> = Vec::new();
+        let mut contributions: Vec<Contribution> = Vec::new();
         for update in &outcome.updates {
             if update.arrived > cutoff {
                 continue;
@@ -590,23 +690,92 @@ impl Engine {
                     }
                 }
             }
-            contributions.push((update.num_samples as f32, weights, update.tau));
+            contributions.push(Contribution {
+                client: update.client,
+                n: update.num_samples as f32,
+                weights,
+                tau: update.tau,
+                arrived: update.arrived,
+            });
         }
 
         if contributions.is_empty() {
-            // Every update missed the deadline: the global model stalls.
+            // Every update missed the deadline (or every participant was
+            // lost): the global model stalls.
             return Ok(duration);
         }
 
-        self.global = match self.strategy {
-            Strategy::FedNova => fednova_aggregate(&self.global, &contributions),
-            _ => {
-                let weighted: Vec<(f32, Vec<Tensor>)> =
-                    contributions.into_iter().map(|(n, w_i, _)| (n, w_i)).collect();
-                w::weighted_average(&weighted)
+        match self.config.scenario.aggregation {
+            AggregationMode::Synchronous => self.aggregate_synchronous(contributions)?,
+            AggregationMode::BufferedAsync { max_staleness, mixing } => {
+                self.fold_async(contributions, outcome.start, max_staleness, mixing);
+            }
+        }
+        Ok(duration)
+    }
+
+    /// One synchronous aggregation step over the round's full buffer: the
+    /// strategy's native mean, or a Byzantine-robust replacement.
+    fn aggregate_synchronous(
+        &mut self,
+        contributions: Vec<Contribution>,
+    ) -> Result<(), EngineError> {
+        self.global = match self.config.scenario.robust {
+            RobustAggregation::Mean => match self.strategy {
+                Strategy::FedNova => {
+                    let triples: Vec<(f32, Vec<Tensor>, u32)> =
+                        contributions.into_iter().map(|c| (c.n, c.weights, c.tau)).collect();
+                    fednova_aggregate(&self.global, &triples)
+                }
+                _ => {
+                    let weighted: Vec<(f32, Vec<Tensor>)> =
+                        contributions.into_iter().map(|c| (c.n, c.weights)).collect();
+                    w::weighted_average(&weighted)
+                }
+            },
+            RobustAggregation::CoordinateMedian => {
+                let snaps: Vec<Vec<Tensor>> =
+                    contributions.into_iter().map(|c| c.weights).collect();
+                w::coordinate_median(&snaps)
+            }
+            RobustAggregation::TrimmedMean { trim_ratio } => {
+                let snaps: Vec<Vec<Tensor>> =
+                    contributions.into_iter().map(|c| c.weights).collect();
+                let trim = (trim_ratio * snaps.len() as f64).floor() as usize;
+                w::trimmed_mean(&snaps, trim)
             }
         };
-        Ok(duration)
+        Ok(())
+    }
+
+    /// Buffered asynchronous folding (FedBuff/FedLGA style): updates fold
+    /// into the global model one at a time, in virtual-clock arrival
+    /// order, each discounted by its staleness —
+    /// `global ← (1−α)·global + α·update` with
+    /// `α = mixing · staleness_weight(arrived − start)`. Arrival order is
+    /// fixed by the value-free event stage, so the fold — and with it the
+    /// whole run — stays bit-identical across parallelism settings and
+    /// transports. A fully stale buffer (every `α` exactly zero) leaves
+    /// the global model bitwise unchanged.
+    fn fold_async(
+        &mut self,
+        mut contributions: Vec<Contribution>,
+        start: SimTime,
+        max_staleness: SimDuration,
+        mixing: f64,
+    ) {
+        contributions.sort_by_key(|c| (c.arrived, c.client));
+        for c in contributions {
+            let alpha = mixing * scenario::staleness_weight(c.arrived - start, max_staleness);
+            if alpha <= 0.0 {
+                continue;
+            }
+            let alpha = alpha as f32;
+            for (g, wi) in self.global.iter_mut().zip(&c.weights) {
+                let d = wi.sub(g);
+                g.axpy(alpha, &d);
+            }
+        }
     }
 
     /// Builds a fresh optimizer for a client's local round. FedProx
@@ -655,6 +824,17 @@ impl Engine {
     pub fn global_weights(&self) -> &[Tensor] {
         &self.global
     }
+}
+
+/// One surviving client update, ready for aggregation: recombined
+/// (Aergia), cutoff-filtered, with the arrival metadata the async fold
+/// and FedNova need.
+struct Contribution {
+    client: usize,
+    n: f32,
+    weights: Vec<Tensor>,
+    tau: u32,
+    arrived: SimTime,
 }
 
 /// FedNova normalized aggregation (Wang et al. 2020):

@@ -40,11 +40,14 @@ use std::collections::{HashMap, HashSet};
 use aergia_nn::optim::Sgd;
 use aergia_simnet::network::Delivery;
 use aergia_simnet::{EventQueue, NodeId, SimDuration, SimTime};
-use aergia_tensor::Tensor;
+use aergia_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::config::Mode;
 use crate::messages::{Message, RoundWireSizes, SignedAssignment};
 use crate::profiler::{OnlineProfiler, ProfileReport};
+use crate::scenario::{Attack, OffloadPolicy};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
 use crate::transport::{ClientWorkspace, OffloadOrder, RoundContext, TrainOrder, Transport};
@@ -145,6 +148,11 @@ struct RClient {
     offload_batches_run: u32,
     offload_remaining: u32,
     offload_running: bool,
+    /// Churn: the client died mid-round and ignores all further events.
+    crashed: bool,
+    /// Total batch events survived this round (own + offloaded) — the
+    /// clock the churn crash point is measured on.
+    batches_total: u32,
 }
 
 impl RClient {
@@ -161,7 +169,24 @@ impl RClient {
             offload_batches_run: 0,
             offload_remaining: 0,
             offload_running: false,
+            crashed: false,
+            batches_total: 0,
         }
+    }
+}
+
+/// Advances `rc`'s batch clock by one event; returns `true` (marking the
+/// client crashed) when the churn crash point is reached. The fatal
+/// batch's work is lost — counters are not advanced past the crash.
+fn crashes_now(threshold: Option<u32>, rc: &mut RClient) -> bool {
+    let next = rc.batches_total + 1;
+    if threshold.is_some_and(|n| next >= n) {
+        rc.crashed = true;
+        rc.active = false;
+        true
+    } else {
+        rc.batches_total = next;
+        false
     }
 }
 
@@ -199,10 +224,12 @@ pub(crate) fn simulate_round(
     round: u32,
     start: SimTime,
     participants: &[usize],
+    crash_after: &[Option<u32>],
     transport: &mut dyn Transport,
 ) -> Result<RoundOutcome, EngineError> {
     let mode = engine.config.mode;
     let local_updates = engine.config.local_updates;
+    let reschedule_policy = engine.config.scenario.churn.map(|c| c.offload_policy);
     let profile_window = match engine.strategy {
         Strategy::Aergia { profile_batches, .. } => profile_batches.min(local_updates),
         _ => 0,
@@ -271,6 +298,128 @@ pub(crate) fn simulate_round(
         }};
     }
 
+    // Helper: run Aergia's scheduler once every live participant has
+    // reported. Crashes close the client's connection, so the federator
+    // detects the loss promptly and removes it from the wait set — a
+    // participant crashing inside its profile window therefore delays the
+    // schedule only until the remaining reports land, instead of stalling
+    // it forever.
+    macro_rules! try_schedule {
+        ($now:expr) => {{
+            if !schedule_sent
+                && profile_window > 0
+                && participants.iter().all(|p| reports.contains_key(p) || rclients[*p].crashed)
+            {
+                schedule_sent = true;
+                let perfs: Vec<ClientPerf> = participants
+                    .iter()
+                    .filter_map(|&p| {
+                        reports.get(&p).map(|r| ClientPerf {
+                            id: p,
+                            t123: r.t123(),
+                            t4: r.t4(),
+                            feature_only: r.feature_only_batch(),
+                            remaining: r.remaining_updates,
+                        })
+                    })
+                    .collect();
+                if !perfs.is_empty() {
+                    let schedule = scheduler::schedule(
+                        &perfs,
+                        &engine.similarity,
+                        similarity_factor,
+                        op_variant,
+                    );
+                    for assignment in schedule.assignments {
+                        let signed =
+                            SignedAssignment::sign(engine.federator_secret, round, assignment);
+                        send!(
+                            $now,
+                            NodeId::FEDERATOR,
+                            node(assignment.sender),
+                            Dest::Client(assignment.sender),
+                            Message::Schedule(signed)
+                        );
+                        send!(
+                            $now,
+                            NodeId::FEDERATOR,
+                            node(assignment.receiver),
+                            Dest::Client(assignment.receiver),
+                            Message::ScheduleNotice(signed)
+                        );
+                    }
+                }
+            }
+        }};
+    }
+
+    // Helper: federator-side crash fallout, run when a participant dies.
+    // Beyond unblocking the scheduler, a crashed *receiver* takes its
+    // straggler's offload down with it — unless the churn policy says to
+    // reschedule, in which case the federator reassigns the remaining
+    // batches to the fastest alive participant not already serving an
+    // offload (lower id on speed ties) and the straggler re-ships its
+    // frozen snapshot.
+    macro_rules! handle_crash {
+        ($c:expr, $now:expr) => {{
+            let c: usize = $c;
+            try_schedule!($now);
+            let pending = match &rclients[c].notice {
+                Some(signed) if rclients[c].offload_remaining > 0 => {
+                    Some((signed.assignment.sender, rclients[c].offload_remaining))
+                }
+                _ => None,
+            };
+            if let Some((weak, remaining)) = pending {
+                if reschedule_policy == Some(OffloadPolicy::Reschedule) && !rclients[weak].crashed {
+                    let candidate = participants
+                        .iter()
+                        .copied()
+                        .filter(|&p| {
+                            p != c
+                                && p != weak
+                                && rclients[p].active
+                                && !rclients[p].crashed
+                                && !rclients[p].frozen
+                                && rclients[p].notice.is_none()
+                        })
+                        .max_by(|&a, &b| {
+                            engine.clients[a]
+                                .cpu
+                                .speed()
+                                .total_cmp(&engine.clients[b].cpu.speed())
+                                .then(b.cmp(&a)) // lower id wins speed ties
+                        });
+                    if let Some(r2) = candidate {
+                        let assignment = scheduler::Assignment {
+                            sender: weak,
+                            receiver: r2,
+                            offload_batches: remaining,
+                            estimated_ct: 0.0,
+                        };
+                        let signed =
+                            SignedAssignment::sign(engine.federator_secret, round, assignment);
+                        offloads_activated.push((weak, r2));
+                        send!(
+                            $now,
+                            NodeId::FEDERATOR,
+                            node(r2),
+                            Dest::Client(r2),
+                            Message::ScheduleNotice(signed)
+                        );
+                        send!(
+                            $now,
+                            node(weak),
+                            node(r2),
+                            Dest::Client(r2),
+                            Message::OffloadModel { round, from: weak, payload: None }
+                        );
+                    }
+                }
+            }
+        }};
+    }
+
     while let Some((now, ev)) = queue.pop() {
         match ev {
             Ev::Deliver(Dest::Client(c), Message::StartRound { round: r, .. }) => {
@@ -286,6 +435,13 @@ pub(crate) fn simulate_round(
             }
 
             Ev::BatchDone(c) => {
+                if rclients[c].crashed {
+                    continue;
+                }
+                if crashes_now(crash_after.get(c).copied().flatten(), &mut rclients[c]) {
+                    handle_crash!(c, now);
+                    continue;
+                }
                 let rc = &mut rclients[c];
                 rc.batches_done += 1;
 
@@ -345,46 +501,7 @@ pub(crate) fn simulate_round(
                     continue;
                 }
                 reports.insert(client, report);
-                if !schedule_sent && reports.len() == participants.len() {
-                    schedule_sent = true;
-                    let perfs: Vec<ClientPerf> = participants
-                        .iter()
-                        .map(|&p| {
-                            let r = &reports[&p];
-                            ClientPerf {
-                                id: p,
-                                t123: r.t123(),
-                                t4: r.t4(),
-                                feature_only: r.feature_only_batch(),
-                                remaining: r.remaining_updates,
-                            }
-                        })
-                        .collect();
-                    let schedule = scheduler::schedule(
-                        &perfs,
-                        &engine.similarity,
-                        similarity_factor,
-                        op_variant,
-                    );
-                    for assignment in schedule.assignments {
-                        let signed =
-                            SignedAssignment::sign(engine.federator_secret, round, assignment);
-                        send!(
-                            now,
-                            NodeId::FEDERATOR,
-                            node(assignment.sender),
-                            Dest::Client(assignment.sender),
-                            Message::Schedule(signed)
-                        );
-                        send!(
-                            now,
-                            NodeId::FEDERATOR,
-                            node(assignment.receiver),
-                            Dest::Client(assignment.receiver),
-                            Message::ScheduleNotice(signed)
-                        );
-                    }
-                }
+                try_schedule!(now);
             }
 
             Ev::Deliver(Dest::Client(c), Message::Schedule(signed)) => {
@@ -410,7 +527,7 @@ pub(crate) fn simulate_round(
             }
 
             Ev::Deliver(Dest::Client(c), Message::ScheduleNotice(signed)) => {
-                if !signed.verify(engine.federator_secret, round) {
+                if !signed.verify(engine.federator_secret, round) || rclients[c].crashed {
                     continue;
                 }
                 let rc = &mut rclients[c];
@@ -422,7 +539,7 @@ pub(crate) fn simulate_round(
             }
 
             Ev::Deliver(Dest::Client(c), Message::OffloadModel { round: r, from, .. }) => {
-                if r != round {
+                if r != round || rclients[c].crashed {
                     continue;
                 }
                 rclients[c].offload_from = Some(from);
@@ -432,6 +549,14 @@ pub(crate) fn simulate_round(
             }
 
             Ev::OffloadBatchDone(c) => {
+                if rclients[c].crashed {
+                    continue;
+                }
+                if crashes_now(crash_after.get(c).copied().flatten(), &mut rclients[c]) {
+                    rclients[c].offload_running = false;
+                    handle_crash!(c, now);
+                    continue;
+                }
                 let rc = &mut rclients[c];
                 rc.offload_batches_run += 1;
                 rc.offload_remaining -= 1;
@@ -490,15 +615,27 @@ pub(crate) fn simulate_round(
                 own_batches: rc.batches_done,
                 freeze_after: rc.frozen_at,
                 snapshot_wanted: false,
+                // A crashed receiver's partial feature training is
+                // censored with it — and must not consume the straggler's
+                // snapshot, which a rescheduled receiver may still need.
                 offload: rc
                     .offload_from
-                    .filter(|_| rc.offload_batches_run > 0)
+                    .filter(|_| rc.offload_batches_run > 0 && !rc.crashed)
                     .map(|weak| OffloadPlan { weak, batches: rc.offload_batches_run }),
             })
             .collect();
         for c in 0..plans.len() {
             if let Some(offload) = plans[c].offload {
                 plans[offload.weak].snapshot_wanted = true;
+            }
+        }
+        // A crashed client's update never reaches the federator, so its
+        // numeric training only executes when its frozen snapshot feeds a
+        // surviving offload.
+        for (c, plan) in plans.iter_mut().enumerate() {
+            if rclients[c].crashed && !plan.snapshot_wanted {
+                plan.own_batches = 0;
+                plan.freeze_after = None;
             }
         }
         let base = round_base.as_deref().expect("real mode always decodes a broadcast");
@@ -711,7 +848,21 @@ fn execute_plans(
     // aggregates the decoded reconstructions, and each client's
     // error-feedback residual advances exactly once per upload.
     for update in updates.iter_mut() {
-        let Some(trained) = final_weights.remove(&update.client) else { continue };
+        let Some(mut trained) = final_weights.remove(&update.client) else { continue };
+        // Byzantine clients poison the update they hand to the uplink —
+        // after honest local training, before the wire. The codec and the
+        // shape-only frame sizing are untouched, so the virtual clock
+        // cannot tell an adversary from an honest client.
+        if let Some(attack) = engine.config.scenario.attack_for(update.client) {
+            apply_attack(
+                &mut trained,
+                round_base,
+                attack,
+                engine.config.seed,
+                round,
+                update.client,
+            );
+        }
         let (frame, delivered) = engine.wire.encode_update(update.client, &trained, round_base);
         debug_assert_eq!(frame.wire_len(), sizes.client_update, "update frame size drifted");
         update.weights = Some(delivered);
@@ -725,6 +876,43 @@ fn execute_plans(
         result.features = Some(delivered);
     }
     Ok(losses)
+}
+
+/// Applies a Byzantine perturbation to `weights` in place, relative to
+/// `base` (the round's decoded broadcast — the model the adversary also
+/// received). Noise draws come from a stream seeded by
+/// `(seed, round, client)` alone, so the attack is a pure function of
+/// the configuration — identical across parallelism settings and
+/// transports.
+fn apply_attack(
+    weights: &mut [Tensor],
+    base: &[Tensor],
+    attack: Attack,
+    seed: u64,
+    round: u32,
+    client: usize,
+) {
+    match attack {
+        Attack::SignFlip => {
+            // w ← base − (w − base): reverse the client's learning step.
+            for (w, b) in weights.iter_mut().zip(base) {
+                let d = w.sub(b);
+                *w = b.clone();
+                w.axpy(-1.0, &d);
+            }
+        }
+        Attack::ScaledNoise { scale } => {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ 0xb12a_b12a ^ (u64::from(round) << 32) ^ client as u64,
+            );
+            for (w, b) in weights.iter_mut().zip(base) {
+                let mut noise = Tensor::zeros(b.dims());
+                init::normal(&mut noise, &mut rng, 0.0, scale);
+                *w = b.clone();
+                w.add_assign(&noise);
+            }
+        }
+    }
 }
 
 fn can_start_offload(rc: &RClient) -> bool {

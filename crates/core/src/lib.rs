@@ -66,6 +66,7 @@ pub mod messages;
 pub mod metrics;
 pub mod prelude;
 pub mod profiler;
+pub mod scenario;
 pub mod scheduler;
 pub mod strategy;
 pub mod topology;

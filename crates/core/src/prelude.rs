@@ -17,6 +17,10 @@
 pub use crate::config::{ConfigError, ExperimentConfig, Mode};
 pub use crate::engine::{CheckpointError, Engine, EngineError, RunProgress};
 pub use crate::metrics::{RoundRecord, RunResult};
+pub use crate::scenario::{
+    AggregationMode, Attack, ByzantineSpec, ChurnConfig, OffloadPolicy, RobustAggregation,
+    ScenarioConfig,
+};
 pub use crate::strategy::Strategy;
 pub use crate::topology::TopologyBuilder;
 pub use crate::transport::{InProcess, Transport, TransportError};

@@ -3,6 +3,7 @@
 //! ```text
 //! aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P]
 //!                    [--strategy aergia|fedavg|fedprox]
+//!                    [--scenario none|async|churn|byzantine]
 //!                    [--halt-after-round N] [--reply-timeout-secs N]
 //! ```
 //!
@@ -16,12 +17,13 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use aergia_net::coordinator::{serve, CoordinatorOpts};
-use aergia_net::presets::{codec_by_name, smoke_config, strategy_by_name};
+use aergia_net::presets::{codec_by_name, scenario_by_name, smoke_config, strategy_by_name};
 
 fn usage() -> ! {
     eprintln!(
         "usage: aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P] \
-         [--strategy aergia|fedavg|fedprox] [--halt-after-round N] [--reply-timeout-secs N]"
+         [--strategy aergia|fedavg|fedprox] [--scenario none|async|churn|byzantine] \
+         [--halt-after-round N] [--reply-timeout-secs N]"
     );
     std::process::exit(64);
 }
@@ -32,6 +34,7 @@ fn main() {
     let mut seed = 33u64;
     let mut codec = "dense".to_string();
     let mut strategy = "aergia".to_string();
+    let mut scenario = "none".to_string();
     let mut halt_after_round = None;
     let mut reply_timeout = Duration::from_secs(120);
     while let Some(flag) = args.next() {
@@ -41,6 +44,7 @@ fn main() {
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--codec" => codec = value(),
             "--strategy" => strategy = value(),
+            "--scenario" => scenario = value(),
             "--halt-after-round" => {
                 halt_after_round = Some(value().parse().unwrap_or_else(|_| usage()));
             }
@@ -53,6 +57,7 @@ fn main() {
     let Some(dir) = dir else { usage() };
     let Some(codec) = codec_by_name(&codec) else { usage() };
     let Some(strategy) = strategy_by_name(&strategy) else { usage() };
+    let Some(scenario) = scenario_by_name(&scenario) else { usage() };
 
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("aergia-coordinator: cannot create {dir:?}: {e}");
@@ -62,7 +67,9 @@ fn main() {
     opts.halt_after_round = halt_after_round;
     opts.reply_timeout = reply_timeout;
 
-    match serve(smoke_config(seed, codec), strategy, &opts) {
+    let mut config = smoke_config(seed, codec);
+    config.scenario = scenario;
+    match serve(config, strategy, &opts) {
         Ok(Some(outcome)) => {
             eprintln!(
                 "aergia-coordinator: finished {} rounds, final accuracy {:.3}",

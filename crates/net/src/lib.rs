@@ -32,6 +32,26 @@
 //! coordinator crash is survived through the per-round checkpoint file
 //! (clients reconnect with backoff and the resumed coordinator replays
 //! from the last completed round).
+//!
+//! # Examples
+//!
+//! The [`presets`] module is the single source of experiment
+//! configurations for both the coordinator binary and the parity test
+//! suites — a TCP run and its in-process reference must be built from
+//! the same definition for bit-identity to be checkable:
+//!
+//! ```
+//! use aergia_net::presets::{codec_by_name, scenario_by_name, smoke_config, strategy_by_name};
+//!
+//! let mut config = smoke_config(33, codec_by_name("dense").unwrap());
+//! config.scenario = scenario_by_name("churn").unwrap();
+//! let strategy = strategy_by_name("aergia").unwrap();
+//! // The same `Engine` the coordinator serves over TCP, runnable
+//! // in-process; `aergia-coordinator --scenario churn` matches it
+//! // bit for bit.
+//! let engine = aergia::Engine::new(config, strategy).expect("presets validate");
+//! assert!(!engine.global_weights().is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

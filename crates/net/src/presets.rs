@@ -43,6 +43,49 @@ pub fn strategy_by_name(name: &str) -> Option<Strategy> {
     }
 }
 
+/// Parses the coordinator CLI's scenario name.
+///
+/// These are fixed presets rather than free-form knobs on purpose: the
+/// e2e suite asserts a TCP run is bit-identical to the in-process
+/// simulator *on the same configuration*, so both sides must construct
+/// the scenario from the same single definition.
+///
+/// * `none` — the inert default: synchronous rounds, plain mean, no
+///   churn, no adversaries.
+/// * `async` — buffered-asynchronous aggregation with a generous
+///   staleness horizon and mixing rate ½.
+/// * `churn` — seeded join/leave/crash churn with crashed stragglers'
+///   offloads rescheduled to the fastest idle peer.
+/// * `byzantine` — a sign-flipping client 0 under trimmed-mean
+///   aggregation (one trimmed per side at smoke scale).
+pub fn scenario_by_name(name: &str) -> Option<ScenarioConfig> {
+    match name {
+        "none" => Some(ScenarioConfig::default()),
+        "async" => Some(ScenarioConfig {
+            aggregation: AggregationMode::BufferedAsync {
+                max_staleness: aergia_simnet::SimDuration::from_secs_f64(1e6),
+                mixing: 0.5,
+            },
+            ..ScenarioConfig::default()
+        }),
+        "churn" => Some(ScenarioConfig {
+            churn: Some(ChurnConfig {
+                leave_prob: 0.15,
+                rejoin_prob: 0.7,
+                crash_prob: 0.45,
+                offload_policy: OffloadPolicy::Reschedule,
+            }),
+            ..ScenarioConfig::default()
+        }),
+        "byzantine" => Some(ScenarioConfig {
+            robust: RobustAggregation::TrimmedMean { trim_ratio: 0.3 },
+            byzantine: vec![ByzantineSpec { client: 0, attack: Attack::SignFlip }],
+            ..ScenarioConfig::default()
+        }),
+        _ => None,
+    }
+}
+
 /// Parses the coordinator CLI's codec name (`dense`, `quant`, or
 /// `topk:<keep_permille>`).
 pub fn codec_by_name(name: &str) -> Option<CodecConfig> {
@@ -71,6 +114,23 @@ mod tests {
         assert_eq!(codec_by_name("topk:100"), Some(CodecConfig::TopKDelta { keep_permille: 100 }));
         assert!(codec_by_name("topk:0").is_none());
         assert!(codec_by_name("gzip").is_none());
+        assert!(scenario_by_name("none").is_some_and(|s| s.is_inert()));
+        assert!(matches!(
+            scenario_by_name("async").map(|s| s.aggregation),
+            Some(AggregationMode::BufferedAsync { .. })
+        ));
+        assert!(scenario_by_name("churn").is_some_and(|s| s.churn.is_some()));
+        assert!(scenario_by_name("byzantine").is_some_and(|s| !s.byzantine.is_empty()));
+        assert!(scenario_by_name("chaos").is_none());
+        // Every named scenario must be servable on the smoke preset.
+        for name in ["none", "async", "churn", "byzantine"] {
+            let mut config = smoke_config(33, CodecConfig::DenseF32);
+            config.scenario = scenario_by_name(name).unwrap();
+            assert!(
+                aergia::Engine::new(config, Strategy::FedAvg).is_ok(),
+                "scenario preset {name} must validate on the smoke config"
+            );
+        }
         // The smoke preset must be valid — the whole e2e suite builds on it.
         let config = smoke_config(33, CodecConfig::DenseF32);
         assert!(aergia::Engine::new(config, Strategy::aergia_default()).is_ok());

@@ -113,6 +113,68 @@ pub fn weighted_average(snapshots: &[(f32, Vec<Tensor>)]) -> Vec<Tensor> {
     acc
 }
 
+/// Coordinate-wise median across snapshots — a Byzantine-robust
+/// alternative to [`weighted_average`] that ignores sample counts.
+///
+/// Each output element is the median of the corresponding elements of
+/// every snapshot (for an even count, the mean of the two middle
+/// values). Values are ordered by [`f32::total_cmp`], so the result is
+/// a pure function of the input multiset — bit-identical regardless of
+/// snapshot order.
+///
+/// # Panics
+///
+/// Panics if `snapshots` is empty or the snapshots disagree in structure.
+pub fn coordinate_median(snapshots: &[Vec<Tensor>]) -> Vec<Tensor> {
+    trimmed_mean(snapshots, usize::MAX)
+}
+
+/// Coordinate-wise trimmed mean: per element, drops the `trim_per_side`
+/// smallest and largest values, then averages the survivors.
+///
+/// `trim_per_side` saturates at `(k−1)/2` so at least one value always
+/// survives; at the saturation point the rule degenerates bit-exactly to
+/// [`coordinate_median`]. `trim_per_side = 0` is the plain unweighted
+/// mean. Ignores sample counts; ordering uses [`f32::total_cmp`].
+///
+/// # Panics
+///
+/// Panics if `snapshots` is empty or the snapshots disagree in structure.
+pub fn trimmed_mean(snapshots: &[Vec<Tensor>], trim_per_side: usize) -> Vec<Tensor> {
+    assert!(!snapshots.is_empty(), "trimmed_mean: no snapshots");
+    let k = snapshots.len();
+    let trim = trim_per_side.min((k - 1) / 2);
+    let keep = k - 2 * trim;
+    let first = &snapshots[0];
+    for snap in snapshots {
+        assert_eq!(snap.len(), first.len(), "trimmed_mean: snapshot structure mismatch");
+    }
+    let mut scratch: Vec<f32> = Vec::with_capacity(k);
+    first
+        .iter()
+        .enumerate()
+        .map(|(ti, proto)| {
+            for snap in snapshots {
+                assert_eq!(
+                    snap[ti].dims(),
+                    proto.dims(),
+                    "trimmed_mean: snapshot structure mismatch"
+                );
+            }
+            let data: Vec<f32> = (0..proto.data().len())
+                .map(|ei| {
+                    scratch.clear();
+                    scratch.extend(snapshots.iter().map(|snap| snap[ti].data()[ei]));
+                    scratch.sort_unstable_by(f32::total_cmp);
+                    let sum: f32 = scratch[trim..trim + keep].iter().sum();
+                    sum / keep as f32
+                })
+                .collect();
+            Tensor::from_vec(data, proto.dims()).expect("trimmed_mean: shape preserved")
+        })
+        .collect()
+}
+
 /// `a − b`, elementwise across the snapshot.
 ///
 /// # Panics
@@ -218,5 +280,63 @@ mod tests {
     #[should_panic(expected = "no snapshots")]
     fn weighted_average_rejects_empty() {
         weighted_average(&[]);
+    }
+
+    #[test]
+    fn coordinate_median_odd_and_even_counts() {
+        let odd = coordinate_median(&[snap(&[1.0, -9.0]), snap(&[5.0, 0.0]), snap(&[3.0, 99.0])]);
+        assert_eq!(odd[0].data(), &[3.0, 0.0]);
+        let even = coordinate_median(&[snap(&[1.0]), snap(&[3.0]), snap(&[100.0]), snap(&[2.0])]);
+        assert_eq!(even[0].data(), &[2.5]);
+        let single = coordinate_median(&[snap(&[7.0])]);
+        assert_eq!(single[0].data(), &[7.0]);
+    }
+
+    #[test]
+    fn coordinate_median_resists_a_minority_outlier() {
+        // One adversarial snapshot with absurd values cannot move the
+        // median outside the honest range.
+        let honest = [snap(&[1.0]), snap(&[1.1]), snap(&[0.9])];
+        let m = coordinate_median(&[
+            honest[0].clone(),
+            honest[1].clone(),
+            honest[2].clone(),
+            snap(&[-1e30]),
+        ]);
+        assert!(m[0].data()[0] >= 0.9 && m[0].data()[0] <= 1.1);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // Values {0, 1, 2, 100}: trim 1 per side keeps {1, 2} → 1.5.
+        let t = trimmed_mean(&[snap(&[0.0]), snap(&[1.0]), snap(&[2.0]), snap(&[100.0])], 1);
+        assert_eq!(t[0].data(), &[1.5]);
+        // Trim 0 is the plain mean.
+        let mean = trimmed_mean(&[snap(&[0.0]), snap(&[4.0])], 0);
+        assert_eq!(mean[0].data(), &[2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_saturates_to_the_median() {
+        let snaps = [snap(&[1.0, 5.0]), snap(&[2.0, 6.0]), snap(&[3.0, 7.0]), snap(&[4.0, 8.0])];
+        for extreme in [2usize, 10, usize::MAX] {
+            let t = trimmed_mean(&snaps, extreme);
+            let m = coordinate_median(&snaps);
+            assert_eq!(t[0].data(), m[0].data(), "trim {extreme}");
+        }
+    }
+
+    #[test]
+    fn robust_rules_are_order_invariant() {
+        let a = [snap(&[1.0]), snap(&[9.0]), snap(&[2.0])];
+        let b = [snap(&[9.0]), snap(&[2.0]), snap(&[1.0])];
+        assert_eq!(coordinate_median(&a), coordinate_median(&b));
+        assert_eq!(trimmed_mean(&a, 1), trimmed_mean(&b, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn trimmed_mean_rejects_empty() {
+        trimmed_mean(&[], 1);
     }
 }

@@ -32,6 +32,28 @@
 //! from [`std::thread::available_parallelism`] otherwise. A size of 1 spawns
 //! no workers at all: every operation degenerates to an inline loop on the
 //! calling thread.
+//!
+//! # Examples
+//!
+//! Chunk boundaries depend only on `chunk_len`, never on the pool size,
+//! so the result below is identical on a 1-thread and a 16-thread pool:
+//!
+//! ```
+//! use aergia_runtime::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let mut data = vec![1.0f32; 1000];
+//! pool.par_chunks_mut(&mut data, 256, |chunk_index, chunk| {
+//!     for value in chunk {
+//!         *value += chunk_index as f32;
+//!     }
+//! });
+//! assert_eq!(data[0], 1.0); // chunk 0
+//! assert_eq!(data[999], 4.0); // chunk 3
+//!
+//! let (a, b) = aergia_runtime::join(|| 2 + 2, || "concurrently");
+//! assert_eq!((a, b), (4, "concurrently"));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,170 @@
+//! Scenario matrix sweep: every axis of the scenario engine — buffered
+//! asynchronous aggregation, seeded churn with both offload-recovery
+//! policies, and Byzantine clients under each robust aggregator — run on
+//! one heterogeneous cluster and tabulated side by side.
+//!
+//! Each row is a complete federated run on the *same* data, model and
+//! speed distribution; only `ExperimentConfig::scenario` changes. The
+//! rows therefore answer the questions `docs/scenarios.md` poses: what
+//! does an asynchronous fold cost in accuracy, how much does churn hurt,
+//! and how well does each robust aggregator blunt an adversary the plain
+//! mean cannot survive.
+//!
+//! The cluster itself is declared through [`TopologyBuilder`] — the
+//! replacement for the deprecated post-build engine mutators — so this
+//! example doubles as the builder's end-to-end demo: one client is
+//! slowed to a crawl and mild network jitter is injected, both validated
+//! against the configuration before the engine exists.
+//!
+//! ```sh
+//! AERGIA_SCALE=smoke cargo run --release --example scenario_sweep
+//! ```
+
+use aergia::prelude::*;
+use aergia_bench::{engine_parallelism, Scale};
+use aergia_data::partition::Scheme;
+use aergia_data::{DataConfig, DatasetSpec};
+use aergia_nn::models::ModelArch;
+use aergia_simnet::SimDuration;
+
+/// One row of the sweep: a named scenario and the strategy it runs under.
+struct Row {
+    name: &'static str,
+    scenario: ScenarioConfig,
+    strategy: Strategy,
+}
+
+fn base(smoke: bool) -> ExperimentConfig {
+    let clients = 4;
+    ExperimentConfig {
+        dataset: DataConfig {
+            spec: DatasetSpec::MnistLike,
+            train_size: if smoke { 60 } else { 120 } * clients,
+            test_size: if smoke { 120 } else { 240 },
+            seed: 17,
+        },
+        arch: ModelArch::MnistCnn,
+        partition: Scheme::Iid,
+        num_clients: clients,
+        clients_per_round: clients,
+        rounds: if smoke { 3 } else { 6 },
+        local_updates: if smoke { 8 } else { 16 },
+        batch_size: 8,
+        speeds: vec![0.15, 0.4, 0.7, 1.0],
+        mode: Mode::Real,
+        parallelism: engine_parallelism(),
+        seed: 36,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn rows() -> Vec<Row> {
+    let asynchronous = |mixing| AggregationMode::BufferedAsync {
+        max_staleness: SimDuration::from_secs_f64(1e6),
+        mixing,
+    };
+    let churn = |offload_policy| {
+        Some(ChurnConfig { leave_prob: 0.15, rejoin_prob: 0.7, crash_prob: 0.45, offload_policy })
+    };
+    let sign_flipper = vec![ByzantineSpec { client: 0, attack: Attack::SignFlip }];
+    let noisy = vec![ByzantineSpec { client: 0, attack: Attack::ScaledNoise { scale: 4.0 } }];
+    vec![
+        Row {
+            name: "baseline (sync mean)",
+            scenario: ScenarioConfig::default(),
+            strategy: Strategy::aergia_default(),
+        },
+        Row {
+            name: "async mixing=0.5",
+            scenario: ScenarioConfig { aggregation: asynchronous(0.5), ..Default::default() },
+            strategy: Strategy::aergia_default(),
+        },
+        Row {
+            name: "churn drop",
+            scenario: ScenarioConfig { churn: churn(OffloadPolicy::Drop), ..Default::default() },
+            strategy: Strategy::aergia_default(),
+        },
+        Row {
+            name: "churn reschedule",
+            scenario: ScenarioConfig {
+                churn: churn(OffloadPolicy::Reschedule),
+                ..Default::default()
+            },
+            strategy: Strategy::aergia_default(),
+        },
+        Row {
+            name: "sign-flip, mean",
+            scenario: ScenarioConfig { byzantine: sign_flipper.clone(), ..Default::default() },
+            strategy: Strategy::FedAvg,
+        },
+        Row {
+            name: "sign-flip, median",
+            scenario: ScenarioConfig {
+                robust: RobustAggregation::CoordinateMedian,
+                byzantine: sign_flipper,
+                ..Default::default()
+            },
+            strategy: Strategy::FedAvg,
+        },
+        Row {
+            name: "noise, trimmed mean",
+            scenario: ScenarioConfig {
+                robust: RobustAggregation::TrimmedMean { trim_ratio: 0.3 },
+                byzantine: noisy,
+                ..Default::default()
+            },
+            strategy: Strategy::FedAvg,
+        },
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = Scale::from_env() == Scale::Smoke;
+
+    // The cluster every row runs on: client 3's downlink is jittered and
+    // client 0 is slowed further than its configured fraction — declared
+    // builder-style so the overrides are validated up front.
+    let topology = || {
+        TopologyBuilder::new().client_speed(0, 0.12).network_faults(
+            0.0,
+            SimDuration::from_secs_f64(0.01),
+            9,
+        )
+    };
+
+    println!("scenario sweep ({} scale)", if smoke { "smoke" } else { "default" });
+    println!(
+        "{:<22}{:>10}{:>12}{:>10}{:>9}{:>9}",
+        "scenario", "accuracy", "total time", "offloads", "crashed", "stalled"
+    );
+
+    for row in rows() {
+        let mut config = base(smoke);
+        config.scenario = row.scenario;
+        let mut engine = Engine::with_topology(config, row.strategy, topology())?;
+        let result = engine.run()?;
+        let crashed: usize = result.rounds.iter().map(|r| r.dropped.len()).sum();
+        // A stalled round is the async fold's documented all-stale
+        // degeneracy (and an empty churn round): it completes, counts,
+        // and changes nothing.
+        let stalled = result.rounds.iter().filter(|r| r.participants.is_empty()).count();
+        println!(
+            "{:<22}{:>10.3}{:>11.1}s{:>10}{:>9}{:>9}",
+            row.name,
+            result.final_accuracy,
+            result.total_time().as_secs_f64(),
+            result.total_offloads(),
+            crashed,
+            stalled,
+        );
+    }
+
+    println!();
+    println!(
+        "reading the table: async trades accuracy for never gating on stragglers;\n\
+         churn costs updates but not liveness; the robust rows hold accuracy under\n\
+         an adversary that visibly degrades the plain mean. Every row is seeded and\n\
+         bit-reproducible — rerun this binary and the numbers will not move."
+    );
+    Ok(())
+}

@@ -145,6 +145,42 @@ fn compressed_runs_are_bit_identical_across_parallelism() {
 }
 
 #[test]
+fn scenario_async_churn_byzantine_is_bit_identical_across_parallelism() {
+    force_pool_workers();
+    // The scenario engine's whole design rests on keeping every stochastic
+    // decision in the value-free event stage: availability and crash draws
+    // come from a dedicated churn stream before the round starts, the
+    // async fold follows virtual-clock arrival order, and Byzantine
+    // perturbations are seeded by (seed, round, client). Composing all
+    // three axes must therefore stay bit-identical between serial
+    // execution and the AERGIA_THREADS=4 work-stealing pool.
+    use aergia::prelude::*;
+    use aergia_simnet::SimDuration;
+    let scenario = ScenarioConfig {
+        aggregation: AggregationMode::BufferedAsync {
+            max_staleness: SimDuration::from_secs_f64(1e6),
+            mixing: 0.5,
+        },
+        churn: Some(ChurnConfig {
+            leave_prob: 0.15,
+            rejoin_prob: 0.7,
+            crash_prob: 0.45,
+            offload_policy: OffloadPolicy::Reschedule,
+        }),
+        byzantine: vec![ByzantineSpec { client: 0, attack: Attack::SignFlip }],
+        ..ScenarioConfig::default()
+    };
+    let strategy = Strategy::aergia_default();
+    let mut config = fig6_smoke(36);
+    config.scenario = scenario;
+    let serial = run_with_parallelism(config.clone(), strategy, 1);
+    let parallel = run_with_parallelism(config, strategy, 0);
+    assert_bit_identical(&serial, &parallel, "scenario async+churn+byzantine");
+    let crashed: usize = serial.0.rounds.iter().map(|r| r.dropped.len()).sum();
+    assert!(crashed > 0, "seed 36 must fire at least one mid-round crash to cover churn");
+}
+
+#[test]
 fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
     force_pool_workers();
     let strategy = Strategy::FedAvg;
