@@ -27,17 +27,23 @@ fn bench_matmul(c: &mut Criterion) {
 /// pixels, `k` = in_channels × kernel², `n` = out_channels), reporting
 /// GFLOP/s (the `Gelem/s` column, with elements = 2·m·k·n FLOPs).
 ///
-/// Three kernels per shape and form:
+/// Per shape and form:
 /// * `blocked` — the previous loop-tiled scalar generation
 ///   (`ops::matmul_blocked_into`), the sweep's baseline;
 /// * `packed` — the register-blocked microkernel over a *cached* operand
-///   pack, i.e. the steady-state hot path of a cached weight matrix;
+///   pack laid out for the autotuner's pick at that shape, i.e. the
+///   steady-state hot path of a cached weight matrix;
+/// * `packed_<isa>_<mr>x<nr>` — the same multiply pinned to each kernel
+///   variant this machine can dispatch to (the scalar 4×8 entry is the
+///   portable baseline every SIMD tile is bit-compared against);
 /// * `packed_cold` (matmul only) — pack + multiply per iteration, the
 ///   worst case a per-batch operand pays.
 fn bench_gemm_sweep(c: &mut Criterion) {
+    use aergia_tensor::gemm::{active_isa, tuned_variant, GemmOp, KernelVariant};
     // (m, k, n) spanning the im2col band: m ≈ 10³–10⁴, k ≈ 10²–10³.
     const SHAPES: &[(usize, usize, usize)] = &[(1024, 128, 32), (3136, 576, 64), (4096, 800, 128)];
     let mut group = c.benchmark_group("tensor/gemm");
+    eprintln!("tensor/gemm: active ISA tier = {}", active_isa().label());
     for &(m, k, n) in SHAPES {
         let mut rng = StdRng::seed_from_u64(42);
         let mut a = Tensor::zeros(&[m, k]);
@@ -56,10 +62,20 @@ fn bench_gemm_sweep(c: &mut Criterion) {
             bench.iter(|| ops::matmul_blocked_into(black_box(&a), black_box(&b), &mut out));
         });
         let mut pb = PackedB::new();
-        pb.pack(&b).expect("pack");
+        pb.pack_with(&b, tuned_variant(GemmOp::Nn, m, k, n)).expect("pack");
         group.bench_function(format!("m{m}_k{k}_n{n}/packed"), |bench| {
             bench.iter(|| ops::matmul_packed_into(black_box(&a), black_box(&pb), &mut out));
         });
+        // Every dispatchable variant at this shape, so a per-tile
+        // regression (or a wrong autotuner pick) shows up by name.
+        for &variant in KernelVariant::candidates(active_isa()) {
+            let label = format!("{}_{}x{}", variant.isa.label(), variant.mr, variant.nr);
+            let mut pbv = PackedB::new();
+            pbv.pack_with(&b, variant).expect("pack");
+            group.bench_function(format!("m{m}_k{k}_n{n}/packed_{label}"), |bench| {
+                bench.iter(|| ops::matmul_packed_into(black_box(&a), black_box(&pbv), &mut out));
+            });
+        }
         group.bench_function(format!("m{m}_k{k}_n{n}/packed_cold"), |bench| {
             let mut cold = PackedB::new();
             bench.iter(|| {
@@ -72,7 +88,7 @@ fn bench_gemm_sweep(c: &mut Criterion) {
         // gradients, B = weight, cached pack) and tn (weight gradients,
         // both operands per-batch, cold packs).
         let mut pbt = PackedB::new();
-        pbt.pack_transposed(&bt).expect("pack");
+        pbt.pack_transposed_with(&bt, tuned_variant(GemmOp::Nt, m, k, n)).expect("pack");
         group.bench_function(format!("m{m}_k{k}_n{n}/nt_blocked"), |bench| {
             bench.iter(|| ops::matmul_nt_blocked_into(black_box(&a), black_box(&bt), &mut out));
         });
@@ -85,11 +101,12 @@ fn bench_gemm_sweep(c: &mut Criterion) {
             bench.iter(|| ops::matmul_tn_blocked_into(black_box(&at), black_box(&b), &mut out_tn));
         });
         group.bench_function(format!("m{m}_k{k}_n{n}/tn_packed_cold"), |bench| {
+            let tn = tuned_variant(GemmOp::Tn, m, k, n);
             let mut pa = PackedA::new();
             let mut pbc = PackedB::new();
             bench.iter(|| {
-                pa.pack_transposed(black_box(&at)).expect("pack");
-                pbc.pack(black_box(&b)).expect("pack");
+                pa.pack_transposed_with(black_box(&at), tn).expect("pack");
+                pbc.pack_with(black_box(&b), tn).expect("pack");
                 ops::matmul_tn_packed_into(&pa, &pbc, &mut out_tn)
             });
         });

@@ -28,7 +28,7 @@ use aergia_codec::CodecConfig;
 use aergia_data::DatasetSpec;
 use aergia_nn::models::ModelArch;
 use aergia_runtime::alloc_count::CountingAllocator;
-use aergia_tensor::gemm::PackedB;
+use aergia_tensor::gemm::{active_isa, tuned_variant, GemmOp, KernelVariant, PackedB};
 use aergia_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,11 +116,13 @@ fn measure_allocs_per_round() -> f64 {
 }
 
 /// Steady-state GEMM throughput (GFLOP/s) of the packed microkernel at a
-/// CNN-typical im2col shape, against a cached weight pack — the figure
-/// the `matmul_gflops` gate entry tracks. Measured serially (the caller
-/// pins `AERGIA_THREADS=1`) so the number reflects per-core kernel
-/// quality, not the host's core count.
-fn measure_matmul_gflops() -> f64 {
+/// CNN-typical im2col shape, against a cached weight pack laid out for
+/// `variant` — the figure behind the `matmul_gflops` (autotuned dispatch
+/// on this machine's ISA tier) and `matmul_scalar_gflops` (portable 4×8
+/// baseline) gate entries. Measured serially (the caller pins
+/// `AERGIA_THREADS=1`) so the number reflects per-core kernel quality,
+/// not the host's core count.
+fn measure_matmul_gflops(variant: KernelVariant) -> f64 {
     let (m, k, n) = (2048, 576, 64);
     let mut rng = StdRng::seed_from_u64(7);
     let mut a = Tensor::zeros(&[m, k]);
@@ -128,7 +130,7 @@ fn measure_matmul_gflops() -> f64 {
     init::normal(&mut a, &mut rng, 0.0, 1.0);
     init::normal(&mut b, &mut rng, 0.0, 1.0);
     let mut pb = PackedB::new();
-    pb.pack(&b).expect("pack");
+    pb.pack_with(&b, variant).expect("pack");
     let mut out = Tensor::default();
     // Warm the output buffer and caches, then time a fixed window.
     ops::matmul_packed_into(&a, &pb, &mut out).expect("matmul");
@@ -173,9 +175,22 @@ fn main() {
     std::env::set_var("AERGIA_THREADS", "1");
     let allocs_per_round = measure_allocs_per_round();
     eprintln!("bench_smoke: allocs_per_round = {allocs_per_round:.0}");
-    eprintln!("bench_smoke: measuring packed GEMM throughput");
-    let matmul_gflops = measure_matmul_gflops();
-    eprintln!("bench_smoke: matmul_gflops = {matmul_gflops:.1}");
+    // Both dispatch paths get a gate entry: the autotuned pick for this
+    // machine's active ISA tier, and the portable scalar 4×8 everything is
+    // bit-compared against. On a scalar-only host (or AERGIA_FORCE_SCALAR)
+    // the two coincide.
+    let isa = active_isa();
+    let tuned = tuned_variant(GemmOp::Nn, 2048, 576, 64);
+    eprintln!("bench_smoke: measuring packed GEMM throughput (isa {})", isa.label());
+    let matmul_gflops = measure_matmul_gflops(tuned);
+    eprintln!(
+        "bench_smoke: matmul_gflops = {matmul_gflops:.1} ({} {}x{})",
+        tuned.isa.label(),
+        tuned.mr,
+        tuned.nr
+    );
+    let matmul_scalar_gflops = measure_matmul_gflops(KernelVariant::PORTABLE);
+    eprintln!("bench_smoke: matmul_scalar_gflops = {matmul_scalar_gflops:.1}");
     match orig_threads {
         Some(value) => std::env::set_var("AERGIA_THREADS", value),
         None => std::env::remove_var("AERGIA_THREADS"),
@@ -190,6 +205,7 @@ fn main() {
     let mut report = BenchReport::new();
     report.insert("allocs_per_round".to_string(), allocs_per_round);
     report.insert("matmul_gflops".to_string(), matmul_gflops);
+    report.insert("matmul_scalar_gflops".to_string(), matmul_scalar_gflops);
     // Bytes-on-wire per round, per codec: deterministic figures (timing
     // mode, virtual network) gated exactly like the wall-times so protocol
     // bloat — or a codec silently falling back to dense — fails the build.

@@ -86,10 +86,22 @@ impl Scale {
 /// Engine-level parallelism for benchmark configurations, read from
 /// `AERGIA_THREADS` (the same variable that sizes the global
 /// [`aergia_runtime`] pool): unset or unparsable means `0` — one
-/// work-stealing task per client. `AERGIA_THREADS=1` forces fully serial
-/// rounds, which is how the determinism suite produces its reference run.
+/// work-stealing task per client — except on a single-core host, where the
+/// fan-out is pure scheduling overhead and the default drops to `1` (fully
+/// serial rounds, the same mode the determinism suite uses for its
+/// reference run). Rounds are bit-identical across parallelism settings,
+/// so the adaptive default never changes benchmark output.
 pub fn engine_parallelism() -> usize {
-    std::env::var("AERGIA_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    match std::env::var("AERGIA_THREADS").ok().and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None if single_core() => 1,
+        None => 0,
+    }
+}
+
+/// Whether the host exposes only one hardware thread.
+fn single_core() -> bool {
+    std::thread::available_parallelism().is_ok_and(|n| n.get() == 1)
 }
 
 /// The paper's dataset/architecture pairings for Figures 6 and 7.
@@ -168,8 +180,12 @@ pub fn run(config: ExperimentConfig, strategy: Strategy) -> RunResult {
 }
 
 /// Runs `jobs` experiments, two at a time (the benchmark hosts have few
-/// cores), preserving input order in the output.
+/// cores), preserving input order in the output. A single-core host runs
+/// the queue with one worker instead — two jobs time-slicing one core only
+/// thrash caches — which cannot change results: each job is a pure
+/// function of its configuration.
 pub fn run_parallel(jobs: Vec<(ExperimentConfig, Strategy)>) -> Vec<RunResult> {
+    let workers = if single_core() { 1 } else { 2 };
     let n = jobs.len();
     let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
     let queue: std::sync::Mutex<Vec<(usize, ExperimentConfig, Strategy)>> = std::sync::Mutex::new(
@@ -177,7 +193,7 @@ pub fn run_parallel(jobs: Vec<(ExperimentConfig, Strategy)>) -> Vec<RunResult> {
     );
     let results_mx = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
-        for _ in 0..2 {
+        for _ in 0..workers {
             scope.spawn(|| loop {
                 let job = queue.lock().expect("queue lock").pop();
                 match job {

@@ -176,6 +176,12 @@ pub struct Engine {
     pub(crate) tifl: Option<tifl::TiflState>,
     /// Seeded churn trace; `None` unless the scenario configures churn.
     pub(crate) churn: Option<churn::ChurnState>,
+    /// Lazily-built model + workspace reused by [`Engine::evaluate_global`]:
+    /// evaluation runs every round, and rebuilding the model from the
+    /// template each time pays the full activation/im2col allocation cost
+    /// again. The weights are overwritten from the global snapshot before
+    /// every use, so reuse cannot change results.
+    eval_state: Option<(Cnn, aergia_tensor::Workspace)>,
 }
 
 impl fmt::Debug for Engine {
@@ -314,6 +320,7 @@ impl Engine {
             strategy,
             tifl,
             churn,
+            eval_state: None,
         })
     }
 
@@ -794,7 +801,10 @@ impl Engine {
 
     /// Test accuracy of the current global model.
     pub fn evaluate_global(&mut self) -> f64 {
-        let mut model = self.template.clone();
+        if self.eval_state.is_none() {
+            self.eval_state = Some((self.template.clone(), aergia_tensor::Workspace::new()));
+        }
+        let (model, ws) = self.eval_state.as_mut().expect("eval state just initialised");
         model.set_weights(&self.global).expect("global snapshot matches template");
         let n = self.test.len().min(self.config.eval_samples).max(1);
         let mut correct = 0usize;
@@ -804,7 +814,7 @@ impl Engine {
             let hi = (i + 32).min(n);
             let idx: Vec<usize> = (i..hi).collect();
             let (x, y) = self.test.batch(&idx);
-            let (_, c) = model.evaluate(&x, &y);
+            let (_, c) = model.evaluate_with(&x, &y, ws);
             correct += c;
             seen += y.len();
             i = hi;

@@ -1,0 +1,333 @@
+//! Cross-client fused forward batching.
+//!
+//! At the start of a round every selected client trains its first
+//! mini-batch from the *same* decoded broadcast weights — a sharing
+//! opportunity unique to the federated structure (per-client solvers
+//! diverge from batch 1 onward, but batch 0 is embarrassingly common).
+//! [`fused_forward`] exploits it: it drives the forward pass of several
+//! member models **in lockstep, layer by layer**, and at each GEMM-backed
+//! layer ([`Conv2d`], [`Linear`]) issues one multi-RHS packed GEMM
+//! ([`ops::matmul_nt_packed_multi_into`]) over *all* members against a
+//! single shared weight pack — cutting per-member pack traffic and
+//! letting the work-stealing pool schedule the whole cohort's row tiles
+//! as one batch. Everything per-member stays per-member: im2col scratch,
+//! bias adds, activation caches, and (later) loss and backward.
+//!
+//! # Bit-identity
+//!
+//! The fused pass computes exactly what back-to-back serial forward
+//! passes would, by construction:
+//!
+//! * all members hold identical weights, so member 0's weight pack is
+//!   byte-identical to the pack each member would build itself;
+//! * the multi-RHS GEMM runs the same per-tile kernel over each member's
+//!   rows as the single-RHS call (only the spawn scope differs — pinned
+//!   by the tensor crate's multi-slab bitwise test);
+//! * the non-GEMM layers simply run their ordinary
+//!   [`crate::layer::Layer::forward_into`] per member.
+//!
+//! The engine's determinism suite additionally pins fused-vs-unfused
+//! round fingerprints at the system level.
+
+use std::time::Instant;
+
+use aergia_tensor::{ops, Tensor, Workspace};
+
+use crate::layer::{Conv2d, Linear};
+use crate::model::{Cnn, ForwardPhase, NnError};
+
+/// One member of a fused forward cohort: a model plus its private
+/// workspace and mini-batch input. All members must share an
+/// architecture and (for the sharing to be sound) identical weights —
+/// the engine builds cohorts from clients resetting to one broadcast.
+pub struct FusedMember<'a> {
+    /// The member's model.
+    pub model: &'a mut Cnn,
+    /// The member's private scratch workspace.
+    pub ws: &'a mut Workspace,
+    /// The member's mini-batch input.
+    pub x: &'a Tensor,
+}
+
+/// Whether `model`'s layer stack is fully covered by [`fused_forward`].
+/// Callers must check this **before** building a cohort (and fall back
+/// to serial forward passes otherwise); the fused driver panics on
+/// unsupported layers rather than guessing.
+pub fn fusion_supported(model: &Cnn) -> bool {
+    model
+        .layers()
+        .iter()
+        .all(|l| matches!(l.name(), "conv2d" | "linear" | "relu" | "maxpool2d" | "flatten"))
+}
+
+fn conv_at(model: &mut Cnn, li: usize) -> &mut Conv2d {
+    model.layers_mut()[li]
+        .as_any_mut()
+        .and_then(|any| any.downcast_mut::<Conv2d>())
+        .expect("fused_forward: conv2d layer expected")
+}
+
+fn linear_at(model: &mut Cnn, li: usize) -> &mut Linear {
+    model.layers_mut()[li]
+        .as_any_mut()
+        .and_then(|any| any.downcast_mut::<Linear>())
+        .expect("fused_forward: linear layer expected")
+}
+
+/// A conv layer for the whole cohort: per-member im2col, one multi-RHS
+/// GEMM against member 0's weight pack, per-member bias/reshape/cache.
+fn fuse_conv(
+    members: &mut [FusedMember<'_>],
+    bufs: &mut [(Tensor, Tensor)],
+    li: usize,
+) -> Result<(), NnError> {
+    let mut staged: Vec<(Tensor, usize)> = Vec::with_capacity(members.len());
+    for (m, (a, _)) in members.iter_mut().zip(bufs.iter()) {
+        let input: &Tensor = if li == 0 { m.x } else { a };
+        staged.push(conv_at(m.model, li).im2col_step(input, m.ws));
+    }
+    let conv0 = conv_at(members[0].model, li);
+    let oc = conv0.out_channels();
+    conv0.ensure_fwd_pack(staged[0].0.dims()[0]);
+    let pack = conv0.take_fwd_pack();
+    let mut ys: Vec<Tensor> = members
+        .iter_mut()
+        .zip(staged.iter())
+        .map(|(m, (cols, _))| m.ws.take(&[cols.dims()[0], oc]))
+        .collect();
+    let mut slabs: Vec<(&Tensor, &mut Tensor)> =
+        staged.iter().map(|(cols, _)| cols).zip(ys.iter_mut()).collect();
+    let gemm = ops::matmul_nt_packed_multi_into(&mut slabs, &pack);
+    drop(slabs);
+    // The pack goes home before any error bubbles, so member 0 is never
+    // left without its cached weight pack.
+    conv_at(members[0].model, li).put_fwd_pack(pack);
+    gemm?;
+    for (((m, (a, b)), (cols, batch)), y) in
+        members.iter_mut().zip(bufs.iter_mut()).zip(staged).zip(ys)
+    {
+        let conv = conv_at(m.model, li);
+        if li == 0 {
+            conv.finish_forward(cols, y, batch, m.ws, a);
+        } else {
+            conv.finish_forward(cols, y, batch, m.ws, b);
+            std::mem::swap(a, b);
+        }
+    }
+    Ok(())
+}
+
+/// A linear layer for the whole cohort: one multi-RHS GEMM straight into
+/// each member's activation buffer, then per-member bias + input cache.
+fn fuse_linear(
+    members: &mut [FusedMember<'_>],
+    bufs: &mut [(Tensor, Tensor)],
+    li: usize,
+) -> Result<(), NnError> {
+    let rows0 = if li == 0 {
+        members[0].x.dims().first().copied().unwrap_or(0)
+    } else {
+        bufs[0].0.dims().first().copied().unwrap_or(0)
+    };
+    let fc0 = linear_at(members[0].model, li);
+    fc0.ensure_fwd_pack(rows0);
+    let pack = fc0.take_fwd_pack();
+    let mut slabs: Vec<(&Tensor, &mut Tensor)> = members
+        .iter()
+        .zip(bufs.iter_mut())
+        .map(|(m, (a, b))| if li == 0 { (m.x, a) } else { (&*a, b) })
+        .collect();
+    let gemm = ops::matmul_nt_packed_multi_into(&mut slabs, &pack);
+    drop(slabs);
+    linear_at(members[0].model, li).put_fwd_pack(pack);
+    gemm?;
+    for (m, (a, b)) in members.iter_mut().zip(bufs.iter_mut()) {
+        let fc = linear_at(m.model, li);
+        if li == 0 {
+            fc.finish_forward(m.x, m.ws, a);
+        } else {
+            fc.finish_forward(&*a, m.ws, b);
+            std::mem::swap(a, b);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the forward pass of every member in lockstep, batching the GEMM
+/// of each [`Conv2d`]/[`Linear`] layer across the cohort (see the module
+/// docs), and returns one [`ForwardPhase`] per member — exactly what
+/// [`Cnn::forward_phase`] would have produced serially, ready for each
+/// member's own [`Cnn::backward_phase`].
+///
+/// Measured forward wall-clock is shared work, so it is attributed
+/// evenly across members; analytic FLOP costs (which drive the simulated
+/// clock) are untouched.
+///
+/// # Errors
+///
+/// Returns [`NnError::Tensor`] if a member's input does not match the
+/// model — member state may be partially advanced, so callers should
+/// treat an error as fatal for the round.
+///
+/// # Panics
+///
+/// Panics if `members` is empty, the members' architectures disagree, or
+/// a layer is not covered by [`fusion_supported`].
+pub fn fused_forward(members: &mut [FusedMember<'_>]) -> Result<Vec<ForwardPhase>, NnError> {
+    assert!(!members.is_empty(), "fused_forward: empty cohort");
+    let layer_count = members[0].model.layers().len();
+    let split = members[0].model.split();
+    for m in members.iter() {
+        assert_eq!(
+            m.model.layers().len(),
+            layer_count,
+            "fused_forward: members must share an architecture"
+        );
+        assert_eq!(m.model.split(), split, "fused_forward: members must share a split");
+    }
+    let cohort = members.len();
+    let mut bufs: Vec<(Tensor, Tensor)> =
+        members.iter_mut().map(|m| (m.ws.take_scratch(), m.ws.take_scratch())).collect();
+    let (mut ff, mut fc) = (0.0f64, 0.0f64);
+    for li in 0..layer_count {
+        let t = Instant::now();
+        match members[0].model.layers()[li].name() {
+            "conv2d" => fuse_conv(members, &mut bufs, li)?,
+            "linear" => fuse_linear(members, &mut bufs, li)?,
+            _ => {
+                // Element-wise / shape layers have no cross-member work
+                // to share: plain per-member forward.
+                for (m, (a, b)) in members.iter_mut().zip(bufs.iter_mut()) {
+                    let layer = &mut m.model.layers_mut()[li];
+                    if li == 0 {
+                        layer.forward_into(m.x, m.ws, a);
+                    } else {
+                        layer.forward_into(&*a, m.ws, b);
+                        std::mem::swap(a, b);
+                    }
+                }
+            }
+        }
+        let dt = t.elapsed().as_secs_f64() / cohort as f64;
+        if li < split {
+            ff += dt;
+        } else {
+            fc += dt;
+        }
+    }
+    Ok(members
+        .iter()
+        .zip(bufs)
+        .map(|(m, (a, b))| ForwardPhase {
+            a,
+            b,
+            batch: m.x.dims().first().copied().unwrap_or(0),
+            ff,
+            fc,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelArch;
+    use crate::optim::{Sgd, SgdConfig};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    fn random_batch(seed: u64, batch: usize) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::zeros(&[batch, 1, 28, 28]);
+        aergia_tensor::init::normal(&mut x, &mut rng, 0.0, 1.0);
+        let y = (0..batch).map(|_| rng.random_range(0..10)).collect();
+        (x, y)
+    }
+
+    /// The load-bearing property: a fused cohort's forward + per-member
+    /// backward is bitwise identical to serial per-member training.
+    #[test]
+    fn fused_round_matches_serial_training_bitwise() {
+        let template = ModelArch::MnistCnn.build(99);
+        assert!(fusion_supported(&template));
+        let cohort = 3;
+        let batches: Vec<_> = (0..cohort).map(|i| random_batch(500 + i as u64, 4)).collect();
+
+        // Serial reference: each member trains alone.
+        let mut serial_weights = Vec::new();
+        let mut serial_losses = Vec::new();
+        for (x, y) in &batches {
+            let mut model = template.clone();
+            let mut opt = Sgd::new(SgdConfig::default());
+            let mut ws = Workspace::new();
+            let stats = model.train_batch_with(x, y, &mut opt, &mut ws).unwrap();
+            serial_losses.push(stats.loss);
+            serial_weights.push(model.weights());
+        }
+
+        // Fused: one lockstep forward, then per-member backward.
+        let mut models: Vec<Cnn> = (0..cohort).map(|_| template.clone()).collect();
+        let mut workspaces: Vec<Workspace> = (0..cohort).map(|_| Workspace::new()).collect();
+        let mut members: Vec<FusedMember<'_>> = models
+            .iter_mut()
+            .zip(workspaces.iter_mut())
+            .zip(&batches)
+            .map(|((model, ws), (x, _))| FusedMember { model, ws, x })
+            .collect();
+        let phases = fused_forward(&mut members).unwrap();
+        drop(members);
+        for (i, fwd) in phases.into_iter().enumerate() {
+            let mut opt = Sgd::new(SgdConfig::default());
+            let stats =
+                models[i].backward_phase(fwd, &batches[i].1, &mut opt, &mut workspaces[i]).unwrap();
+            assert_eq!(stats.loss.to_bits(), serial_losses[i].to_bits(), "member {i} loss");
+            let fused_w = models[i].weights();
+            assert_eq!(fused_w.len(), serial_weights[i].len());
+            for (fw, sw) in fused_w.iter().zip(&serial_weights[i]) {
+                let fb: Vec<u32> = fw.data().iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u32> = sw.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, sb, "member {i} weights diverged");
+            }
+        }
+    }
+
+    /// Repeating fused rounds against warm workspaces must also hold
+    /// (dirty pack pools, cached im2col buffers, reused scratch).
+    #[test]
+    fn fused_forward_is_stable_across_warm_reuse() {
+        let template = ModelArch::MnistCnn.build(7);
+        let cohort = 2;
+        let batches: Vec<_> = (0..cohort).map(|i| random_batch(40 + i as u64, 3)).collect();
+        let mut models: Vec<Cnn> = (0..cohort).map(|_| template.clone()).collect();
+        let mut workspaces: Vec<Workspace> = (0..cohort).map(|_| Workspace::new()).collect();
+        let mut first_logits: Vec<Vec<u32>> = Vec::new();
+        for pass in 0..3 {
+            let mut members: Vec<FusedMember<'_>> = models
+                .iter_mut()
+                .zip(workspaces.iter_mut())
+                .zip(&batches)
+                .map(|((model, ws), (x, _))| FusedMember { model, ws, x })
+                .collect();
+            let phases = fused_forward(&mut members).unwrap();
+            drop(members);
+            for (i, fwd) in phases.into_iter().enumerate() {
+                let logits: Vec<u32> = fwd.a.data().iter().map(|v| v.to_bits()).collect();
+                if pass == 0 {
+                    first_logits.push(logits);
+                } else {
+                    assert_eq!(logits, first_logits[i], "pass {pass} member {i}");
+                }
+                // Return the buffers so the next pass reuses them warm.
+                let ForwardPhase { a, b, .. } = fwd;
+                workspaces[i].give_scratch(b);
+                workspaces[i].give_scratch(a);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_architectures_are_reported_unsupported() {
+        let template = ModelArch::Cifar10ResNet.build(3);
+        assert!(!fusion_supported(&template));
+    }
+}

@@ -3,7 +3,7 @@
 use aergia_tensor::conv::{
     col2im_into, im2col_into, nchw_to_rows_into, rows_to_nchw_into, ConvGeometry,
 };
-use aergia_tensor::gemm::PackedB;
+use aergia_tensor::gemm::{GemmOp, PackedB, VariantCache};
 use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
@@ -43,6 +43,12 @@ pub struct Conv2d {
     /// `W` packed for the backward `dy_rows·W`; valid until the weights
     /// change.
     packed_w: PackedB,
+    /// Autotuned kernel variants, memoized per GEMM shape next to the
+    /// packs they describe — steady-state batches (fixed shapes) never
+    /// touch the global tuner map. One memo per distinct GEMM.
+    tuned_fwd: VariantCache,
+    tuned_dw: VariantCache,
+    tuned_dx: VariantCache,
 }
 
 impl Conv2d {
@@ -83,6 +89,9 @@ impl Conv2d {
             cached_batch: 0,
             packed_wt: PackedB::new(),
             packed_w: PackedB::new(),
+            tuned_fwd: VariantCache::new(),
+            tuned_dw: VariantCache::new(),
+            tuned_dx: VariantCache::new(),
         }
     }
 
@@ -94,6 +103,104 @@ impl Conv2d {
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// Columns of the im2col patch matrix (`in_channels · kh · kw`).
+    fn ckk(&self) -> usize {
+        self.in_channels * self.geom.k_h * self.geom.k_w
+    }
+
+    /// The im2col stage of the forward pass: lowers `x` into the patch
+    /// matrix (reusing the cached buffer when available) and returns it
+    /// with the batch size. Split out of [`Layer::forward_into`] so the
+    /// fused cross-client forward can run the same stage per member.
+    pub(crate) fn im2col_step(&mut self, x: &Tensor, ws: &mut Workspace) -> (Tensor, usize) {
+        let batch = x.dims()[0];
+        let rows = batch * self.geom.out_h * self.geom.out_w;
+        // The im2col scratch cycles between the workspace and
+        // `cached_cols`, so across batches the patch matrix is built in
+        // the same buffer instead of a fresh allocation. A still-cached
+        // buffer (backward skipped, e.g. frozen features) is reclaimed
+        // rather than dropped.
+        let mut cols = match self.cached_cols.take() {
+            Some(buf) => buf,
+            None => ws.take(&[rows, self.ckk()]),
+        };
+        im2col_into(x, self.in_channels, &self.geom, &mut cols)
+            .expect("Conv2d::forward: bad input");
+        (cols, batch)
+    }
+
+    /// Ensures the forward weight pack (`Wᵀ`, autotuned for `rows` im2col
+    /// rows) is current.
+    pub(crate) fn ensure_fwd_pack(&mut self, rows: usize) {
+        let v = self.tuned_fwd.get(GemmOp::Nt, rows, self.ckk(), self.out_channels);
+        self.packed_wt.ensure_transposed_with(&self.weight, v).expect("conv weight pack");
+    }
+
+    /// Moves the forward weight pack out of the layer (for the fused
+    /// multi-member GEMM). Pair with [`Conv2d::put_fwd_pack`].
+    pub(crate) fn take_fwd_pack(&mut self) -> PackedB {
+        std::mem::take(&mut self.packed_wt)
+    }
+
+    /// Returns the pack taken by [`Conv2d::take_fwd_pack`].
+    pub(crate) fn put_fwd_pack(&mut self, pack: PackedB) {
+        self.packed_wt = pack;
+    }
+
+    /// Everything after the forward GEMM: bias add, NCHW reshape, and the
+    /// cols cache `backward_into` will consume. Shared verbatim between
+    /// the serial and fused forward paths so they cannot diverge.
+    pub(crate) fn finish_forward(
+        &mut self,
+        cols: Tensor,
+        mut y_rows: Tensor,
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut Tensor,
+    ) {
+        ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
+        rows_to_nchw_into(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w, out)
+            .expect("conv reshape");
+        ws.give(y_rows);
+        self.cached_cols = Some(cols);
+        self.cached_batch = batch;
+    }
+
+    /// The parameter-gradient half of the backward pass (dW/db), shared by
+    /// [`Layer::backward_into`] and the dx-skipping
+    /// [`Layer::backward_into_first`]. Returns the consumed im2col cache,
+    /// the reshaped `dy` rows and the row count for the dx path.
+    fn backward_grads(&mut self, dy: &Tensor, ws: &mut Workspace) -> (Tensor, Tensor, usize) {
+        let cols = self.cached_cols.take().expect("Conv2d::backward before forward");
+        let rows = self.cached_batch * self.geom.out_h * self.geom.out_w;
+        let mut dy_rows = ws.take(&[rows, self.out_channels]);
+        nchw_to_rows_into(dy, &mut dy_rows).expect("conv dy reshape");
+        // dW[oc, ckk] = dyᵀ · cols
+        // dW/db land in zeroed scratch first, then fold into the running
+        // gradients with a single add each — accumulating the matmul
+        // directly into `grad_weight` would reorder the summation and
+        // break bit-identity with the allocating path.
+        // Both dW operands are per-batch; their packs cycle through the
+        // workspace pack pools and share one autotuned variant
+        // (`gemm_packed_tn` insists its operands agree on layout).
+        let vdw = self.tuned_dw.get(GemmOp::Tn, self.out_channels, rows, self.ckk());
+        let mut pa = ws.take_packed_a();
+        pa.pack_transposed_with(&dy_rows, vdw).expect("conv dy pack");
+        let mut pbc = ws.take_packed_b();
+        pbc.pack_with(&cols, vdw).expect("conv cols pack");
+        let mut dw = ws.take(self.grad_weight.dims());
+        ops::matmul_tn_packed_into(&pa, &pbc, &mut dw).expect("conv dW");
+        self.grad_weight.add_assign(&dw);
+        ws.give(dw);
+        ws.give_packed_b(pbc);
+        ws.give_packed_a(pa);
+        let mut db = ws.take(self.grad_bias.dims());
+        ops::sum_rows_into(&dy_rows, &mut db).expect("conv db");
+        self.grad_bias.add_assign(&db);
+        ws.give(db);
+        (cols, dy_rows, rows)
     }
 
     fn macs(&self, batch: usize) -> u64 {
@@ -121,65 +228,33 @@ impl Layer for Conv2d {
     }
 
     fn forward_into(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
-        let batch = x.dims()[0];
-        let rows = batch * self.geom.out_h * self.geom.out_w;
-        let ckk = self.in_channels * self.geom.k_h * self.geom.k_w;
-        // The im2col scratch cycles between the workspace and
-        // `cached_cols`, so across batches the patch matrix is built in
-        // the same buffer instead of a fresh allocation. A still-cached
-        // buffer (backward skipped, e.g. frozen features) is reclaimed
-        // rather than dropped.
-        let mut cols = match self.cached_cols.take() {
-            Some(buf) => buf,
-            None => ws.take(&[rows, ckk]),
-        };
-        im2col_into(x, self.in_channels, &self.geom, &mut cols)
-            .expect("Conv2d::forward: bad input");
+        let (cols, batch) = self.im2col_step(x, ws);
+        let rows = cols.dims()[0];
         // y_rows[(n,oh,ow), oc] = cols · Wᵀ — against the cached weight
         // pack, rebuilt only after the weights change.
-        self.packed_wt.ensure_transposed(&self.weight).expect("conv weight pack");
+        self.ensure_fwd_pack(rows);
         let mut y_rows = ws.take(&[rows, self.out_channels]);
         ops::matmul_nt_packed_into(&cols, &self.packed_wt, &mut y_rows).expect("conv matmul");
-        ops::add_bias_rows(&mut y_rows, &self.bias).expect("conv bias");
-        rows_to_nchw_into(&y_rows, batch, self.out_channels, self.geom.out_h, self.geom.out_w, out)
-            .expect("conv reshape");
-        ws.give(y_rows);
-        self.cached_cols = Some(cols);
-        self.cached_batch = batch;
+        self.finish_forward(cols, y_rows, batch, ws, out);
     }
 
     fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
-        let cols = self.cached_cols.take().expect("Conv2d::backward before forward");
-        let rows = self.cached_batch * self.geom.out_h * self.geom.out_w;
-        let mut dy_rows = ws.take(&[rows, self.out_channels]);
-        nchw_to_rows_into(dy, &mut dy_rows).expect("conv dy reshape");
-        // dW[oc, ckk] = dyᵀ · cols
-        // dW/db land in zeroed scratch first, then fold into the running
-        // gradients with a single add each — accumulating the matmul
-        // directly into `grad_weight` would reorder the summation and
-        // break bit-identity with the allocating path.
-        // Both dW operands are per-batch; their packs cycle through the
-        // workspace pack pools.
-        let mut pa = ws.take_packed_a();
-        pa.pack_transposed(&dy_rows).expect("conv dy pack");
-        let mut pbc = ws.take_packed_b();
-        pbc.pack(&cols).expect("conv cols pack");
-        let mut dw = ws.take(self.grad_weight.dims());
-        ops::matmul_tn_packed_into(&pa, &pbc, &mut dw).expect("conv dW");
-        self.grad_weight.add_assign(&dw);
-        ws.give(dw);
-        ws.give_packed_b(pbc);
-        ws.give_packed_a(pa);
-        let mut db = ws.take(self.grad_bias.dims());
-        ops::sum_rows_into(&dy_rows, &mut db).expect("conv db");
-        self.grad_bias.add_assign(&db);
-        ws.give(db);
-        self.packed_w.ensure(&self.weight).expect("conv weight pack");
+        let (cols, dy_rows, rows) = self.backward_grads(dy, ws);
+        let vdx = self.tuned_dx.get(GemmOp::Nn, rows, self.out_channels, self.ckk());
+        self.packed_w.ensure_with(&self.weight, vdx).expect("conv weight pack");
         let mut dcols = ws.take(cols.dims());
         ops::matmul_packed_into(&dy_rows, &self.packed_w, &mut dcols).expect("conv dcols");
         ws.give(dy_rows);
         col2im_into(&dcols, self.cached_batch, self.in_channels, &self.geom, out).expect("conv dx");
         ws.give(dcols);
+        ws.give(cols);
+    }
+
+    fn backward_into_first(&mut self, dy: &Tensor, ws: &mut Workspace, _out: &mut Tensor) {
+        // First layer: dx would be the gradient of the input images, which
+        // the training loop throws away — skip the dx GEMM and col2im.
+        let (cols, dy_rows, _) = self.backward_grads(dy, ws);
+        ws.give(dy_rows);
         ws.give(cols);
     }
 
@@ -224,6 +299,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

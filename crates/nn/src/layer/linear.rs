@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use aergia_tensor::gemm::PackedB;
+use aergia_tensor::gemm::{GemmOp, PackedB, VariantCache};
 use aergia_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
@@ -33,6 +33,12 @@ pub struct Linear {
     packed_wt: PackedB,
     /// `W` packed for the backward `dy·W`; valid until the weights change.
     packed_w: PackedB,
+    /// Autotuned kernel variants, memoized per GEMM shape next to the
+    /// packs they describe — steady-state batches (fixed shapes) never
+    /// touch the global tuner map. One memo per distinct GEMM.
+    tuned_fwd: VariantCache,
+    tuned_dw: VariantCache,
+    tuned_dx: VariantCache,
 }
 
 impl Linear {
@@ -55,6 +61,9 @@ impl Linear {
             cached_input: None,
             packed_wt: PackedB::new(),
             packed_w: PackedB::new(),
+            tuned_fwd: VariantCache::new(),
+            tuned_dw: VariantCache::new(),
+            tuned_dx: VariantCache::new(),
         }
     }
 
@@ -66,6 +75,39 @@ impl Linear {
     /// Number of output features.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Ensures the forward weight pack (`Wᵀ`, autotuned for `m` input
+    /// rows) is current. Split out of [`Layer::forward_into`] so the
+    /// fused cross-client forward can prepare one member's pack and share
+    /// it across the whole cohort.
+    pub(crate) fn ensure_fwd_pack(&mut self, m: usize) {
+        let v = self.tuned_fwd.get(GemmOp::Nt, m, self.in_features, self.out_features);
+        self.packed_wt.ensure_transposed_with(&self.weight, v).expect("linear weight pack");
+    }
+
+    /// Moves the forward weight pack out of the layer (for the fused
+    /// multi-member GEMM, which must borrow it independently of the
+    /// member models). Pair with [`Linear::put_fwd_pack`].
+    pub(crate) fn take_fwd_pack(&mut self) -> PackedB {
+        std::mem::take(&mut self.packed_wt)
+    }
+
+    /// Returns the pack taken by [`Linear::take_fwd_pack`].
+    pub(crate) fn put_fwd_pack(&mut self, pack: PackedB) {
+        self.packed_wt = pack;
+    }
+
+    /// Everything after the forward GEMM: bias add plus the input cache
+    /// `backward_into` will consume. Shared verbatim between the serial
+    /// and fused forward paths so they cannot diverge.
+    pub(crate) fn finish_forward(&mut self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        ops::add_bias_rows(out, &self.bias).expect("linear bias");
+        // Cache a copy of the input in a recycled buffer (the buffer
+        // returns to the workspace in `backward_into`).
+        let mut cache = self.cached_input.take().unwrap_or_else(|| ws.take(x.dims()));
+        cache.copy_from(x);
+        self.cached_input = Some(cache);
     }
 }
 
@@ -86,14 +128,9 @@ impl Layer for Linear {
         // The weight pack persists across calls until the optimizer or
         // `set_params` invalidates it — frozen sections and evaluation
         // loops reuse one pack across every batch.
-        self.packed_wt.ensure_transposed(&self.weight).expect("linear weight pack");
+        self.ensure_fwd_pack(x.dims().first().copied().unwrap_or(0));
         ops::matmul_nt_packed_into(x, &self.packed_wt, out).expect("Linear::forward: bad input");
-        ops::add_bias_rows(out, &self.bias).expect("linear bias");
-        // Cache a copy of the input in a recycled buffer (the buffer
-        // returns to the workspace in `backward_into`).
-        let mut cache = self.cached_input.take().unwrap_or_else(|| ws.take(x.dims()));
-        cache.copy_from(x);
-        self.cached_input = Some(cache);
+        self.finish_forward(x, ws, out);
     }
 
     fn backward_into(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
@@ -101,11 +138,15 @@ impl Layer for Linear {
         // dW/db go through zeroed scratch, then one add into the running
         // gradient — same summation order as the allocating path.
         // dW[out, in] = dyᵀ · x; both operands are per-batch, so their
-        // packs are rebuilt each call into workspace-pooled buffers.
+        // packs are rebuilt each call into workspace-pooled buffers. The
+        // two packs share one autotuned variant (`gemm_packed_tn` insists
+        // its operands agree on layout).
+        let batch = dy.dims().first().copied().unwrap_or(0);
+        let vdw = self.tuned_dw.get(GemmOp::Tn, self.out_features, batch, self.in_features);
         let mut pa = ws.take_packed_a();
-        pa.pack_transposed(dy).expect("linear dy pack");
+        pa.pack_transposed_with(dy, vdw).expect("linear dy pack");
         let mut pbx = ws.take_packed_b();
-        pbx.pack(&x).expect("linear x pack");
+        pbx.pack_with(&x, vdw).expect("linear x pack");
         let mut dw = ws.take(self.grad_weight.dims());
         ops::matmul_tn_packed_into(&pa, &pbx, &mut dw).expect("linear dW");
         self.grad_weight.add_assign(&dw);
@@ -117,7 +158,8 @@ impl Layer for Linear {
         self.grad_bias.add_assign(&db);
         ws.give(db);
         // dx = dy · W (cached weight pack, like the forward).
-        self.packed_w.ensure(&self.weight).expect("linear weight pack");
+        let vdx = self.tuned_dx.get(GemmOp::Nn, batch, self.out_features, self.in_features);
+        self.packed_w.ensure_with(&self.weight, vdx).expect("linear weight pack");
         ops::matmul_packed_into(dy, &self.packed_w, out).expect("linear dx");
         ws.give(x);
     }
@@ -162,6 +204,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "linear"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -72,6 +72,15 @@ pub trait Layer: fmt::Debug + Send + Sync {
         *out = self.backward(dy);
     }
 
+    /// [`Layer::backward_into`] for the model's **first** layer, whose
+    /// propagated input gradient is discarded by the training loop:
+    /// implementations may leave `out` untouched and skip the work of
+    /// producing it (parameter gradients must still be accumulated
+    /// exactly as in the full backward). Defaults to the full backward.
+    fn backward_into_first(&mut self, dy: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        self.backward_into(dy, ws, out);
+    }
+
     /// Immutable views of the layer parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor>;
 
@@ -123,6 +132,16 @@ pub trait Layer: fmt::Debug + Send + Sync {
 
     /// A short human-readable layer name (`conv2d`, `linear`, …).
     fn name(&self) -> &'static str;
+
+    /// Concrete-type access for the fused cross-client forward, which
+    /// must drive the GEMM-backed layers ([`Conv2d`], [`Linear`]) through
+    /// their split forward stages. Layers without a fused path keep the
+    /// default `None`; the fusion driver checks support up front (by
+    /// [`Layer::name`]) and falls back to the plain per-member
+    /// [`Layer::forward_into`] for everything else.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 
     /// Clones the layer behind a fresh box (parameters included, caches
     /// not guaranteed).

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod layer;
 pub mod loss;
 pub mod model;
@@ -53,5 +54,5 @@ pub mod optim;
 pub mod profile;
 pub mod weights;
 
-pub use model::{BatchStats, Cnn, NnError};
+pub use model::{BatchStats, Cnn, ForwardPhase, NnError};
 pub use profile::{Phase, PhaseCost};

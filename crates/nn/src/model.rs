@@ -62,6 +62,19 @@ impl From<TensorError> for NnError {
     }
 }
 
+/// In-flight state between [`Cnn::forward_phase`] and
+/// [`Cnn::backward_phase`]: the two ping-pong activation buffers (logits
+/// in `a`), the batch size, and the measured forward wall-clock. Obtained
+/// from [`Cnn::forward_phase`] or `fused::fused_forward` and consumed by
+/// [`Cnn::backward_phase`]; the buffers return to the workspace there.
+pub struct ForwardPhase {
+    pub(crate) a: Tensor,
+    pub(crate) b: Tensor,
+    pub(crate) batch: usize,
+    pub(crate) ff: f64,
+    pub(crate) fc: f64,
+}
+
 /// Result of training on one mini-batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchStats {
@@ -188,6 +201,12 @@ impl Cnn {
         &self.layers
     }
 
+    /// Mutable layer access for the fused cross-client forward, which
+    /// drives layers of several member models in lockstep.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// Forward pass through the whole network (inference).
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut h = x.clone();
@@ -200,8 +219,24 @@ impl Cnn {
     /// Computes loss and the number of correct predictions without
     /// touching gradients.
     pub fn evaluate(&mut self, x: &Tensor, targets: &[usize]) -> (f32, usize) {
-        let logits = self.forward(x);
-        let out = cross_entropy(&logits, targets);
+        self.evaluate_with(x, targets, &mut Workspace::new())
+    }
+
+    /// [`Cnn::evaluate`] backed by a caller-provided [`Workspace`], so an
+    /// evaluation loop reuses its activation and im2col buffers across
+    /// batches instead of reallocating them per call. The computation is
+    /// the same layer-by-layer forward either way, so both entry points
+    /// produce identical bits.
+    pub fn evaluate_with(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        ws: &mut Workspace,
+    ) -> (f32, usize) {
+        let fwd = self.forward_phase(x, ws);
+        let out = cross_entropy(&fwd.a, targets);
+        ws.give_scratch(fwd.b);
+        ws.give_scratch(fwd.a);
         (out.loss, out.correct)
     }
 
@@ -266,10 +301,18 @@ impl Cnn {
     ) -> Result<BatchStats, NnError> {
         let batch = x.dims().first().copied().unwrap_or(0);
         assert_eq!(targets.len(), batch, "train_batch: one target per sample required");
-        self.zero_grads();
+        let fwd = self.forward_phase(x, ws);
+        self.backward_phase(fwd, targets, opt, ws)
+    }
 
-        let flops = self.phase_flops(batch);
-        let mut seconds = PhaseCost::zero();
+    /// The forward half of [`Cnn::train_batch_with`] (phases ff and fc),
+    /// returning the in-flight [`ForwardPhase`]. Split out so the engine's
+    /// cross-client fused forward (`fused::fused_forward`) can substitute
+    /// a batched forward pass and hand its per-member results to
+    /// [`Cnn::backward_phase`] — the two halves together are bit-identical
+    /// to the unsplit loop.
+    pub fn forward_phase(&mut self, x: &Tensor, ws: &mut Workspace) -> ForwardPhase {
+        let batch = x.dims().first().copied().unwrap_or(0);
         let split = self.split;
         // Activations ping-pong between two scratch buffers: each layer
         // writes `b` from `a`, then the buffers swap, so the latest value
@@ -289,7 +332,7 @@ impl Cnn {
                 std::mem::swap(&mut a, &mut b);
             }
         }
-        seconds.ff = t.elapsed().as_secs_f64();
+        let ff = t.elapsed().as_secs_f64();
 
         // Phase 2: fc (the split is validated to be ≥ 1, so `a` holds the
         // feature activations here).
@@ -298,7 +341,38 @@ impl Cnn {
             layer.forward_into(&a, ws, &mut b);
             std::mem::swap(&mut a, &mut b);
         }
-        seconds.fc = t.elapsed().as_secs_f64();
+        let fc = t.elapsed().as_secs_f64();
+        ForwardPhase { a, b, batch, ff, fc }
+    }
+
+    /// The backward half of [`Cnn::train_batch_with`] (loss, phases bc
+    /// and bf, optimizer update), consuming a [`ForwardPhase`]. Gradients
+    /// are zeroed here — gradient state is disjoint from the forward
+    /// pass, so zeroing after it is indistinguishable from the unsplit
+    /// loop's zero-then-forward order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] if the logits do not match `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the forward batch size.
+    pub fn backward_phase(
+        &mut self,
+        fwd: ForwardPhase,
+        targets: &[usize],
+        opt: &mut Sgd,
+        ws: &mut Workspace,
+    ) -> Result<BatchStats, NnError> {
+        let ForwardPhase { mut a, mut b, batch, ff, fc } = fwd;
+        assert_eq!(targets.len(), batch, "train_batch: one target per sample required");
+        self.zero_grads();
+        let flops = self.phase_flops(batch);
+        let mut seconds = PhaseCost::zero();
+        seconds.ff = ff;
+        seconds.fc = fc;
+        let split = self.split;
 
         // Phase 3: bc (loss gradient + classifier backward).
         let t = Instant::now();
@@ -314,8 +388,14 @@ impl Cnn {
         let frozen = self.frozen_features;
         let t = Instant::now();
         if !frozen {
-            for layer in self.layers[..split].iter_mut().rev() {
-                layer.backward_into(&a, ws, &mut b);
+            for (i, layer) in self.layers[..split].iter_mut().enumerate().rev() {
+                if i == 0 {
+                    // The first layer's input gradient is discarded, so
+                    // layers with a cheap path may skip computing it.
+                    layer.backward_into_first(&a, ws, &mut b);
+                } else {
+                    layer.backward_into(&a, ws, &mut b);
+                }
                 std::mem::swap(&mut a, &mut b);
             }
         }

@@ -28,7 +28,14 @@
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+std::thread_local! {
+    // Const-initialized and `!Drop`, so touching it from inside the
+    // allocator can never itself allocate or hit a torn-down TLS slot.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A [`System`]-backed allocator that counts every `alloc`/`realloc` call
 /// (deallocations are not counted — freeing is not the churn the hot-path
@@ -50,6 +57,19 @@ impl CountingAllocator {
     pub fn allocations(&self) -> u64 {
         self.allocations.load(Ordering::Relaxed)
     }
+
+    /// Number of allocation events performed by the *calling thread* since
+    /// it started.
+    ///
+    /// The process-global [`allocations`](Self::allocations) counter also
+    /// sees other threads — notably the libtest harness thread, whose
+    /// blocking channel `recv` lazily allocates its parking context the
+    /// first time it actually has to wait, which can land anywhere relative
+    /// to a test's measured window. Single-threaded allocation-budget tests
+    /// should diff this counter instead so harness noise cannot leak in.
+    pub fn thread_allocations(&self) -> u64 {
+        THREAD_ALLOCATIONS.get()
+    }
 }
 
 impl Default for CountingAllocator {
@@ -64,16 +84,19 @@ impl Default for CountingAllocator {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCATIONS.set(THREAD_ALLOCATIONS.get() + 1);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCATIONS.set(THREAD_ALLOCATIONS.get() + 1);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCATIONS.set(THREAD_ALLOCATIONS.get() + 1);
         System.realloc(ptr, layout, new_size)
     }
 
@@ -100,6 +123,27 @@ mod tests {
             counter.dealloc(p, Layout::from_size_align(128, 8).unwrap());
         }
         assert_eq!(counter.allocations(), 2, "alloc + realloc count, dealloc does not");
+    }
+
+    #[test]
+    fn thread_counter_ignores_other_threads() {
+        let counter = CountingAllocator::new();
+        let layout = Layout::from_size_align(16, 8).unwrap();
+        let mine = counter.thread_allocations();
+        std::thread::scope(|s| {
+            s.spawn(|| unsafe {
+                let p = counter.alloc(layout);
+                assert!(!p.is_null());
+                counter.dealloc(p, layout);
+            });
+        });
+        assert_eq!(counter.thread_allocations(), mine, "other threads' allocs are invisible");
+        unsafe {
+            let p = counter.alloc(layout);
+            assert!(!p.is_null());
+            counter.dealloc(p, layout);
+        }
+        assert_eq!(counter.thread_allocations(), mine + 1, "this thread's allocs count");
     }
 
     #[test]

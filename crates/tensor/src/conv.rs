@@ -120,10 +120,44 @@ pub fn im2col_into(
     for img in 0..n {
         let src_img = &src[img * img_stride..(img + 1) * img_stride];
         for oy in 0..oh {
+            let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+            let y_interior = base_y >= 0 && base_y + geom.k_h as isize <= geom.in_h as isize;
             for ox in 0..ow {
                 let row = ((img * oh + oy) * ow + ox) * ckk;
-                let base_y = (oy * geom.stride) as isize - geom.pad as isize;
                 let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+                // Interior windows (the bulk at small padding) never overlap
+                // the padding, so each kernel row is one contiguous copy with
+                // no per-element bounds checks.
+                if y_interior && base_x >= 0 && base_x + geom.k_w as isize <= geom.in_w as isize {
+                    let start = (base_y as usize) * geom.in_w + base_x as usize;
+                    let mut col = row;
+                    if geom.k_w == 3 {
+                        // 3-wide kernels dominate the model zoo; scalar
+                        // stores beat a length-3 memcpy.
+                        for c in 0..channels {
+                            let mut s = c * chan_stride + start;
+                            for _ in 0..geom.k_h {
+                                let d = &mut dst[col..col + 3];
+                                let v = &src_img[s..s + 3];
+                                d[0] = v[0];
+                                d[1] = v[1];
+                                d[2] = v[2];
+                                col += 3;
+                                s += geom.in_w;
+                            }
+                        }
+                    } else {
+                        for c in 0..channels {
+                            let mut s = c * chan_stride + start;
+                            for _ in 0..geom.k_h {
+                                dst[col..col + geom.k_w].copy_from_slice(&src_img[s..s + geom.k_w]);
+                                col += geom.k_w;
+                                s += geom.in_w;
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let mut col = 0usize;
                 for c in 0..channels {
                     let src_chan = &src_img[c * chan_stride..(c + 1) * chan_stride];
@@ -199,10 +233,46 @@ pub fn col2im_into(
     for img in 0..batch {
         let dst_img = &mut dst[img * img_stride..(img + 1) * img_stride];
         for oy in 0..geom.out_h {
+            let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+            let y_interior = base_y >= 0 && base_y + geom.k_h as isize <= geom.in_h as isize;
             for ox in 0..geom.out_w {
                 let row = ((img * geom.out_h + oy) * geom.out_w + ox) * ckk;
-                let base_y = (oy * geom.stride) as isize - geom.pad as isize;
                 let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+                // Interior fast path: mirrors the one in `im2col_into` and
+                // visits (dst, src) pairs in exactly the same order as the
+                // general loop below, so accumulation stays bit-identical.
+                if y_interior && base_x >= 0 && base_x + geom.k_w as isize <= geom.in_w as isize {
+                    let start = (base_y as usize) * geom.in_w + base_x as usize;
+                    let mut col = row;
+                    if geom.k_w == 3 {
+                        for c in 0..channels {
+                            let mut d = c * chan_stride + start;
+                            for _ in 0..geom.k_h {
+                                let win = &mut dst_img[d..d + 3];
+                                let add = &src[col..col + 3];
+                                win[0] += add[0];
+                                win[1] += add[1];
+                                win[2] += add[2];
+                                col += 3;
+                                d += geom.in_w;
+                            }
+                        }
+                    } else {
+                        for c in 0..channels {
+                            let mut d = c * chan_stride + start;
+                            for _ in 0..geom.k_h {
+                                let (win, add) =
+                                    (&mut dst_img[d..d + geom.k_w], &src[col..col + geom.k_w]);
+                                for (wv, &av) in win.iter_mut().zip(add) {
+                                    *wv += av;
+                                }
+                                col += geom.k_w;
+                                d += geom.in_w;
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let mut col = 0usize;
                 for c in 0..channels {
                     for ky in 0..geom.k_h {
@@ -255,11 +325,23 @@ pub fn nchw_to_rows_into(input: &Tensor, out: &mut Tensor) -> Result<(), TensorE
     let src = input.data();
     let dst = out.data_mut();
     let hw = h * w;
+    // A `c × hw` transpose per image; tiles keep both the strided and the
+    // sequential side cache-resident (a plain double loop re-touches one
+    // side's cache lines `TILE`× each).
+    const TILE: usize = 32;
     for img in 0..n {
-        for ch in 0..c {
-            let src_chan = &src[(img * c + ch) * hw..(img * c + ch + 1) * hw];
-            for (pix, &v) in src_chan.iter().enumerate() {
-                dst[(img * hw + pix) * c + ch] = v;
+        let src_img = &src[img * c * hw..(img + 1) * c * hw];
+        let dst_img = &mut dst[img * hw * c..(img + 1) * hw * c];
+        for ch0 in (0..c).step_by(TILE) {
+            let ch1 = (ch0 + TILE).min(c);
+            for pix0 in (0..hw).step_by(TILE) {
+                let pix1 = (pix0 + TILE).min(hw);
+                for ch in ch0..ch1 {
+                    let src_chan = &src_img[ch * hw..(ch + 1) * hw];
+                    for pix in pix0..pix1 {
+                        dst_img[pix * c + ch] = src_chan[pix];
+                    }
+                }
             }
         }
     }
@@ -310,11 +392,21 @@ pub fn rows_to_nchw_into(
     let src = rows.data();
     let dst = out.data_mut();
     let hw = h * w;
+    // Tiled like `nchw_to_rows_into`, transposing the other way.
+    const TILE: usize = 32;
     for img in 0..n {
-        for ch in 0..c {
-            let dst_chan = &mut dst[(img * c + ch) * hw..(img * c + ch + 1) * hw];
-            for (pix, d) in dst_chan.iter_mut().enumerate() {
-                *d = src[(img * hw + pix) * c + ch];
+        let src_img = &src[img * hw * c..(img + 1) * hw * c];
+        let dst_img = &mut dst[img * c * hw..(img + 1) * c * hw];
+        for ch0 in (0..c).step_by(TILE) {
+            let ch1 = (ch0 + TILE).min(c);
+            for pix0 in (0..hw).step_by(TILE) {
+                let pix1 = (pix0 + TILE).min(hw);
+                for ch in ch0..ch1 {
+                    let dst_chan = &mut dst_img[ch * hw..(ch + 1) * hw];
+                    for pix in pix0..pix1 {
+                        dst_chan[pix] = src_img[pix * c + ch];
+                    }
+                }
             }
         }
     }

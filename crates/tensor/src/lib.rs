@@ -30,7 +30,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one place: the
+// explicit-SIMD microkernels in [`gemm`], whose `std::arch` intrinsic
+// calls are guarded by runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;

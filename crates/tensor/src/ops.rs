@@ -39,7 +39,10 @@
 //! here and the property suite in `tests/proptests.rs`; see
 //! [`crate::gemm`] for why the register tile preserves the contract).
 
-use crate::gemm::{gemm_packed, gemm_packed_tn, PackedA, PackedB, K_BLOCK};
+use crate::gemm::{
+    active_isa, gemm_packed, gemm_packed_tn, gemm_rows_tile, KernelVariant, PackedA, PackedB,
+    K_BLOCK,
+};
 use crate::{Tensor, TensorError};
 
 /// Output rows per parallel task: big enough to amortise a pool spawn,
@@ -146,7 +149,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Tenso
         });
     }
     let mut pb = PackedB::new();
-    pb.pack(b)?;
+    pb.pack_with(b, KernelVariant::default_for(active_isa()))?;
     matmul_packed_into(a, &pb, out)
 }
 
@@ -182,8 +185,8 @@ pub fn matmul_packed_into(a: &Tensor, pb: &PackedB, out: &mut Tensor) -> Result<
 /// The naive `i-k-j` matmul kept as the oracle for the packed and blocked
 /// kernels (property tests assert exact equality on random shapes). Skips
 /// exact-zero `A` elements — the historical sparsity fast path whose
-/// semantics every faster tier replicates bit for bit (the packed kernels
-/// as a branchless select, see [`crate::gemm`]).
+/// semantics every faster tier replicates bit for bit (the packed SIMD
+/// kernels as a guarded skip, see [`crate::gemm`]).
 ///
 /// # Errors
 ///
@@ -296,10 +299,11 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
             rhs: b.dims().to_vec(),
         });
     }
+    let variant = KernelVariant::default_for(active_isa());
     let mut pa = PackedA::new();
-    pa.pack_transposed(a)?;
+    pa.pack_transposed_with(a, variant)?;
     let mut pb = PackedB::new();
-    pb.pack(b)?;
+    pb.pack_with(b, variant)?;
     matmul_tn_packed_into(&pa, &pb, out)
 }
 
@@ -315,12 +319,15 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
 ///
 /// # Panics
 ///
-/// Panics if `pb` is stale ([`PackedB::is_valid`] is false).
+/// Panics if either pack is stale ([`PackedA::is_valid`] /
+/// [`PackedB::is_valid`] is false) or if the packs were laid out for
+/// different kernel variants.
 pub fn matmul_tn_packed_into(
     pa: &PackedA,
     pb: &PackedB,
     out: &mut Tensor,
 ) -> Result<(), TensorError> {
+    assert!(pa.is_valid(), "matmul_tn_packed_into: stale PackedA (pack it first)");
     assert!(pb.is_valid(), "matmul_tn_packed_into: stale PackedB (pack or ensure it first)");
     if pa.k() != pb.k() {
         return Err(TensorError::ShapeMismatch {
@@ -443,7 +450,7 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
         });
     }
     let mut pb = PackedB::new();
-    pb.pack_transposed(b)?;
+    pb.pack_transposed_with(b, KernelVariant::default_for(active_isa()))?;
     matmul_nt_packed_into(a, &pb, out)
 }
 
@@ -476,6 +483,69 @@ pub fn matmul_nt_packed_into(
     }
     out.reset(&[m, pb.n()]);
     gemm_packed::<false>(a.data(), ka, pb, out.data_mut());
+    Ok(())
+}
+
+/// [`matmul_nt_packed_into`] over several independent `A`/`out` pairs
+/// sharing one weight pack: `out_i = A_i · Bᵀ` for every slab. This is the
+/// cross-client fused forward entry point — stage-1 clients training from
+/// the same frozen broadcast batch their forward GEMMs into one call, so
+/// the shared pack is read once while `C = Σ clients × batch` output rows
+/// stream through the pool.
+///
+/// **Bit-identity by construction:** each slab is tiled at its own
+/// fixed row-tile boundaries starting from its own row 0 and computed by
+/// the same per-tile kernel as [`matmul_nt_packed_into`] — the fusion only
+/// changes which scope the tiles are spawned into (one shared scope
+/// instead of one per slab), never any element's accumulation chain, so
+/// fused output is byte-identical to per-slab calls at any pool size.
+/// The parallel/serial cutover considers the *combined* flops, which again
+/// only moves work between threads, never changes results.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if any `a` is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if any `a`'s columns disagree with the
+/// pack's `k`; no output is written on error.
+///
+/// # Panics
+///
+/// Panics if `pb` is stale ([`PackedB::is_valid`] is false).
+pub fn matmul_nt_packed_multi_into(
+    slabs: &mut [(&Tensor, &mut Tensor)],
+    pb: &PackedB,
+) -> Result<(), TensorError> {
+    assert!(pb.is_valid(), "matmul_nt_packed_multi_into: stale PackedB (pack or ensure it first)");
+    let (k, n) = (pb.k(), pb.n());
+    let mut total_flops = 0usize;
+    for (a, _) in slabs.iter() {
+        let (m, ka) = require_rank2("matmul_nt", a)?;
+        if ka != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: a.dims().to_vec(),
+                rhs: vec![n, k],
+            });
+        }
+        total_flops += m * n * k;
+    }
+    for (a, out) in slabs.iter_mut() {
+        out.reset(&[a.dims()[0], n]);
+    }
+    if total_flops >= PAR_FLOPS && aergia_runtime::parallelism() > 1 && n > 0 {
+        aergia_runtime::scope(|s| {
+            for (a, out) in slabs.iter_mut() {
+                let ad: &[f32] = a.data();
+                for (tile, rows) in out.data_mut().chunks_mut(TILE_ROWS * n).enumerate() {
+                    s.spawn(move || gemm_rows_tile::<false>(ad, k, pb, tile * TILE_ROWS, rows));
+                }
+            }
+        });
+    } else {
+        for (a, out) in slabs.iter_mut() {
+            gemm_rows_tile::<false>(a.data(), k, pb, 0, out.data_mut());
+        }
+    }
     Ok(())
 }
 
@@ -771,6 +841,50 @@ mod tests {
             matmul_nt_blocked_into(&a, &bt, &mut blocked).unwrap();
             assert_eq!(blocked.data(), reference.data(), "nt blocked {m}x{k}x{n}");
         }
+    }
+
+    /// The fused multi-slab driver must be byte-identical to per-slab
+    /// packed calls — the property the cross-client fused forward rests
+    /// on — including ragged slab sizes straddling the parallel cutover.
+    #[test]
+    fn multi_slab_nt_matches_per_slab_calls_bitwise() {
+        let bt = random(&[24, 40], 90); // pack of a [n=24, k=40] weight
+        let mut pb = PackedB::new();
+        pb.pack_transposed(&bt).unwrap();
+        let sizes = [1usize, 63, 64, 130, 7];
+        let slabs_a: Vec<Tensor> =
+            sizes.iter().enumerate().map(|(i, &m)| random(&[m, 40], 300 + i as u64)).collect();
+        let mut fused: Vec<Tensor> = sizes.iter().map(|_| Tensor::default()).collect();
+        {
+            let mut slabs: Vec<(&Tensor, &mut Tensor)> =
+                slabs_a.iter().zip(fused.iter_mut()).collect();
+            matmul_nt_packed_multi_into(&mut slabs, &pb).unwrap();
+        }
+        for (i, a) in slabs_a.iter().enumerate() {
+            let mut single = Tensor::default();
+            matmul_nt_packed_into(a, &pb, &mut single).unwrap();
+            assert_eq!(fused[i].dims(), single.dims());
+            let f: Vec<u32> = fused[i].data().iter().map(|v| v.to_bits()).collect();
+            let s: Vec<u32> = single.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(f, s, "slab {i}");
+        }
+    }
+
+    #[test]
+    fn multi_slab_nt_validates_every_slab_before_writing() {
+        let bt = random(&[4, 6], 91);
+        let mut pb = PackedB::new();
+        pb.pack_transposed(&bt).unwrap();
+        let good = random(&[3, 6], 92);
+        let bad = random(&[3, 5], 93); // k mismatch
+        let mut out_a = Tensor::default();
+        let mut out_b = Tensor::default();
+        let mut slabs: Vec<(&Tensor, &mut Tensor)> = vec![(&good, &mut out_a), (&bad, &mut out_b)];
+        assert!(matches!(
+            matmul_nt_packed_multi_into(&mut slabs, &pb),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(out_a.dims().is_empty(), "no slab may be written on error");
     }
 
     #[test]

@@ -122,8 +122,13 @@ impl Workspace {
         self.packed_a.pop().unwrap_or_default()
     }
 
-    /// Returns a [`PackedA`] to the pack stack.
-    pub fn give_packed_a(&mut self, pack: PackedA) {
+    /// Returns a [`PackedA`] to the pack stack. Invalidated on the way in
+    /// like [`Workspace::give_packed_b`]: autotuned packs carry their
+    /// kernel-variant layout with them, so a pool hit must never be
+    /// usable until its next `pack_*` call re-describes both contents and
+    /// layout.
+    pub fn give_packed_a(&mut self, mut pack: PackedA) {
+        pack.invalidate();
         self.packed_a.push(pack);
     }
 
@@ -137,7 +142,9 @@ impl Workspace {
     /// Returns a [`PackedB`] to the pack stack. The pack is invalidated
     /// on the way in, so a later taker that forgets to repack trips the
     /// kernels' stale-pack assertion instead of silently multiplying
-    /// against a previous owner's operand.
+    /// against a previous owner's operand — or, now that packs are laid
+    /// out per autotuned kernel variant, against a previous owner's
+    /// *layout*.
     pub fn give_packed_b(&mut self, mut pack: PackedB) {
         pack.invalidate();
         self.packed_b.push(pack);
@@ -210,5 +217,25 @@ mod tests {
         let pb = ws.take_packed_b();
         assert_eq!((pb.k(), pb.n()), (4, 4));
         assert_eq!(ws.pooled(), 1);
+    }
+
+    /// A pooled pack may be laid out for any kernel variant its previous
+    /// owner tuned to — both pools must hand it back *invalid*, so the
+    /// next owner is forced through a `pack_*` call (which rewrites
+    /// contents *and* layout tag) before any kernel can consume it.
+    #[test]
+    fn pack_pools_invalidate_on_give() {
+        let mut ws = Workspace::new();
+        let mut pb = ws.take_packed_b();
+        pb.pack(&Tensor::ones(&[4, 4])).unwrap();
+        assert!(pb.is_valid());
+        ws.give_packed_b(pb);
+        assert!(!ws.take_packed_b().is_valid(), "pooled PackedB must come back stale");
+
+        let mut pa = ws.take_packed_a();
+        pa.pack_transposed(&Tensor::ones(&[4, 4])).unwrap();
+        assert!(pa.is_valid());
+        ws.give_packed_a(pa);
+        assert!(!ws.take_packed_a().is_valid(), "pooled PackedA must come back stale");
     }
 }

@@ -296,6 +296,184 @@ proptest! {
             prop_assert_eq!(out.data(), blocked.data());
         }
     }
+
+    /// Every kernel variant the autotuner may pick on this machine —
+    /// scalar 4×8 and each SIMD register tile — must produce *the same
+    /// bits* as the naive references for all three GEMM orientations, on
+    /// ragged shapes that straddle the `mr` row-tile and `nr` panel
+    /// boundaries. This is the contract that makes autotuning invisible:
+    /// the tuner may pick any candidate on timing grounds alone.
+    #[test]
+    fn every_kernel_variant_matches_references_bitwise(
+        m in 1usize..70, k in 1usize..70, n in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        use aergia_tensor::gemm::{active_isa, KernelVariant, PackedA, PackedB};
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    // Exact zeros exercise the guarded skip path in every tier.
+                    if rng.random_range(0.0..1.0) < 0.2 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        let a = Tensor::from_vec(fill(m * k), &[m, k]).unwrap();
+        let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+        let bt = Tensor::from_vec(fill(n * k), &[n, k]).unwrap();
+        let at = Tensor::from_vec(fill(k * m), &[k, m]).unwrap();
+        let nn_ref = ops::matmul_reference(&a, &b).unwrap();
+        let nt_ref = ops::matmul_nt_reference(&a, &bt).unwrap();
+        let tn_ref = ops::matmul_tn_reference(&at, &b).unwrap();
+
+        let mut pb = PackedB::new();
+        let mut pbt = PackedB::new();
+        let mut pa = PackedA::new();
+        let mut out = Tensor::default();
+        for &variant in KernelVariant::candidates(active_isa()) {
+            pb.pack_with(&b, variant).unwrap();
+            ops::matmul_packed_into(&a, &pb, &mut out).unwrap();
+            prop_assert_eq!(out.data(), nn_ref.data(), "NN {:?}", variant);
+
+            pbt.pack_transposed_with(&bt, variant).unwrap();
+            ops::matmul_nt_packed_into(&a, &pbt, &mut out).unwrap();
+            prop_assert_eq!(out.data(), nt_ref.data(), "NT {:?}", variant);
+
+            pa.pack_transposed_with(&at, variant).unwrap();
+            ops::matmul_tn_packed_into(&pa, &pb, &mut out).unwrap();
+            prop_assert_eq!(out.data(), tn_ref.data(), "TN {:?}", variant);
+        }
+    }
+
+    /// Re-packing the *same* buffers for a different variant (a different
+    /// panel width, so a completely different pad layout) must be exact no
+    /// matter which variant wrote the buffer last — the situation the
+    /// workspace pack pools create when consecutive layers tune to
+    /// different register tiles.
+    #[test]
+    fn switching_variants_over_dirty_packs_is_exact(
+        shapes in proptest::collection::vec(
+            (1usize..48, 1usize..48, 1usize..40, 0usize..8), 2..5),
+        seed in any::<u64>(),
+    ) {
+        use aergia_tensor::gemm::{active_isa, KernelVariant, PackedA, PackedB};
+        use rand::{RngExt as _, SeedableRng};
+        let candidates = KernelVariant::candidates(active_isa());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < 0.15 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        let mut pb = PackedB::new();
+        let mut pa = PackedA::new();
+        let mut out = Tensor::default();
+        for &(m, k, n, pick) in &shapes {
+            let variant = candidates[pick % candidates.len()];
+            let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+            let at = Tensor::from_vec(fill(k * m), &[k, m]).unwrap();
+            pb.pack_with(&b, variant).unwrap();
+            pa.pack_transposed_with(&at, variant).unwrap();
+            ops::matmul_tn_packed_into(&pa, &pb, &mut out).unwrap();
+            prop_assert_eq!(
+                out.data(),
+                ops::matmul_tn_reference(&at, &b).unwrap().data(),
+                "variant {:?}",
+                variant
+            );
+        }
+    }
+
+    /// Non-finite inputs: infinities flow through mul/add identically in
+    /// every tier (same accumulation order ⇒ same bits), and a NaN lands
+    /// in exactly the same output elements. NaN *payloads* are the one
+    /// thing the bit-identity contract does not pin — `x86` SIMD and
+    /// scalar ops agree in practice, but the suite only asserts placement
+    /// so the contract stays portable.
+    #[test]
+    fn non_finite_inputs_keep_placement_across_variants(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use aergia_tensor::gemm::{active_isa, KernelVariant, PackedB};
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| match rng.random_range(0u32..20) {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 | 4 => 0.0,
+                    _ => rng.random_range(-2.0f32..2.0),
+                })
+                .collect()
+        };
+        let a = Tensor::from_vec(fill(m * k), &[m, k]).unwrap();
+        let b = Tensor::from_vec(fill(k * n), &[k, n]).unwrap();
+        let reference = ops::matmul_reference(&a, &b).unwrap();
+        let mut pb = PackedB::new();
+        let mut out = Tensor::default();
+        for &variant in KernelVariant::candidates(active_isa()) {
+            pb.pack_with(&b, variant).unwrap();
+            ops::matmul_packed_into(&a, &pb, &mut out).unwrap();
+            for (i, (&got, &want)) in out.data().iter().zip(reference.data()).enumerate() {
+                if want.is_nan() {
+                    prop_assert!(got.is_nan(), "{:?}: element {i} lost a NaN", variant);
+                } else {
+                    prop_assert_eq!(
+                        got.to_bits(), want.to_bits(),
+                        "{:?}: element {i}: {} vs {}", variant, got, want
+                    );
+                }
+            }
+        }
+    }
+
+    /// The cross-client fused forward (`matmul_nt_packed_multi_into`) must
+    /// be byte-identical to per-slab `matmul_nt` calls for any number of
+    /// slabs with ragged, mutually different row counts — fusing batches
+    /// work into one parallel scope but never changes an accumulation
+    /// chain.
+    #[test]
+    fn fused_multi_slab_forward_matches_per_slab_bitwise(
+        rows in proptest::collection::vec(1usize..20, 1..5),
+        k in 1usize..32, n in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        use aergia_tensor::gemm::{active_isa, KernelVariant, PackedB};
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < 0.15 { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+                })
+                .collect()
+        };
+        let bt = Tensor::from_vec(fill(n * k), &[n, k]).unwrap();
+        let mut pb = PackedB::new();
+        pb.pack_transposed_with(&bt, KernelVariant::default_for(active_isa())).unwrap();
+        let slabs: Vec<Tensor> = rows
+            .iter()
+            .map(|&m| Tensor::from_vec(fill(m * k), &[m, k]).unwrap())
+            .collect();
+        let mut fused: Vec<Tensor> = slabs.iter().map(|_| Tensor::default()).collect();
+        {
+            let mut pairs: Vec<(&Tensor, &mut Tensor)> =
+                slabs.iter().zip(fused.iter_mut()).collect();
+            ops::matmul_nt_packed_multi_into(&mut pairs, &pb).unwrap();
+        }
+        for (a, got) in slabs.iter().zip(&fused) {
+            let mut single = Tensor::default();
+            ops::matmul_nt_packed_into(a, &pb, &mut single).unwrap();
+            prop_assert_eq!(got.data(), single.data());
+            prop_assert_eq!(single.data(), ops::matmul_nt_reference(a, &bt).unwrap().data());
+        }
+    }
 }
 
 fn matrix_from(t: &Tensor) -> Tensor {

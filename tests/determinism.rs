@@ -180,6 +180,103 @@ fn scenario_async_churn_byzantine_is_bit_identical_across_parallelism() {
     assert!(crashed > 0, "seed 36 must fire at least one mid-round crash to cover churn");
 }
 
+/// FNV-1a over every observable bit of a run: per-round metrics (losses
+/// and accuracies as raw float bits), schedule outcomes, and the final
+/// global weights. Two runs fingerprint equal iff they are byte-identical
+/// in everything the determinism suite pins.
+fn fingerprint(result: &RunResult, weights: &[aergia_tensor::Tensor]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in &result.rounds {
+        eat(&r.round.to_le_bytes());
+        eat(&r.duration.as_micros().to_le_bytes());
+        eat(&r.train_loss.to_bits().to_le_bytes());
+        eat(&r.test_accuracy.to_bits().to_le_bytes());
+        eat(&r.bytes_on_wire.to_le_bytes());
+        for &p in &r.participants {
+            eat(&(p as u64).to_le_bytes());
+        }
+        for &(src, dst) in &r.offloads {
+            eat(&(src as u64).to_le_bytes());
+            eat(&(dst as u64).to_le_bytes());
+        }
+        for &d in &r.dropped {
+            eat(&(d as u64).to_le_bytes());
+        }
+    }
+    eat(&result.final_accuracy.to_bits().to_le_bytes());
+    for t in weights {
+        for &d in t.dims() {
+            eat(&(d as u64).to_le_bytes());
+        }
+        for &v in t.data() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Cross-dispatch determinism: a run forced onto the scalar GEMM tier
+/// (`AERGIA_FORCE_SCALAR=1`) and a run with the cross-client fused
+/// forward disabled (`AERGIA_NO_FUSE=1`) must both be byte-identical to
+/// the default SIMD run — same losses, same schedules, same final weight
+/// bits. The ISA choice is latched per process (`OnceLock`), so the
+/// alternate configurations run in child processes of this same test
+/// binary that print their fingerprint for the parent to compare.
+#[test]
+fn forced_scalar_and_unfused_runs_match_simd_bit_for_bit() {
+    force_pool_workers();
+    let strategy = Strategy::aergia_default();
+    if std::env::var_os("AERGIA_DET_FINGERPRINT").is_some() {
+        // Child mode: the dispatch-altering variables are already set in
+        // the environment; just run and report.
+        let (result, weights) = run_with_parallelism(fig6_smoke(33), strategy, 1);
+        println!("AERGIA_FINGERPRINT={:016x}", fingerprint(&result, &weights));
+        return;
+    }
+    let (result, weights) = run_with_parallelism(fig6_smoke(33), strategy, 1);
+    let expected = fingerprint(&result, &weights);
+    for (label, var) in
+        [("forced-scalar", "AERGIA_FORCE_SCALAR"), ("fusion-disabled", "AERGIA_NO_FUSE")]
+    {
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(exe)
+            .args([
+                "--exact",
+                "forced_scalar_and_unfused_runs_match_simd_bit_for_bit",
+                "--nocapture",
+                "--test-threads",
+                "1",
+            ])
+            .env("AERGIA_DET_FINGERPRINT", "1")
+            .env(var, "1")
+            .output()
+            .expect("spawn fingerprint child");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{label} child failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // libtest may glue its own "test <name> ... " prefix onto the
+        // child's line, so find the marker anywhere.
+        let got = stdout
+            .lines()
+            .find_map(|l| l.split("AERGIA_FINGERPRINT=").nth(1))
+            .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+            .unwrap_or_else(|| panic!("{label} child printed no fingerprint:\n{stdout}"));
+        assert_eq!(
+            got, expected,
+            "{label} run diverged from the default SIMD run (fingerprint {got:016x} vs {expected:016x})"
+        );
+    }
+}
+
 #[test]
 fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
     force_pool_workers();
