@@ -1,7 +1,7 @@
 //! Times every figure harness at `AERGIA_SCALE=smoke` and gates wall-time
-//! regressions (plus the in-process `allocs_per_round`, `matmul_gflops`
-//! and per-codec `bytes_per_round_*` figures) — the driver behind the
-//! `bench-regression` CI job.
+//! regressions (plus the in-process `allocs_per_round`, `matmul_gflops`,
+//! per-codec `bytes_per_round_*` and `resident_client_bytes` figures) —
+//! the driver behind the `bench-regression` CI job.
 //!
 //! ```sh
 //! cargo run --release -p aergia-bench --bin bench_smoke -- \
@@ -53,6 +53,7 @@ const HARNESSES: &[&str] = &[
     "fig9_similarity_factor",
     "fig10_noniid_degree",
     "table1_feature_matrix",
+    "scaleout_100k",
 ];
 
 struct Options {
@@ -157,6 +158,23 @@ fn measure_bytes_per_round(codec: CodecConfig) -> f64 {
     result.mean_round_bytes()
 }
 
+/// Peak resident client-state bytes at the scale-out smoke point (100k
+/// simulated clients, 1k trained per round, cohort-sampled pool). The
+/// figure is deterministic — shard sizes and the pool's byte model are
+/// pure functions of the configuration — and gates like a wall-time:
+/// resident client state growing 2x (e.g. the pool silently holding the
+/// population again) fails CI.
+fn measure_resident_client_bytes() -> f64 {
+    use aergia::topology::TopologyBuilder;
+    use aergia_bench::scaleout_config;
+    let config = scaleout_config(100_000, 1_000, 2, 0x5ca1e);
+    let topology = TopologyBuilder::new().edge_cohorts(8, 0x5ca1e);
+    let mut engine =
+        Engine::with_topology(config, Strategy::FedAvg, topology).expect("valid scale-out config");
+    let result = engine.run().expect("timing run");
+    result.rounds.iter().map(|r| r.pool.resident_bytes).max().unwrap_or(0) as f64
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(o) => o,
@@ -218,6 +236,12 @@ fn main() {
         eprintln!("bench_smoke: {name} = {bytes:.0}");
         report.insert(name.to_string(), bytes);
     }
+    // Resident client-state bytes at the 100k-simulated scale-out point:
+    // the memory-model gate — this figure must track the participation
+    // cap, never the simulated population.
+    let resident_client_bytes = measure_resident_client_bytes();
+    eprintln!("bench_smoke: resident_client_bytes = {resident_client_bytes:.0}");
+    report.insert("resident_client_bytes".to_string(), resident_client_bytes);
     for &name in HARNESSES {
         eprintln!("bench_smoke: running {name}");
         let started = Instant::now();

@@ -167,6 +167,39 @@ pub fn base_config(
     }
 }
 
+/// The scale-out experiment point: `simulated` timing-mode clients of
+/// which `trained` are selected (and pooled) per round, under the
+/// cohort-sampled client-state mode. Shared by the `scaleout_100k`
+/// harness and `bench_smoke`'s in-process `resident_client_bytes`
+/// measurement so the gate tracks exactly what the harness runs.
+pub fn scaleout_config(
+    simulated: usize,
+    trained: usize,
+    rounds: u32,
+    seed: u64,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DataConfig {
+            spec: DatasetSpec::MnistLike,
+            train_size: 4096,
+            test_size: 64,
+            seed: seed ^ 0xda7a,
+        },
+        arch: ModelArch::MnistCnn,
+        num_clients: simulated,
+        clients_per_round: trained,
+        rounds,
+        local_updates: 6,
+        batch_size: 8,
+        speeds: aergia_simnet::cluster::uniform_speeds(simulated, 0.05, 1.0, seed),
+        mode: Mode::Timing,
+        parallelism: engine_parallelism(),
+        client_state: aergia::config::ClientStateMode::CohortSampled { max_resident: trained },
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// Runs one experiment to completion.
 ///
 /// # Panics

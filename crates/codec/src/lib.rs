@@ -49,6 +49,7 @@ pub mod dense;
 pub mod envelope;
 pub mod frame;
 pub mod io;
+pub mod partial;
 pub mod quant;
 pub mod sizing;
 pub mod topk;

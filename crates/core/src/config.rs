@@ -24,6 +24,37 @@ pub enum Mode {
     Timing,
 }
 
+/// How per-client training state (batcher draw streams and model
+/// workspaces) is held across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientStateMode {
+    /// Every client keeps its batcher resident for the whole run (the
+    /// historical behaviour; workspaces still materialize lazily on
+    /// first training). Right up to a few thousand clients.
+    Resident,
+    /// Only ever-selected clients are materialized, in an LRU pool of at
+    /// most `max_resident` entries; the unselected population exists as
+    /// compact per-client timing state (tens of bytes each). Evicted
+    /// clients are rebuilt from scratch on reselection — from the
+    /// partition seed and the round's broadcast keyframe — so a
+    /// re-admitted client restarts its batch draw stream: a documented,
+    /// deterministic divergence from [`ClientStateMode::Resident`]
+    /// (which also swaps the materialised per-client split for shared
+    /// strided shards, so real-mode gradients differ too; under an IID
+    /// split in [`Mode::Timing`] the shard sizes — and therefore the
+    /// schedules — are identical).
+    /// Results remain a pure function of the configuration: reruns,
+    /// parallel execution and checkpoint resume stay bit-identical,
+    /// which the determinism suite pins. This is the million-client
+    /// scale-out mode: resident memory follows the participation cap,
+    /// not the cluster size.
+    CohortSampled {
+        /// Pool capacity; the current round's participants are never
+        /// evicted even if they exceed it.
+        max_resident: usize,
+    },
+}
+
 /// Full description of one federated-learning experiment.
 ///
 /// `..ExperimentConfig::default()` fills in sane small-scale values; every
@@ -76,6 +107,10 @@ pub struct ExperimentConfig {
     /// Byzantine adversaries (see [`crate::scenario`]). The default is
     /// inert — synchronous rounds over honest, stable clients.
     pub scenario: ScenarioConfig,
+    /// How per-client training state is held:
+    /// [`ClientStateMode::Resident`] (default) or the million-client
+    /// [`ClientStateMode::CohortSampled`] pool.
+    pub client_state: ClientStateMode,
     /// Master seed (selection, batching, model init all derive from it).
     pub seed: u64,
 }
@@ -104,6 +139,7 @@ impl Default for ExperimentConfig {
             parallelism: 0,
             codec: CodecConfig::DenseF32,
             scenario: ScenarioConfig::default(),
+            client_state: ClientStateMode::Resident,
             seed: 7,
         }
     }
@@ -210,6 +246,9 @@ impl ExperimentConfig {
                 return Err(ConfigError::BadCodec("keep_permille outside 1..=1000"));
             }
         }
+        if self.client_state == (ClientStateMode::CohortSampled { max_resident: 0 }) {
+            return Err(ConfigError::ZeroSized("max_resident"));
+        }
         let data_classes = self.dataset.spec.num_classes();
         let model_classes = self.arch.num_classes();
         if data_classes != model_classes {
@@ -276,6 +315,20 @@ mod tests {
     fn zero_rounds_rejected() {
         let cfg = ExperimentConfig { rounds: 0, ..ExperimentConfig::default() };
         assert!(matches!(cfg.validate(), Err(ConfigError::ZeroSized("rounds"))));
+    }
+
+    #[test]
+    fn zero_capacity_pool_rejected() {
+        let cfg = ExperimentConfig {
+            client_state: ClientStateMode::CohortSampled { max_resident: 0 },
+            ..ExperimentConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroSized("max_resident"))));
+        let cfg = ExperimentConfig {
+            client_state: ClientStateMode::CohortSampled { max_resident: 2 },
+            ..ExperimentConfig::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

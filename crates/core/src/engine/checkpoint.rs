@@ -3,7 +3,8 @@
 //!
 //! A checkpoint captures *everything mutable* about a run between two
 //! rounds — the global weights (as a dense wire frame), every RNG stream
-//! (selection, per-client batchers, TiFL, network faults), the wire
+//! (selection, the resident clients' batchers, TiFL, network faults),
+//! the client-state pool's membership and eviction memory, the wire
 //! codec's delta bases and error-feedback residuals, the bytes odometer
 //! and the per-round records so far — inside the
 //! [`aergia_codec::checkpoint`] chunk container. Everything *immutable*
@@ -37,9 +38,11 @@ use aergia_data::batcher::BatcherState;
 use aergia_simnet::{SimDuration, SimTime};
 use aergia_tensor::Tensor;
 
+use crate::config::ClientStateMode;
 use crate::metrics::{RoundRecord, RunResult};
+use crate::profiler::WorkspacePoolStats;
 
-use super::{tifl::TiflSnapshot, Engine};
+use super::{make_batcher, tifl::TiflSnapshot, Engine};
 
 /// Where a run currently stands: the next round to execute, the virtual
 /// clock, and everything recorded so far. Produced by
@@ -114,12 +117,17 @@ const WDLB: [u8; 4] = *b"WDLB"; // wire: downlink base
 const WUPR: [u8; 4] = *b"WUPR"; // wire: one client's uplink residual
 const RNDS: [u8; 4] = *b"RNDS";
 const CHRN: [u8; 4] = *b"CHRN"; // churn: availability flags + rng
+const POOL: [u8; 4] = *b"POOL"; // client-state pool: clock + eviction memory
+const COHT: [u8; 4] = *b"COHT"; // cohort layout fingerprint
 const ENGV: [u8; 4] = *b"ENGV";
 
 /// Version of the engine's chunk *bodies* (the container frames the
 /// chunks; this versions what is inside them). v2 added the optional
-/// `CHRN` chunk for scenario churn state.
-const ENGINE_LAYOUT_VERSION: u16 = 2;
+/// `CHRN` chunk for scenario churn state. v3 moved `BTCH` chunks to the
+/// client-state pool (one per *resident* client, prefixed with its id
+/// and LRU stamp), added the `POOL` and `COHT` chunks, and extended the
+/// round records with pool statistics.
+const ENGINE_LAYOUT_VERSION: u16 = 3;
 
 /// FNV-1a over the debug rendering of the config/strategy pair — enough
 /// to catch restoring into the wrong experiment, which would otherwise
@@ -193,6 +201,11 @@ fn encode_record(out: &mut Vec<u8>, record: &RoundRecord) {
     for &d in &record.dropped {
         put_u32(out, d as u32);
     }
+    put_u32(out, record.pool.hits);
+    put_u32(out, record.pool.misses);
+    put_u32(out, record.pool.rebuilds);
+    put_u32(out, record.pool.resident_clients);
+    put_u64(out, record.pool.resident_bytes);
 }
 
 fn decode_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
@@ -218,6 +231,13 @@ fn decode_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         offloads.push((s, rr));
     }
     let dropped = read_ids(r)?;
+    let pool = WorkspacePoolStats {
+        hits: r.u32()?,
+        misses: r.u32()?,
+        rebuilds: r.u32()?,
+        resident_clients: r.u32()?,
+        resident_bytes: r.u64()?,
+    };
     Ok(RoundRecord {
         round,
         duration,
@@ -227,6 +247,7 @@ fn decode_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         offloads,
         dropped,
         bytes_on_wire,
+        pool,
     })
 }
 
@@ -262,9 +283,15 @@ impl Engine {
         put_u64(&mut netw, self.network.bytes_delivered());
         w.chunk(NETW, netw);
 
-        for client in &self.clients {
-            let state = client.batcher.state();
+        // One BTCH chunk per *resident* pool entry, in client-id order:
+        // under cohort sampling only the ≤ `max_resident` clients with a
+        // live draw stream are persisted, so checkpoint size follows the
+        // pool cap, not the simulated population.
+        for (client, stamp, batcher) in self.pool.snapshot_entries() {
+            let state = batcher.state();
             let mut body = Vec::new();
+            put_u32(&mut body, client as u32);
+            put_u64(&mut body, stamp);
             put_u64(&mut body, state.cursor as u64);
             put_rng(&mut body, state.rng);
             put_u32(&mut body, state.indices.len() as u32);
@@ -273,6 +300,20 @@ impl Engine {
             }
             w.chunk(BTCH, body);
         }
+
+        let (clock, evicted) = self.pool.snapshot_meta();
+        let mut pool = Vec::new();
+        put_u64(&mut pool, clock);
+        put_u32(&mut pool, evicted.len() as u32);
+        for e in evicted {
+            put_u32(&mut pool, e as u32);
+        }
+        w.chunk(POOL, pool);
+
+        let mut coht = Vec::new();
+        put_u32(&mut coht, self.cohorts.num_edges() as u32);
+        put_u64(&mut coht, self.cohorts.fingerprint());
+        w.chunk(COHT, coht);
 
         if let Some(tifl) = &self.tifl {
             let snap = tifl.snapshot();
@@ -409,16 +450,56 @@ impl Engine {
         }
         self.network.restore_fault_state(drop_prob, jitter, net_rng, odometer);
 
-        let batchers = chunks.get_all(BTCH);
-        if batchers.len() != self.clients.len() {
-            return Err(CheckpointError::Mismatch("batcher count"));
+        let mut pool_r =
+            Reader::new(chunks.get(POOL).ok_or(CheckpointError::Mismatch("no pool state"))?);
+        let clock = pool_r.u64()?;
+        let n_evicted = pool_r.u32()? as usize;
+        let mut evicted = Vec::with_capacity(n_evicted.min(1 << 16));
+        for _ in 0..n_evicted {
+            evicted.push(pool_r.u32()? as usize);
         }
-        for (client, body) in self.clients.iter_mut().zip(batchers) {
+
+        let mut coht =
+            Reader::new(chunks.get(COHT).ok_or(CheckpointError::Mismatch("no cohort layout"))?);
+        let num_edges = coht.u32()? as usize;
+        let layout_fp = coht.u64()?;
+        if num_edges != self.cohorts.num_edges() || layout_fp != self.cohorts.fingerprint() {
+            return Err(CheckpointError::Mismatch("cohort layout"));
+        }
+
+        let bodies = chunks.get_all(BTCH);
+        match self.config.client_state {
+            ClientStateMode::Resident => {
+                if bodies.len() != self.config.num_clients {
+                    return Err(CheckpointError::Mismatch("batcher count"));
+                }
+            }
+            ClientStateMode::CohortSampled { max_resident } => {
+                if bodies.len() > max_resident {
+                    return Err(CheckpointError::Mismatch("resident count beyond pool capacity"));
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(bodies.len());
+        let mut prev_client = None;
+        for body in bodies {
             let mut r = Reader::new(body);
+            let client = r.u32()? as usize;
+            let stamp = r.u64()?;
             let cursor = r.u64()? as usize;
             let rng = read_rng(&mut r)?;
             let n = r.u32()? as usize;
-            if n != client.shard_len {
+            if client >= self.config.num_clients {
+                return Err(CheckpointError::Mismatch("resident client id"));
+            }
+            if prev_client.is_some_and(|p| p >= client) {
+                return Err(CheckpointError::Mismatch("resident clients out of order"));
+            }
+            prev_client = Some(client);
+            if stamp > clock {
+                return Err(CheckpointError::Mismatch("pool stamp beyond clock"));
+            }
+            if n != self.clients[client].shard_len {
                 return Err(CheckpointError::Mismatch("batcher shard size"));
             }
             if cursor > n {
@@ -428,8 +509,11 @@ impl Engine {
             for _ in 0..n {
                 indices.push(r.u32()? as usize);
             }
-            client.batcher.restore_state(BatcherState { indices, cursor, rng });
+            let mut batcher = make_batcher(&self.partition, &self.config, client);
+            batcher.restore_state(BatcherState { indices, cursor, rng });
+            entries.push((client, stamp, batcher));
         }
+        self.pool.restore(entries, clock, evicted);
 
         match (&mut self.tifl, chunks.get(TIFL)) {
             (Some(tifl), Some(body)) => {

@@ -23,6 +23,7 @@
 
 mod checkpoint;
 mod churn;
+mod pool;
 mod round;
 mod tifl;
 mod wire;
@@ -44,11 +45,11 @@ use aergia_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{ConfigError, ExperimentConfig, Mode};
+use crate::config::{ClientStateMode, ConfigError, ExperimentConfig, Mode};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::scenario::{self, AggregationMode, RobustAggregation};
 use crate::strategy::Strategy;
-use crate::transport::{self, ClientWorkspace, InProcess, Transport, TransportError};
+use crate::transport::{self, InProcess, Transport, TransportError};
 
 pub use checkpoint::{CheckpointError, RunProgress};
 pub(crate) use round::RoundOutcome;
@@ -125,10 +126,12 @@ impl From<TransportError> for EngineError {
     }
 }
 
-/// Persistent per-client state (survives across rounds).
+/// Compact persistent per-client state (survives across rounds). Tens
+/// of bytes per client, stored densely for the whole simulated
+/// population — heavy state (batcher, workspace) lives in the
+/// capacity-bounded [`pool::CohortPool`] instead.
 pub(crate) struct ClientNode {
     pub(crate) cpu: CpuModel,
-    pub(crate) batcher: Batcher,
     pub(crate) shard_len: usize,
     /// Per-batch virtual cost of the four phases on this client.
     pub(crate) phase_secs: PhaseCost,
@@ -151,6 +154,18 @@ impl ClientNode {
     }
 }
 
+/// The one batcher derivation in the system: build-time pre-population,
+/// on-demand pool admission and checkpoint restore all construct a
+/// client's draw stream from this formula, so a batcher built at any of
+/// those moments starts the identical stream.
+pub(crate) fn make_batcher(partition: &Partition, config: &ExperimentConfig, id: usize) -> Batcher {
+    Batcher::new(
+        partition.indices(id).to_vec(),
+        config.batch_size,
+        config.seed ^ (id as u64).wrapping_mul(0x9e37),
+    )
+}
+
 /// The federated-learning run executor.
 pub struct Engine {
     pub(crate) config: ExperimentConfig,
@@ -160,12 +175,20 @@ pub struct Engine {
     pub(crate) partition: Partition,
     pub(crate) similarity: Vec<Vec<f64>>,
     pub(crate) enclave_setup_bytes: usize,
+    /// Client → edge-aggregator assignment; the single-edge layout by
+    /// default, overridden by
+    /// [`TopologyBuilder::edge_cohorts`](crate::topology::TopologyBuilder::edge_cohorts).
+    /// Defines the aggregation tree's bracketing, so it is fingerprinted
+    /// into checkpoints.
+    pub(crate) cohorts: crate::fold::CohortLayout,
     pub(crate) clients: Vec<ClientNode>,
-    /// One lazily-built slot per client (real mode; empty in timing mode):
-    /// a workspace materialises the first time its client actually trains,
-    /// so resident memory scales with clients that participate, not with
-    /// the cluster size.
-    pub(crate) client_ws: Vec<Option<ClientWorkspace>>,
+    /// The heavy per-client state (batcher + lazily-built workspace),
+    /// capacity-bounded and LRU-evicted under
+    /// [`ClientStateMode::CohortSampled`]; pre-populated and unbounded
+    /// under [`ClientStateMode::Resident`]. Workspaces materialise the
+    /// first time their client actually trains, so resident memory
+    /// follows participation, not cluster size.
+    pub(crate) pool: pool::CohortPool,
     pub(crate) network: Network,
     pub(crate) global: Vec<Tensor>,
     pub(crate) template: Cnn,
@@ -223,6 +246,18 @@ impl Engine {
     ) -> Result<Self, EngineError> {
         config.validate()?;
         scenario::validate_with_strategy(&config.scenario, &strategy)?;
+        // Aergia's scheduler consumes the full pairwise similarity
+        // matrix, which cohort sampling deliberately never computes
+        // (it is O(n²) in the population).
+        if matches!(config.client_state, ClientStateMode::CohortSampled { .. })
+            && matches!(strategy, Strategy::Aergia { .. })
+        {
+            return Err(ConfigError::BadScenario(
+                "cohort-sampled client state cannot run the Aergia strategy \
+                 (the full similarity matrix is never materialised)",
+            )
+            .into());
+        }
         topology.validate(config.num_clients)?;
         let mut engine = Self::build(config, strategy)?;
         topology.apply(&mut engine);
@@ -231,25 +266,46 @@ impl Engine {
 
     /// Constructs the engine from a validated configuration.
     fn build(config: ExperimentConfig, strategy: Strategy) -> Result<Self, EngineError> {
+        let cohort_sampled = matches!(config.client_state, ClientStateMode::CohortSampled { .. });
         let (train, test) = config.dataset.generate_pair();
-        let partition = Partition::split(&train, config.num_clients, config.partition, config.seed);
+        // Cohort-sampled populations dwarf the dataset, so the partition
+        // switches to shared strided shards (`O(dataset)` storage however
+        // many clients are simulated) instead of materialising one index
+        // list per client.
+        let partition = if cohort_sampled {
+            Partition::strided(&train, config.num_clients)
+        } else {
+            Partition::split(&train, config.num_clients, config.partition, config.seed)
+        };
 
         // Dataset similarity, computed privately in the enclave before
-        // training starts (§4.4). Every client participates once.
+        // training starts (§4.4). Every client participates once — except
+        // under cohort sampling, where a full per-client protocol (and the
+        // O(n²) similarity matrix behind it) is exactly the per-client
+        // cost the mode exists to avoid: one probe session prices the
+        // handshake and the total setup cost is charged analytically.
         let mut enclave = SimilarityEnclave::new(train.num_classes(), config.seed ^ 0xe9c1);
         let mut enclave_setup_bytes = 0usize;
-        for client in 0..config.num_clients {
-            let mut session =
-                establish_session(&mut enclave, client as u32, config.seed ^ client as u64)?;
-            let hist = partition.class_histogram(&train, client);
+        let similarity = if cohort_sampled {
+            let mut session = establish_session(&mut enclave, 0, config.seed)?;
+            let hist = partition.class_histogram(&train, 0);
             let blob = session.seal_histogram(&hist);
-            enclave_setup_bytes += blob.len() + 64;
-            enclave.submit(client as u32, blob)?;
-        }
-        let similarity = if config.num_clients >= 2 {
-            enclave.compute_similarity_matrix()?
-        } else {
+            enclave_setup_bytes = (blob.len() + 64) * config.num_clients;
             vec![vec![0.0]]
+        } else {
+            for client in 0..config.num_clients {
+                let mut session =
+                    establish_session(&mut enclave, client as u32, config.seed ^ client as u64)?;
+                let hist = partition.class_histogram(&train, client);
+                let blob = session.seal_histogram(&hist);
+                enclave_setup_bytes += blob.len() + 64;
+                enclave.submit(client as u32, blob)?;
+            }
+            if config.num_clients >= 2 {
+                enclave.compute_similarity_matrix()?
+            } else {
+                vec![vec![0.0]]
+            }
         };
 
         let template = transport::build_template(&config);
@@ -270,11 +326,6 @@ impl Engine {
                 let secs_per_flop = 1.0 / (cpu.speed() * BASE_FLOPS);
                 ClientNode {
                     cpu,
-                    batcher: Batcher::new(
-                        partition.indices(id).to_vec(),
-                        config.batch_size,
-                        config.seed ^ (id as u64).wrapping_mul(0x9e37),
-                    ),
                     shard_len: partition.shard_len(id),
                     phase_secs: flops.scaled(secs_per_flop),
                 }
@@ -293,14 +344,28 @@ impl Engine {
             .churn
             .map(|cfg| churn::ChurnState::new(cfg, config.num_clients, config.seed));
 
-        // Timing mode never executes numeric plans, so it skips the
-        // per-client workspace slots entirely; real mode fills a slot the
-        // first time its client trains.
-        let client_ws: Vec<Option<ClientWorkspace>> = if config.mode == Mode::Real {
-            (0..config.num_clients).map(|_| None).collect()
-        } else {
-            Vec::new()
+        // Resident mode pre-populates every client's heavy state (the
+        // historical dense layout, bit-for-bit); cohort sampling starts
+        // empty and admits participants on demand. Timing mode never
+        // executes numeric plans, so its workspace charge estimate is
+        // zero and workspaces never materialise.
+        let cap = match config.client_state {
+            ClientStateMode::Resident => usize::MAX,
+            ClientStateMode::CohortSampled { max_resident } => max_resident,
         };
+        let ws_bytes_per_entry = if config.mode == Mode::Real {
+            // Live model weights, gradient/scratch buffers, mini-batch
+            // pair: roughly three dense copies of the parameters.
+            global.iter().map(Tensor::numel).sum::<usize>() as u64 * 4 * 3
+        } else {
+            0
+        };
+        let mut client_pool = pool::CohortPool::new(cap, ws_bytes_per_entry);
+        if !cohort_sampled {
+            for id in 0..config.num_clients {
+                client_pool.prepopulate(id, make_batcher(&partition, &config, id));
+            }
+        }
 
         Ok(Engine {
             network: Network::new(config.link),
@@ -308,8 +373,9 @@ impl Engine {
             federator_secret: config.seed ^ 0xfed0_fed0,
             similarity,
             enclave_setup_bytes,
+            cohorts: crate::fold::CohortLayout::single(config.num_clients),
             clients,
-            client_ws,
+            pool: client_pool,
             global,
             template,
             wire,
@@ -337,6 +403,12 @@ impl Engine {
     /// The client data partition in effect.
     pub fn partition(&self) -> &Partition {
         &self.partition
+    }
+
+    /// The edge-cohort layout in effect (single-edge unless overridden
+    /// through [`TopologyBuilder::edge_cohorts`](crate::topology::TopologyBuilder::edge_cohorts)).
+    pub fn cohort_layout(&self) -> &crate::fold::CohortLayout {
+        &self.cohorts
     }
 
     /// The generated training dataset.
@@ -612,6 +684,13 @@ impl Engine {
             Some(churn) => churn.draw_crashes(&participants, 2 * self.config.local_updates),
             None => Vec::new(),
         };
+        // Admit the round's participants into the client-state pool
+        // (split borrow: admission reads the partition/config, never the
+        // pool's own fields).
+        {
+            let (partition, config) = (&self.partition, &self.config);
+            self.pool.begin_round(&participants, |id| make_batcher(partition, config, id));
+        }
         let bytes_before = self.network.bytes_delivered();
         let outcome =
             round::simulate_round(self, round, *now, &participants, &crash_plan, transport)?;
@@ -626,6 +705,11 @@ impl Engine {
         if let Some(tifl) = &mut self.tifl {
             tifl.observe_accuracy(test_accuracy);
         }
+        // The round's training is folded: participants become evictable
+        // and the pool shrinks back to its cap before the next round (and
+        // before any checkpoint snapshots it).
+        let pool = self.pool.stats();
+        self.pool.end_round();
 
         Ok(RoundRecord {
             round,
@@ -636,6 +720,7 @@ impl Engine {
             offloads: outcome.offload_pairs(),
             dropped: outcome.dropped.clone(),
             bytes_on_wire,
+            pool,
         })
     }
 
@@ -723,23 +808,58 @@ impl Engine {
 
     /// One synchronous aggregation step over the round's full buffer: the
     /// strategy's native mean, or a Byzantine-robust replacement.
+    ///
+    /// Mean-family rules fold hierarchically: each edge pre-folds its
+    /// cohort's contributions in fixed client order, the partials ride a
+    /// [`aergia_codec::partial`] frame upstream when more than one edge
+    /// exists, and the root merges them in fixed edge order — bit-equal
+    /// to [`crate::fold`]'s flat reference by construction, and to the
+    /// legacy single chain under the default single-edge layout. The
+    /// robust rules are order-invariant (pure functions of the update
+    /// multiset), so edges forward their cohorts' updates unfolded and
+    /// the rule runs once at the root, trivially matching the flat path.
     fn aggregate_synchronous(
         &mut self,
         contributions: Vec<Contribution>,
     ) -> Result<(), EngineError> {
         self.global = match self.config.scenario.robust {
-            RobustAggregation::Mean => match self.strategy {
-                Strategy::FedNova => {
-                    let triples: Vec<(f32, Vec<Tensor>, u32)> =
-                        contributions.into_iter().map(|c| (c.n, c.weights, c.tau)).collect();
-                    fednova_aggregate(&self.global, &triples)
+            RobustAggregation::Mean => {
+                let edges: Vec<usize> =
+                    contributions.iter().map(|c| self.cohorts.edge_of(c.client)).collect();
+                let num_edges = self.cohorts.num_edges();
+                // Per-edge folds fan out on the work-stealing pool unless
+                // the run is pinned fully serial (each edge's chain is one
+                // task, so scheduling cannot change bits).
+                let parallel = self.config.parallelism != 1;
+                match self.strategy {
+                    Strategy::FedNova => {
+                        let triples: Vec<(f32, Vec<Tensor>, u32)> =
+                            contributions.into_iter().map(|c| (c.n, c.weights, c.tau)).collect();
+                        let mut partials = crate::fold::fednova_edge_partials(
+                            &self.global,
+                            &triples,
+                            &edges,
+                            num_edges,
+                            parallel,
+                        );
+                        if num_edges > 1 {
+                            partials = crate::fold::through_wire(partials);
+                        }
+                        crate::fold::merge_fednova_partials(&self.global, partials)
+                    }
+                    _ => {
+                        let weighted: Vec<(f32, Vec<Tensor>)> =
+                            contributions.into_iter().map(|c| (c.n, c.weights)).collect();
+                        let mut partials = crate::fold::weighted_edge_partials(
+                            &weighted, &edges, num_edges, parallel,
+                        );
+                        if num_edges > 1 {
+                            partials = crate::fold::through_wire(partials);
+                        }
+                        crate::fold::merge_weighted_partials(partials)
+                    }
                 }
-                _ => {
-                    let weighted: Vec<(f32, Vec<Tensor>)> =
-                        contributions.into_iter().map(|c| (c.n, c.weights)).collect();
-                    w::weighted_average(&weighted)
-                }
-            },
+            }
             RobustAggregation::CoordinateMedian => {
                 let snaps: Vec<Vec<Tensor>> =
                     contributions.into_iter().map(|c| c.weights).collect();
@@ -847,62 +967,9 @@ struct Contribution {
     arrived: SimTime,
 }
 
-/// FedNova normalized aggregation (Wang et al. 2020):
-/// `w ← w_g − τ_eff · Σ p_i · d_i` with `d_i = (w_g − w_i)/τ_i`,
-/// `τ_eff = Σ p_i · τ_i` and `p_i = n_i / Σ n_j`.
-fn fednova_aggregate(global: &[Tensor], contributions: &[(f32, Vec<Tensor>, u32)]) -> Vec<Tensor> {
-    let total_n: f32 = contributions.iter().map(|(n, _, _)| n).sum();
-    let tau_eff: f32 = contributions.iter().map(|(n, _, tau)| (n / total_n) * (*tau as f32)).sum();
-    let mut combined_delta: Vec<Tensor> = global.iter().map(|t| Tensor::zeros(t.dims())).collect();
-    for (n, weights_i, tau) in contributions {
-        let p = n / total_n;
-        let tau = (*tau).max(1) as f32;
-        for ((acc, g), wi) in combined_delta.iter_mut().zip(global).zip(weights_i) {
-            // d_i = (w_g − w_i)/τ_i, accumulated with weight p.
-            let mut d = g.sub(wi);
-            d.scale(p / tau);
-            acc.add_assign(&d);
-        }
-    }
-    global
-        .iter()
-        .zip(&combined_delta)
-        .map(|(g, d)| {
-            let mut out = g.clone();
-            out.axpy(-tau_eff, d);
-            out
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn snap(vals: &[f32]) -> Vec<Tensor> {
-        vec![Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap()]
-    }
-
-    #[test]
-    fn fednova_with_equal_tau_matches_fedavg() {
-        let global = snap(&[1.0, 1.0]);
-        let contributions = vec![(1.0, snap(&[0.0, 2.0]), 4u32), (1.0, snap(&[2.0, 0.0]), 4u32)];
-        let nova = fednova_aggregate(&global, &contributions);
-        // FedAvg average = [1.0, 1.0]; with equal tau FedNova agrees.
-        assert!((nova[0].data()[0] - 1.0).abs() < 1e-6);
-        assert!((nova[0].data()[1] - 1.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn fednova_downweights_many_step_clients() {
-        let global = snap(&[1.0]);
-        // Client A moved to 0.0 in 10 steps, client B to 0.0 in 1 step.
-        let contributions = vec![(1.0, snap(&[0.0]), 10u32), (1.0, snap(&[1.0]), 1u32)];
-        let nova = fednova_aggregate(&global, &contributions);
-        // Per-step delta of A is 0.1, of B is 0; tau_eff = 5.5 →
-        // w = 1 − 5.5 · (0.5·0.1 + 0.5·0) = 0.725.
-        assert!((nova[0].data()[0] - 0.725).abs() < 1e-6);
-    }
 
     use aergia_nn::models::ModelArch;
 

@@ -50,9 +50,9 @@ use crate::profiler::{OnlineProfiler, ProfileReport};
 use crate::scenario::{Attack, OffloadPolicy};
 use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
-use crate::transport::{ClientWorkspace, OffloadOrder, RoundContext, TrainOrder, Transport};
+use crate::transport::{OffloadOrder, RoundContext, TrainOrder, Transport};
 
-use super::{ClientNode, Engine, EngineError};
+use super::{Engine, EngineError};
 
 /// Where an event is delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +175,35 @@ impl RClient {
     }
 }
 
+/// Sparse per-round client table. Only clients the round's events touch
+/// (participants and offload receivers) get an entry, so per-round state
+/// is `O(participants)` even when the simulated population is millions.
+/// Reads of untouched clients fall back to a shared idle value; writes
+/// materialise the entry on first access.
+struct RTable {
+    map: HashMap<usize, RClient>,
+    idle: RClient,
+}
+
+impl RTable {
+    fn new() -> Self {
+        RTable { map: HashMap::new(), idle: RClient::idle() }
+    }
+}
+
+impl std::ops::Index<usize> for RTable {
+    type Output = RClient;
+    fn index(&self, c: usize) -> &RClient {
+        self.map.get(&c).unwrap_or(&self.idle)
+    }
+}
+
+impl std::ops::IndexMut<usize> for RTable {
+    fn index_mut(&mut self, c: usize) -> &mut RClient {
+        self.map.entry(c).or_insert_with(RClient::idle)
+    }
+}
+
 /// Advances `rc`'s batch clock by one event; returns `true` (marking the
 /// client crashed) when the churn crash point is reached. The fatal
 /// batch's work is lost — counters are not advanced past the crash.
@@ -240,8 +269,7 @@ pub(crate) fn simulate_round(
     };
 
     let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut rclients: Vec<RClient> =
-        (0..engine.config.num_clients).map(|_| RClient::idle()).collect();
+    let mut rclients = RTable::new();
 
     // Federator round state.
     let mut reports: HashMap<usize, ProfileReport> = HashMap::new();
@@ -609,30 +637,34 @@ pub(crate) fn simulate_round(
     // The event trace is complete: derive every client's numeric workload
     // and (real mode) execute it, possibly in parallel.
     let losses = if mode == Mode::Real {
-        let mut plans: Vec<ClientPlan> = rclients
+        let mut plans: HashMap<usize, ClientPlan> = rclients
+            .map
             .iter()
-            .map(|rc| ClientPlan {
-                own_batches: rc.batches_done,
-                freeze_after: rc.frozen_at,
-                snapshot_wanted: false,
-                // A crashed receiver's partial feature training is
-                // censored with it — and must not consume the straggler's
-                // snapshot, which a rescheduled receiver may still need.
-                offload: rc
-                    .offload_from
-                    .filter(|_| rc.offload_batches_run > 0 && !rc.crashed)
-                    .map(|weak| OffloadPlan { weak, batches: rc.offload_batches_run }),
+            .map(|(&c, rc)| {
+                let plan = ClientPlan {
+                    own_batches: rc.batches_done,
+                    freeze_after: rc.frozen_at,
+                    snapshot_wanted: false,
+                    // A crashed receiver's partial feature training is
+                    // censored with it — and must not consume the
+                    // straggler's snapshot, which a rescheduled receiver
+                    // may still need.
+                    offload: rc
+                        .offload_from
+                        .filter(|_| rc.offload_batches_run > 0 && !rc.crashed)
+                        .map(|weak| OffloadPlan { weak, batches: rc.offload_batches_run }),
+                };
+                (c, plan)
             })
             .collect();
-        for c in 0..plans.len() {
-            if let Some(offload) = plans[c].offload {
-                plans[offload.weak].snapshot_wanted = true;
-            }
+        let wanted: Vec<usize> = plans.values().filter_map(|p| p.offload.map(|o| o.weak)).collect();
+        for weak in wanted {
+            plans.entry(weak).or_default().snapshot_wanted = true;
         }
         // A crashed client's update never reaches the federator, so its
         // numeric training only executes when its frozen snapshot feeds a
         // surviving offload.
-        for (c, plan) in plans.iter_mut().enumerate() {
+        for (&c, plan) in plans.iter_mut() {
             if rclients[c].crashed && !plan.snapshot_wanted {
                 plan.own_batches = 0;
                 plan.freeze_after = None;
@@ -671,17 +703,13 @@ pub(crate) fn simulate_round(
     // real mode, if the transport never delivered its trained weights (a
     // remote client that died mid-round).
     let cutoff = start + duration;
-    let dropped: Vec<usize> = participants
+    let arrived: HashSet<usize> = updates
         .iter()
-        .copied()
-        .filter(|&p| {
-            !updates.iter().any(|u| {
-                u.client == p
-                    && u.arrived <= cutoff
-                    && (mode == Mode::Timing || u.weights.is_some())
-            })
-        })
+        .filter(|u| u.arrived <= cutoff && (mode == Mode::Timing || u.weights.is_some()))
+        .map(|u| u.client)
         .collect();
+    let dropped: Vec<usize> =
+        participants.iter().copied().filter(|p| !arrived.contains(p)).collect();
 
     Ok(RoundOutcome {
         start,
@@ -727,7 +755,7 @@ fn execute_plans(
     engine: &mut Engine,
     round: u32,
     participants: &[usize],
-    plans: &[ClientPlan],
+    plans: &HashMap<usize, ClientPlan>,
     updates: &mut [UpdateArrival],
     offload_results: &mut [OffloadResultArrival],
     round_base: &[Tensor],
@@ -754,27 +782,27 @@ fn execute_plans(
             train: &engine.train,
             template: &engine.template,
         };
-        let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
-        // A client's workspace materialises the first time it trains, so
-        // memory follows actual participation, not cluster size.
-        let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
-            engine.client_ws.iter_mut().map(Some).collect();
+        // Batchers and workspace slots live in the cohort pool, which
+        // `begin_round` stocked for every participant — memory follows
+        // actual participation, not population size. A workspace
+        // materialises the first time its slot trains.
+        let mut handles = engine.pool.handles();
         let mut orders: Vec<TrainOrder<'_>> = Vec::new();
         for (&p, opt) in participants.iter().zip(opts) {
-            if plans[p].own_batches == 0 {
+            let plan = plans.get(&p).copied().unwrap_or_default();
+            if plan.own_batches == 0 {
                 continue;
             }
-            let ClientNode { batcher, .. } = slots[p].take().expect("participant ids are unique");
+            let (batcher, workspace) =
+                handles.remove(&p).expect("begin_round admits every participant");
             orders.push(TrainOrder {
                 client: p,
-                own_batches: plans[p].own_batches,
-                freeze_after: plans[p].freeze_after,
-                snapshot_wanted: plans[p].snapshot_wanted,
+                own_batches: plan.own_batches,
+                freeze_after: plan.freeze_after,
+                snapshot_wanted: plan.snapshot_wanted,
                 opt,
                 batcher,
-                workspace: cw_slots[p]
-                    .take()
-                    .expect("real mode keeps one workspace slot per client"),
+                workspace,
             });
         }
         // Fold replies in participant order (the transport preserves
@@ -813,12 +841,10 @@ fn execute_plans(
             train: &engine.train,
             template: &engine.template,
         };
-        let mut slots: Vec<Option<&mut ClientNode>> = engine.clients.iter_mut().map(Some).collect();
-        let mut cw_slots: Vec<Option<&mut Option<ClientWorkspace>>> =
-            engine.client_ws.iter_mut().map(Some).collect();
+        let mut handles = engine.pool.handles();
         let mut orders: Vec<OffloadOrder<'_>> = Vec::new();
         for &p in participants {
-            let Some(offload) = plans[p].offload else { continue };
+            let Some(offload) = plans.get(&p).and_then(|plan| plan.offload) else { continue };
             // The receiver or the straggler may have been lost in stage 1
             // (a remote client dying); the offload then silently lapses
             // and the straggler's own (frozen) update stands alone.
@@ -826,7 +852,8 @@ fn execute_plans(
                 continue;
             }
             let Some(snapshot) = snapshots.remove(&offload.weak) else { continue };
-            let ClientNode { batcher, .. } = slots[p].take().expect("participant ids are unique");
+            let (batcher, workspace) =
+                handles.remove(&p).expect("begin_round admits every participant");
             orders.push(OffloadOrder {
                 receiver: p,
                 weak: offload.weak,
@@ -834,9 +861,7 @@ fn execute_plans(
                 snapshot,
                 opt: opts_back.remove(&p),
                 batcher,
-                workspace: cw_slots[p]
-                    .take()
-                    .expect("real mode keeps one workspace slot per client"),
+                workspace,
             });
         }
         for reply in transport.train_offloads(&ctx, orders)? {

@@ -62,6 +62,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fold;
 pub mod messages;
 pub mod metrics;
 pub mod prelude;

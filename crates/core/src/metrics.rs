@@ -3,6 +3,8 @@
 use aergia_simnet::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::profiler::WorkspacePoolStats;
+
 /// What happened in one communication round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -25,6 +27,10 @@ pub struct RoundRecord {
     /// actual encoded frame sizes under the experiment's wire codec, plus
     /// control envelopes.
     pub bytes_on_wire: u64,
+    /// Client-state pool observability: workspace hit/miss/rebuild counts
+    /// and the resident-client byte estimate after this round's
+    /// admissions.
+    pub pool: WorkspacePoolStats,
 }
 
 /// The result of a whole FL run.
@@ -157,6 +163,7 @@ mod tests {
             offloads: vec![],
             dropped: vec![],
             bytes_on_wire: 1_000,
+            pool: WorkspacePoolStats::default(),
         }
     }
 

@@ -54,6 +54,33 @@ impl OnlineProfiler {
     }
 }
 
+/// Per-round observability of the engine's client-state pool (see
+/// `engine::pool`): how many of the round's participants found their
+/// state resident (`hits`) versus freshly admitted (`misses`), how many
+/// of those admissions re-created state that an earlier eviction had
+/// discarded (`rebuilds` — a subset of `misses`), and what the pool
+/// holds after admission. Surfaced on every
+/// [`RoundRecord`](crate::metrics::RoundRecord).
+///
+/// `resident_bytes` is a deterministic *estimate* — per-client shard
+/// index storage plus a fixed workspace charge derived from the model's
+/// parameter count — computed from pool membership alone, so the figure
+/// is identical across parallelism settings, transports and
+/// checkpoint resume (actual allocator behaviour is not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkspacePoolStats {
+    /// Participants whose client state was already resident.
+    pub hits: u32,
+    /// Participants whose client state had to be admitted fresh.
+    pub misses: u32,
+    /// Admissions that re-created previously evicted state (⊆ `misses`).
+    pub rebuilds: u32,
+    /// Clients resident in the pool after this round's admissions.
+    pub resident_clients: u32,
+    /// Estimated bytes of resident client state after admissions.
+    pub resident_bytes: u64,
+}
+
 /// The numbers a client reports to the federator after profiling, plus the
 /// derived quantities Algorithm 1 consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -31,6 +31,7 @@ use aergia_simnet::{LinkModel, NodeId, SimDuration};
 
 use crate::config::ConfigError;
 use crate::engine::Engine;
+use crate::fold::CohortLayout;
 
 /// Accumulates validated topology overrides for [`Engine::with_topology`].
 ///
@@ -45,6 +46,7 @@ pub struct TopologyBuilder {
     client_links: Vec<(usize, usize, LinkModel)>,
     client_speeds: Vec<(usize, f64)>,
     faults: Option<(f64, SimDuration, u64)>,
+    edge_cohorts: Option<(usize, u64)>,
 }
 
 impl TopologyBuilder {
@@ -84,12 +86,30 @@ impl TopologyBuilder {
         self
     }
 
+    /// Partitions the clients across `num_edges` edge aggregators with a
+    /// seeded balanced assignment (every client lands in exactly one
+    /// cohort, cohort sizes differ by at most one, no edge is empty).
+    /// Each edge pre-folds its cohort's updates in fixed client order and
+    /// the root merges the partials in fixed edge order, so the layout
+    /// *defines* the fold tree: results are bit-reproducible across
+    /// serial, work-stealing and TCP evaluation (see [`crate::fold`]),
+    /// and with `num_edges == 1` the tree reduces exactly to the legacy
+    /// flat single-federator chain.
+    ///
+    /// Validation rejects `num_edges == 0` and `num_edges > num_clients`
+    /// (an empty edge would have nothing to fold).
+    pub fn edge_cohorts(mut self, num_edges: usize, seed: u64) -> Self {
+        self.edge_cohorts = Some((num_edges, seed));
+        self
+    }
+
     /// Whether the builder carries no overrides at all.
     pub fn is_empty(&self) -> bool {
         self.federator_links.is_empty()
             && self.client_links.is_empty()
             && self.client_speeds.is_empty()
             && self.faults.is_none()
+            && self.edge_cohorts.is_none()
     }
 
     /// Validates every override against a cluster of `num_clients`.
@@ -120,6 +140,14 @@ impl TopologyBuilder {
                 return Err(ConfigError::BadTopology("network_faults drop_prob outside [0, 1)"));
             }
         }
+        if let Some((num_edges, _)) = self.edge_cohorts {
+            if num_edges == 0 {
+                return Err(ConfigError::BadTopology("edge_cohorts needs at least one edge"));
+            }
+            if num_edges > num_clients {
+                return Err(ConfigError::BadTopology("edge_cohorts exceed the cluster size"));
+            }
+        }
         Ok(())
     }
 
@@ -141,7 +169,45 @@ impl TopologyBuilder {
         if let Some((drop_prob, jitter, seed)) = self.faults {
             engine.network.enable_faults(drop_prob, jitter, seed);
         }
+        if let Some((num_edges, seed)) = self.edge_cohorts {
+            engine.cohorts = CohortLayout::seeded(engine.config().num_clients, num_edges, seed);
+        }
     }
+}
+
+/// Assigns clients to edge cohorts round-robin over a seeded
+/// permutation, returning `edge_of[client]`.
+///
+/// # Migration
+///
+/// Declare the cohorts on a [`TopologyBuilder`] instead, so the
+/// assignment is validated against the configuration and installed
+/// atomically with the rest of the topology:
+///
+/// ```
+/// use aergia::prelude::*;
+///
+/// let config = ExperimentConfig { mode: Mode::Timing, ..ExperimentConfig::default() };
+/// let engine = Engine::with_topology(
+///     config,
+///     Strategy::FedAvg,
+///     TopologyBuilder::new().edge_cohorts(2, 7),
+/// )
+/// .unwrap();
+/// assert_eq!(engine.cohort_layout().num_edges(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ num_edges ≤ num_clients`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use TopologyBuilder::edge_cohorts via Engine::with_topology instead"
+)]
+#[must_use]
+pub fn assign_edge_cohorts(num_clients: usize, num_edges: usize, seed: u64) -> Vec<u32> {
+    let layout = CohortLayout::seeded(num_clients, num_edges, seed);
+    (0..num_clients).map(|c| layout.edge_of(c) as u32).collect()
 }
 
 #[cfg(test)]
@@ -158,6 +224,8 @@ mod tests {
             TopologyBuilder::new().client_speed(0, 0.0),
             TopologyBuilder::new().client_speed(0, 1.5),
             TopologyBuilder::new().network_faults(1.0, SimDuration::ZERO, 1),
+            TopologyBuilder::new().edge_cohorts(0, 7),
+            TopologyBuilder::new().edge_cohorts(5, 7),
         ];
         for (i, builder) in cases.into_iter().enumerate() {
             assert!(
@@ -174,8 +242,20 @@ mod tests {
             .federator_link(3, LinkModel::datacenter())
             .client_link(0, 1, LinkModel::datacenter())
             .client_speed(2, 0.25)
-            .network_faults(0.1, SimDuration::from_secs_f64(0.5), 7);
+            .network_faults(0.1, SimDuration::from_secs_f64(0.5), 7)
+            .edge_cohorts(2, 11);
         assert!(!builder.is_empty());
         builder.validate(4).unwrap();
+    }
+
+    #[test]
+    fn deprecated_cohort_assignment_matches_the_builder_layout() {
+        #[allow(deprecated)]
+        let free = assign_edge_cohorts(6, 2, 3);
+        let layout = CohortLayout::seeded(6, 2, 3);
+        assert_eq!(free, (0..6).map(|c| layout.edge_of(c) as u32).collect::<Vec<_>>());
+        // Every client in exactly one cohort, both edges populated.
+        assert!(free.iter().all(|&e| e < 2));
+        assert!(free.contains(&0) && free.contains(&1));
     }
 }

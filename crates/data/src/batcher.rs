@@ -72,6 +72,11 @@ impl Batcher {
         self.batch_size
     }
 
+    /// Number of samples in the shard this batcher cycles over.
+    pub fn shard_len(&self) -> usize {
+        self.indices.len()
+    }
+
     /// Returns the next mini-batch, reshuffling at epoch boundaries.
     ///
     /// Thin wrapper over [`Batcher::next_batch_into`]; training loops

@@ -33,10 +33,19 @@ impl Scheme {
 }
 
 /// A disjoint assignment of dataset indices to clients.
+///
+/// Normally one index list is stored per client. For populations far
+/// larger than the dataset ([`Partition::strided`]) the stored lists are
+/// *shared shards*: `virtual_clients` many clients map onto them
+/// round-robin, so storage stays `O(dataset)` however many clients are
+/// simulated.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Partition {
     client_indices: Vec<Vec<usize>>,
     num_classes: usize,
+    /// `Some(n)`: `n` virtual clients share the stored shards
+    /// round-robin (`client % shards`). `None`: one list per client.
+    virtual_clients: Option<usize>,
 }
 
 impl Partition {
@@ -127,12 +136,50 @@ impl Partition {
             }
         };
 
-        Partition { client_indices, num_classes }
+        Partition { client_indices, num_classes, virtual_clients: None }
+    }
+
+    /// Splits `dataset` across `clients` with *shared strided shards*:
+    /// `S = min(clients, dataset.len())` shards are materialised (shard
+    /// `s` owns indices `s, s+S, s+2S, …`) and client `c` reads shard
+    /// `c % S`. Storage is `O(dataset)` regardless of `clients`, which
+    /// is what makes million-client populations affordable; the price is
+    /// that clients congruent modulo `S` share data (their draw streams
+    /// still differ — batcher seeds are per-client).
+    ///
+    /// Every shard is non-empty by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or the dataset is empty.
+    pub fn strided(dataset: &Dataset, clients: usize) -> Self {
+        assert!(clients > 0, "Partition::strided: need at least one client");
+        assert!(!dataset.is_empty(), "Partition::strided: empty dataset");
+        let shards = clients.min(dataset.len());
+        let client_indices =
+            (0..shards).map(|s| (s..dataset.len()).step_by(shards).collect()).collect();
+        Partition {
+            client_indices,
+            num_classes: dataset.num_classes(),
+            virtual_clients: Some(clients),
+        }
     }
 
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
-        self.client_indices.len()
+        self.virtual_clients.unwrap_or(self.client_indices.len())
+    }
+
+    /// The stored index list backing `client` (identity for materialised
+    /// splits, `client % shards` for strided ones).
+    fn slot(&self, client: usize) -> usize {
+        match self.virtual_clients {
+            Some(n) => {
+                assert!(client < n, "client {client} out of range for {n} virtual clients");
+                client % self.client_indices.len()
+            }
+            None => client,
+        }
     }
 
     /// Sample indices owned by `client`.
@@ -141,19 +188,19 @@ impl Partition {
     ///
     /// Panics if `client` is out of range.
     pub fn indices(&self, client: usize) -> &[usize] {
-        &self.client_indices[client]
+        &self.client_indices[self.slot(client)]
     }
 
     /// Number of samples owned by `client`.
     pub fn shard_len(&self, client: usize) -> usize {
-        self.client_indices[client].len()
+        self.client_indices[self.slot(client)].len()
     }
 
     /// Per-class label counts of `client`'s shard — the vector clients
     /// encrypt and send to the enclave.
     pub fn class_histogram(&self, dataset: &Dataset, client: usize) -> Vec<u64> {
         let mut hist = vec![0u64; self.num_classes];
-        for &i in &self.client_indices[client] {
+        for &i in &self.client_indices[self.slot(client)] {
             hist[dataset.label(i)] += 1;
         }
         hist
@@ -260,5 +307,38 @@ mod tests {
     fn rejects_zero_classes_per_client() {
         let ds = dataset();
         Partition::split(&ds, 2, Scheme::NonIid { classes_per_client: 0 }, 0);
+    }
+
+    #[test]
+    fn strided_shards_are_disjoint_and_exhaustive() {
+        let ds = dataset(); // 400 samples
+        let p = Partition::strided(&ds, 7);
+        assert_eq!(p.num_clients(), 7);
+        let mut seen = HashSet::new();
+        for c in 0..7 {
+            assert!(!p.indices(c).is_empty());
+            for &i in p.indices(c) {
+                assert!(seen.insert(i), "index {i} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), ds.len());
+    }
+
+    #[test]
+    fn strided_virtual_clients_share_shards_modulo_stride() {
+        let ds = dataset(); // 400 samples, so 1000 clients share 400 shards
+        let p = Partition::strided(&ds, 1000);
+        assert_eq!(p.num_clients(), 1000);
+        assert_eq!(p.indices(3), p.indices(403));
+        assert_eq!(p.shard_len(999), p.shard_len(599));
+        assert!(!p.indices(999).is_empty(), "every virtual client has data");
+        assert_eq!(p.class_histogram(&ds, 5), p.class_histogram(&ds, 405));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn strided_rejects_out_of_range_clients() {
+        let ds = dataset();
+        Partition::strided(&ds, 10).indices(10);
     }
 }

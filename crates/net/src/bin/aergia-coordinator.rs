@@ -4,6 +4,7 @@
 //! aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P]
 //!                    [--strategy aergia|fedavg|fedprox]
 //!                    [--scenario none|async|churn|byzantine]
+//!                    [--topology flat|two-tier]
 //!                    [--halt-after-round N] [--reply-timeout-secs N]
 //! ```
 //!
@@ -17,13 +18,15 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use aergia_net::coordinator::{serve, CoordinatorOpts};
-use aergia_net::presets::{codec_by_name, scenario_by_name, smoke_config, strategy_by_name};
+use aergia_net::presets::{
+    codec_by_name, scenario_by_name, smoke_config, strategy_by_name, topology_by_name,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P] \
          [--strategy aergia|fedavg|fedprox] [--scenario none|async|churn|byzantine] \
-         [--halt-after-round N] [--reply-timeout-secs N]"
+         [--topology flat|two-tier] [--halt-after-round N] [--reply-timeout-secs N]"
     );
     std::process::exit(64);
 }
@@ -35,6 +38,7 @@ fn main() {
     let mut codec = "dense".to_string();
     let mut strategy = "aergia".to_string();
     let mut scenario = "none".to_string();
+    let mut topology = "flat".to_string();
     let mut halt_after_round = None;
     let mut reply_timeout = Duration::from_secs(120);
     while let Some(flag) = args.next() {
@@ -45,6 +49,7 @@ fn main() {
             "--codec" => codec = value(),
             "--strategy" => strategy = value(),
             "--scenario" => scenario = value(),
+            "--topology" => topology = value(),
             "--halt-after-round" => {
                 halt_after_round = Some(value().parse().unwrap_or_else(|_| usage()));
             }
@@ -58,6 +63,7 @@ fn main() {
     let Some(codec) = codec_by_name(&codec) else { usage() };
     let Some(strategy) = strategy_by_name(&strategy) else { usage() };
     let Some(scenario) = scenario_by_name(&scenario) else { usage() };
+    let Some(topology) = topology_by_name(&topology, seed) else { usage() };
 
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("aergia-coordinator: cannot create {dir:?}: {e}");
@@ -69,7 +75,7 @@ fn main() {
 
     let mut config = smoke_config(seed, codec);
     config.scenario = scenario;
-    match serve(config, strategy, &opts) {
+    match serve(config, strategy, topology, &opts) {
         Ok(Some(outcome)) => {
             eprintln!(
                 "aergia-coordinator: finished {} rounds, final accuracy {:.3}",

@@ -283,11 +283,12 @@ impl Transport for TcpTransport<'_> {
 pub fn serve(
     config: ExperimentConfig,
     strategy: Strategy,
+    topology: TopologyBuilder,
     opts: &CoordinatorOpts,
 ) -> Result<Option<RunOutcome>, NetError> {
     let num_clients = config.num_clients;
     let setup = WorkerSetup::from_experiment(&config, &strategy);
-    let mut engine = Engine::new(config, strategy)?;
+    let mut engine = Engine::with_topology(config, strategy, topology)?;
 
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let port = listener.local_addr()?.port();

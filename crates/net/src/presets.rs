@@ -86,6 +86,21 @@ pub fn scenario_by_name(name: &str) -> Option<ScenarioConfig> {
     }
 }
 
+/// Parses the coordinator CLI's topology name.
+///
+/// * `flat` — no overrides: every update folds at the single federator
+///   (the historical layout).
+/// * `two-tier` — three seeded edge cohorts; each edge pre-folds its
+///   cohort and the federator merges the per-edge partials in fixed
+///   edge order. The e2e suite pins this bit-identical to `flat`.
+pub fn topology_by_name(name: &str, seed: u64) -> Option<TopologyBuilder> {
+    match name {
+        "flat" => Some(TopologyBuilder::new()),
+        "two-tier" => Some(TopologyBuilder::new().edge_cohorts(3, seed)),
+        _ => None,
+    }
+}
+
 /// Parses the coordinator CLI's codec name (`dense`, `quant`, or
 /// `topk:<keep_permille>`).
 pub fn codec_by_name(name: &str) -> Option<CodecConfig> {
@@ -134,5 +149,14 @@ mod tests {
         // The smoke preset must be valid — the whole e2e suite builds on it.
         let config = smoke_config(33, CodecConfig::DenseF32);
         assert!(aergia::Engine::new(config, Strategy::aergia_default()).is_ok());
+        // Topology presets: flat is empty, two-tier carries cohorts and
+        // must build on the smoke preset.
+        assert!(topology_by_name("flat", 33).is_some_and(|t| t.is_empty()));
+        let two_tier = topology_by_name("two-tier", 33).expect("known topology");
+        assert!(!two_tier.is_empty());
+        assert!(topology_by_name("ring", 33).is_none());
+        let config = smoke_config(33, CodecConfig::DenseF32);
+        let engine = aergia::Engine::with_topology(config, Strategy::FedAvg, two_tier).unwrap();
+        assert_eq!(engine.cohort_layout().num_edges(), 3);
     }
 }

@@ -23,6 +23,7 @@
 
 use aergia::metrics::{RoundRecord, RunResult};
 use aergia::prelude::*;
+use aergia::profiler::WorkspacePoolStats;
 use aergia_codec::dense;
 use aergia_codec::io::{put_f32, put_f64, put_u32, put_u64, Reader};
 use aergia_codec::CodecError;
@@ -539,8 +540,9 @@ impl OffloadReplyMsg {
 
 /// Magic bytes of a serialized [`RunOutcome`] file.
 pub const OUTCOME_MAGIC: [u8; 4] = *b"ARES";
-/// Version of the [`RunOutcome`] file layout.
-pub const OUTCOME_VERSION: u16 = 1;
+/// Version of the [`RunOutcome`] file layout. v2 appended the
+/// client-state pool statistics to each round record.
+pub const OUTCOME_VERSION: u16 = 2;
 
 /// What a completed coordinator run leaves on disk: the metrics *and*
 /// the final global weights, so harnesses can assert bit-identity
@@ -572,6 +574,11 @@ fn put_record(out: &mut Vec<u8>, record: &RoundRecord) {
         put_u32(out, r as u32);
     }
     put_ids(out, &record.dropped);
+    put_u32(out, record.pool.hits);
+    put_u32(out, record.pool.misses);
+    put_u32(out, record.pool.rebuilds);
+    put_u32(out, record.pool.resident_clients);
+    put_u64(out, record.pool.resident_bytes);
 }
 
 fn read_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
@@ -597,6 +604,13 @@ fn read_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         offloads.push((s, rr));
     }
     let dropped = read_ids(r)?;
+    let pool = WorkspacePoolStats {
+        hits: r.u32()?,
+        misses: r.u32()?,
+        rebuilds: r.u32()?,
+        resident_clients: r.u32()?,
+        resident_bytes: r.u64()?,
+    };
     Ok(RoundRecord {
         round,
         duration,
@@ -606,6 +620,7 @@ fn read_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         offloads,
         dropped,
         bytes_on_wire,
+        pool,
     })
 }
 
@@ -780,6 +795,13 @@ mod tests {
                     offloads: vec![(0, 2)],
                     dropped: vec![1],
                     bytes_on_wire: 12345,
+                    pool: WorkspacePoolStats {
+                        hits: 2,
+                        misses: 1,
+                        rebuilds: 0,
+                        resident_clients: 3,
+                        resident_bytes: 4096,
+                    },
                 }],
                 pretraining: SimDuration::from_micros(10),
                 finished_at: SimTime::from_micros(1_500_010),

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use aergia::prelude::*;
 use aergia_codec::CodecConfig;
-use aergia_net::presets::{scenario_by_name, smoke_config, strategy_by_name};
+use aergia_net::presets::{scenario_by_name, smoke_config, strategy_by_name, topology_by_name};
 use aergia_net::proto::RunOutcome;
 use aergia_tensor::Tensor;
 
@@ -68,9 +68,9 @@ fn wait_outcome(dir: &Path, deadline: Instant) -> RunOutcome {
     }
 }
 
-/// Serves the smoke preset with the named scenario over real TCP and
-/// returns the coordinator's published outcome.
-fn tcp_run(name: &str, scenario: &str, strategy: &str) -> RunOutcome {
+/// Serves the smoke preset with the named scenario and topology over
+/// real TCP and returns the coordinator's published outcome.
+fn tcp_run_with_topology(name: &str, scenario: &str, strategy: &str, topology: &str) -> RunOutcome {
     let dir = run_dir(name);
     let deadline = Instant::now() + DEADLINE;
     let args = [
@@ -84,6 +84,8 @@ fn tcp_run(name: &str, scenario: &str, strategy: &str) -> RunOutcome {
         strategy,
         "--scenario",
         scenario,
+        "--topology",
+        topology,
     ]
     .map(str::to_string);
     let _coordinator = spawn("coordinator", env!("CARGO_BIN_EXE_aergia-coordinator"), &dir, &args);
@@ -97,12 +99,25 @@ fn tcp_run(name: &str, scenario: &str, strategy: &str) -> RunOutcome {
     wait_outcome(&dir, deadline)
 }
 
+fn tcp_run(name: &str, scenario: &str, strategy: &str) -> RunOutcome {
+    tcp_run_with_topology(name, scenario, strategy, "flat")
+}
+
 /// The in-process reference on the identical configuration.
 fn reference(scenario: &str, strategy: &str) -> (RunResult, Vec<Tensor>) {
+    reference_with_topology(scenario, strategy, "flat")
+}
+
+fn reference_with_topology(
+    scenario: &str,
+    strategy: &str,
+    topology: &str,
+) -> (RunResult, Vec<Tensor>) {
     let mut config = smoke_config(SEED, CodecConfig::DenseF32);
     config.scenario = scenario_by_name(scenario).expect("known scenario");
     let strategy = strategy_by_name(strategy).expect("known strategy");
-    let mut engine = Engine::new(config, strategy).expect("valid config");
+    let topology = topology_by_name(topology, SEED).expect("known topology");
+    let mut engine = Engine::with_topology(config, strategy, topology).expect("valid config");
     let result = engine.run().expect("run succeeds");
     let weights = engine.global_weights().to_vec();
     (result, weights)
@@ -126,6 +141,20 @@ fn churn_over_tcp_is_bit_identical_to_in_process() {
     let crashed: usize = expected.rounds.iter().map(|r| r.dropped.len()).sum();
     assert!(crashed > 0, "seed {SEED} must fire at least one crash for this test to bite");
     assert_eq!(outcome.result, expected, "churn metrics must match the simulator exactly");
+    assert_bit_identical(&outcome.weights, &expected_weights);
+}
+
+#[test]
+fn two_tier_topology_over_tcp_is_bit_identical_to_in_process() {
+    // The transport leg of the hierarchical-aggregation contract: a
+    // two-tier run — per-edge partial folds routed through the codec's
+    // partial-aggregate frames and merged at the federator — produces
+    // exactly the same bits over real TCP as in process. (The cohort
+    // layout *defines* the fold tree; hierarchical == same-tree
+    // reference is pinned serially in the core determinism suite.)
+    let outcome = tcp_run_with_topology("scenario-two-tier", "none", "fedavg", "two-tier");
+    let (expected, expected_weights) = reference_with_topology("none", "fedavg", "two-tier");
+    assert_eq!(outcome.result, expected, "two-tier metrics must match the simulator");
     assert_bit_identical(&outcome.weights, &expected_weights);
 }
 

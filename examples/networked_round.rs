@@ -36,9 +36,10 @@ fn main() {
         })
         .collect();
 
-    let outcome = coordinator::serve(config, Strategy::aergia_default(), &opts)
-        .expect("networked run")
-        .expect("no halt hook configured");
+    let outcome =
+        coordinator::serve(config, Strategy::aergia_default(), TopologyBuilder::new(), &opts)
+            .expect("networked run")
+            .expect("no halt hook configured");
     for (id, worker) in workers.into_iter().enumerate() {
         worker.join().expect("worker thread").unwrap_or_else(|e| panic!("worker {id}: {e}"));
     }

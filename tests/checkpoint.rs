@@ -111,6 +111,63 @@ fn quant_and_tifl_state_survive_the_checkpoint() {
 }
 
 #[test]
+fn cohort_sampled_pool_state_survives_the_checkpoint() {
+    use aergia::config::ClientStateMode;
+    // The compact client-state pool crosses the checkpoint as one chunk
+    // per *resident* entry (not per simulated client) plus the eviction
+    // clock. A churning pool — 12 clients through 4 slots, so evictions
+    // and rebuilds happen on both sides of the kill — must resume
+    // bit-for-bit: the same clients resident, the same stamps, the same
+    // batcher draw positions.
+    let mut config = fig6_smoke(48);
+    config.num_clients = 12;
+    config.clients_per_round = 4;
+    config.speeds = aergia_simnet::cluster::uniform_speeds(12, 0.2, 1.0, 48);
+    config.client_state = ClientStateMode::CohortSampled { max_resident: 4 };
+    kill_and_resume(config, Strategy::FedAvg, 2, "cohort-sampled pool");
+}
+
+#[test]
+fn two_tier_cohort_layout_survives_the_checkpoint() {
+    // Hierarchical aggregation: the cohort layout defines the fold tree,
+    // so the checkpoint pins its fingerprint and a resumed run must keep
+    // folding on exactly the same tree.
+    let config = fig6_smoke(49);
+    let strategy = Strategy::FedAvg;
+    let cohorts = || aergia::topology::TopologyBuilder::new().edge_cohorts(3, 49);
+
+    let mut straight =
+        Engine::with_topology(config.clone(), strategy, cohorts()).expect("valid config");
+    let straight_result = straight.run().expect("uninterrupted run");
+
+    let mut first =
+        Engine::with_topology(config.clone(), strategy, cohorts()).expect("valid config");
+    let mut progress = first.start_progress();
+    first.step_round(&mut progress).expect("round 0");
+    let checkpoint = first.save_checkpoint(&progress);
+    drop(first);
+
+    // A flat engine must refuse the two-tier checkpoint outright…
+    let mut flat = Engine::new(config.clone(), strategy).expect("valid config");
+    assert!(matches!(
+        flat.restore_checkpoint(&checkpoint),
+        Err(CheckpointError::Mismatch("cohort layout"))
+    ));
+
+    // …and the matching layout resumes bit-for-bit.
+    let mut resumed = Engine::with_topology(config, strategy, cohorts()).expect("valid config");
+    let restored = resumed.restore_checkpoint(&checkpoint).expect("restore");
+    let resumed_result = resumed.resume_run(restored).expect("resumed run");
+    assert_same_run(
+        &straight_result,
+        &resumed_result,
+        straight.global_weights(),
+        resumed.global_weights(),
+        "two-tier",
+    );
+}
+
+#[test]
 fn checkpoint_file_on_disk_resumes_the_run() {
     let config = fig6_smoke(44);
     let strategy = Strategy::aergia_default();

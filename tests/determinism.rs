@@ -277,6 +277,169 @@ fn forced_scalar_and_unfused_runs_match_simd_bit_for_bit() {
     }
 }
 
+fn run_with_topology(
+    mut config: ExperimentConfig,
+    strategy: Strategy,
+    p: usize,
+    topology: aergia::topology::TopologyBuilder,
+) -> (RunResult, Vec<aergia_tensor::Tensor>) {
+    config.parallelism = p;
+    let mut engine = Engine::with_topology(config, strategy, topology).expect("valid config");
+    let result = engine.run().expect("run succeeds");
+    (result, engine.global_weights().to_vec())
+}
+
+#[test]
+fn two_tier_aggregation_is_bit_identical_across_parallelism_and_reruns() {
+    force_pool_workers();
+    // Hierarchical aggregation: the cohort layout *defines* the fold
+    // tree, so the contract is self-consistency — the per-edge partial
+    // folds running concurrently on the work-stealing pool, a serial
+    // run, and a fresh rerun of the same seed must all produce the same
+    // bits. (Hierarchical == single-site reference evaluation of the
+    // same tree is property-tested in `proptests.rs`; the TCP leg lives
+    // in the net crate's scenario-parity suite.)
+    let cohorts = || aergia::topology::TopologyBuilder::new().edge_cohorts(3, 33);
+    let strategy = Strategy::FedAvg;
+    let serial = run_with_topology(fig6_smoke(33), strategy, 1, cohorts());
+    let rerun = run_with_topology(fig6_smoke(33), strategy, 1, cohorts());
+    assert_bit_identical(&serial, &rerun, "two-tier rerun");
+    let parallel = run_with_topology(fig6_smoke(33), strategy, 0, cohorts());
+    assert_bit_identical(&serial, &parallel, "two-tier parallel");
+}
+
+#[test]
+fn root_only_folds_ignore_the_cohort_layout() {
+    force_pool_workers();
+    // Robust rules (coordinate median / trimmed mean) and the buffered
+    // asynchronous fold are order statistics / arrival-ordered merges —
+    // they cannot be pre-folded per edge, so they run at the root and a
+    // cohort layout must change *nothing*: two-tier == flat bit-for-bit.
+    use aergia::prelude::*;
+    use aergia_simnet::SimDuration;
+    let scenarios = [
+        ScenarioConfig {
+            robust: RobustAggregation::TrimmedMean { trim_ratio: 0.3 },
+            byzantine: vec![ByzantineSpec { client: 0, attack: Attack::SignFlip }],
+            ..ScenarioConfig::default()
+        },
+        ScenarioConfig {
+            aggregation: AggregationMode::BufferedAsync {
+                max_staleness: SimDuration::from_secs_f64(1e6),
+                mixing: 0.5,
+            },
+            ..ScenarioConfig::default()
+        },
+    ];
+    for (i, scenario) in scenarios.into_iter().enumerate() {
+        let mut config = fig6_smoke(36);
+        config.scenario = scenario;
+        let flat = run_with_parallelism(config.clone(), Strategy::FedAvg, 0);
+        let cohorts = aergia::topology::TopologyBuilder::new().edge_cohorts(3, 36);
+        let two_tier = run_with_topology(config, Strategy::FedAvg, 0, cohorts);
+        assert_bit_identical(&flat, &two_tier, &format!("root-only scenario {i}"));
+    }
+}
+
+/// A cohort-sampled configuration big enough that the pool actually
+/// churns: 512 simulated clients, 16 trained per round, pool capped at
+/// `max_resident`.
+fn cohort_sampled_timing(seed: u64, max_resident: usize) -> ExperimentConfig {
+    use aergia::config::ClientStateMode;
+    ExperimentConfig {
+        dataset: aergia_data::DataConfig {
+            // At least one sample per client: the resident IID split and
+            // the strided shards then have identical shard sizes, which
+            // is what makes the two schedules comparable bit-for-bit.
+            spec: DatasetSpec::MnistLike,
+            train_size: 512,
+            test_size: 16,
+            seed,
+        },
+        arch: ModelArch::MnistCnn,
+        num_clients: 512,
+        clients_per_round: 16,
+        rounds: 4,
+        local_updates: 8,
+        batch_size: 8,
+        speeds: aergia_simnet::cluster::uniform_speeds(512, 0.1, 1.0, seed),
+        mode: aergia::config::Mode::Timing,
+        client_state: ClientStateMode::CohortSampled { max_resident },
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn cohort_sampled_timing_matches_resident_and_survives_eviction() {
+    force_pool_workers();
+    use aergia::config::ClientStateMode;
+    // Under an IID split in timing mode the strided shards have exactly
+    // the shard sizes of the materialised split, so the compact
+    // cohort-sampled population must replay the resident schedule
+    // bit-for-bit — while holding only the participation cap resident.
+    let resident = {
+        let mut config = cohort_sampled_timing(44, usize::MAX);
+        config.client_state = ClientStateMode::Resident;
+        run_with_parallelism(config, Strategy::FedAvg, 1)
+    };
+    let sampled = run_with_parallelism(cohort_sampled_timing(44, 64), Strategy::FedAvg, 1);
+    assert_bit_identical(&resident, &sampled, "cohort-sampled vs resident (timing)");
+    let peak = sampled.0.rounds.iter().map(|r| r.pool.resident_clients).max().unwrap();
+    assert!(peak <= 64, "pool must stay within its cap, saw {peak} resident");
+    assert!(
+        sampled.0.rounds.iter().all(|r| r.pool.resident_bytes < 1 << 20),
+        "timing-mode resident bytes must stay tiny"
+    );
+    // A tiny cap forces eviction and rebuild every round; timing-mode
+    // results must not care (draw streams are never consumed), and the
+    // parallel run over the churning pool must match too.
+    let tiny = run_with_parallelism(cohort_sampled_timing(44, 16), Strategy::FedAvg, 1);
+    assert_bit_identical(&resident, &tiny, "tiny-cap eviction (timing)");
+    let tiny_parallel = run_with_parallelism(cohort_sampled_timing(44, 16), Strategy::FedAvg, 0);
+    assert_bit_identical(&tiny, &tiny_parallel, "tiny-cap parallel");
+    let misses: u32 = tiny.0.rounds.iter().map(|r| r.pool.misses).sum();
+    let rebuilds: u32 = tiny.0.rounds.iter().map(|r| r.pool.rebuilds).sum();
+    assert!(misses > 0, "a 512-client population must miss the 16-entry pool");
+    assert!(rebuilds > 0, "evicted clients must be rebuilt on reselection");
+}
+
+#[test]
+fn cohort_sampled_real_mode_is_bit_identical_across_parallelism_and_reruns() {
+    force_pool_workers();
+    use aergia::config::ClientStateMode;
+    // Real training over a churning pool: evicted clients hand their
+    // workspace buffers to the next admission (dirty tensors, stale
+    // fused slabs), and rebuilt batchers restart their draw streams.
+    // None of that may leak into results: serial, work-stealing and a
+    // cold rerun must agree bit-for-bit.
+    let config = || ExperimentConfig {
+        dataset: aergia_data::DataConfig {
+            spec: DatasetSpec::MnistLike,
+            train_size: 96,
+            test_size: 16,
+            seed: 45,
+        },
+        arch: ModelArch::MnistCnn,
+        num_clients: 12,
+        clients_per_round: 4,
+        rounds: 3,
+        local_updates: 6,
+        batch_size: 8,
+        speeds: aergia_simnet::cluster::uniform_speeds(12, 0.2, 1.0, 45),
+        client_state: ClientStateMode::CohortSampled { max_resident: 4 },
+        seed: 45,
+        ..ExperimentConfig::default()
+    };
+    let serial = run_with_parallelism(config(), Strategy::FedAvg, 1);
+    let rerun = run_with_parallelism(config(), Strategy::FedAvg, 1);
+    assert_bit_identical(&serial, &rerun, "cohort-sampled real rerun");
+    let parallel = run_with_parallelism(config(), Strategy::FedAvg, 0);
+    assert_bit_identical(&serial, &parallel, "cohort-sampled real parallel");
+    let rebuilds: u32 = serial.0.rounds.iter().map(|r| r.pool.rebuilds).sum();
+    assert!(rebuilds > 0, "the 4-entry pool over 12 clients must rebuild evictees");
+}
+
 #[test]
 fn fedavg_parallel_round_is_bit_identical_to_serial_and_capped() {
     force_pool_workers();

@@ -3,11 +3,48 @@
 
 use aergia::config::{ExperimentConfig, Mode};
 use aergia::engine::Engine;
+use aergia::fold;
 use aergia::scheduler::{calc_op, schedule, ClientPerf, OpVariant};
 use aergia::strategy::Strategy as FlStrategy;
 use aergia_data::{partition::Scheme, DataConfig, DatasetSpec};
 use aergia_nn::models::ModelArch;
+use aergia_tensor::Tensor;
 use proptest::prelude::*;
+
+/// Random hierarchical-fold cases: per-client weights (fractional, as
+/// async staleness discounting produces), a couple of small tensors
+/// each, τ update counts, and a random cohort assignment over a random
+/// edge count. Empty cohorts arise naturally from the random
+/// assignment, and dropped/censored clients are modelled by the varying
+/// contribution count — a censored client simply never contributes, on
+/// either side of the comparison.
+#[allow(clippy::type_complexity)]
+fn fold_case() -> impl Strategy<Value = (Vec<(f32, Vec<f32>, u32)>, Vec<usize>, usize)> {
+    (1usize..=4, 1usize..=9).prop_flat_map(|(num_edges, n)| {
+        (
+            proptest::collection::vec(
+                (0.05f32..4.0, proptest::collection::vec(-2.0f32..2.0, 6), 1u32..16),
+                n..=n,
+            ),
+            proptest::collection::vec(0usize..num_edges, n..=n),
+            Just(num_edges),
+        )
+    })
+}
+
+/// Splits six raw values into the two tensors every fold contribution
+/// carries (one matrix, one vector — shapes must survive the partial
+/// frames too).
+fn tensors_of(vals: &[f32]) -> Vec<Tensor> {
+    vec![
+        Tensor::from_vec(vals[..4].to_vec(), &[2, 2]).unwrap(),
+        Tensor::from_vec(vals[4..].to_vec(), &[2]).unwrap(),
+    ]
+}
+
+fn bits(tensors: &[Tensor]) -> Vec<Vec<u32>> {
+    tensors.iter().map(|t| t.data().iter().map(|v| v.to_bits()).collect()).collect()
+}
 
 fn perf_strategy(n: usize) -> impl Strategy<Value = Vec<ClientPerf>> {
     proptest::collection::vec((0.01f64..2.0, 1u32..64), n..=n).prop_map(|raw| {
@@ -122,6 +159,71 @@ proptest! {
             base_speeds.iter().map(|s| (s * boost).min(1.0)).collect();
         let fast = Engine::new(config(fast_speeds), FlStrategy::FedAvg).unwrap().run().unwrap();
         prop_assert!(fast.total_time() <= slow.total_time());
+    }
+
+    /// The hierarchical weighted-mean contract: for any cohort split,
+    /// any censored subset and any (staleness-discounted) weights, the
+    /// per-edge partial fold — serial, on the work-stealing pool, and
+    /// routed through the codec's partial-aggregate wire frames — is
+    /// bit-identical to the serial single-site reference evaluation of
+    /// the same tree. With a single edge the tree *is* the legacy flat
+    /// chain, so the historical single-federator bits are pinned too.
+    #[test]
+    fn hierarchical_weighted_fold_matches_reference((raw, edges, num_edges) in fold_case()) {
+        let contributions: Vec<(f32, Vec<Tensor>)> =
+            raw.iter().map(|(w, vals, _)| (*w, tensors_of(vals))).collect();
+        let expected = fold::weighted_reference(&contributions, &edges, num_edges);
+
+        let serial = fold::weighted_hierarchical(&contributions, &edges, num_edges, false);
+        prop_assert_eq!(bits(&serial), bits(&expected), "serial hierarchical != reference");
+
+        let parallel = fold::weighted_hierarchical(&contributions, &edges, num_edges, true);
+        prop_assert_eq!(bits(&parallel), bits(&expected), "parallel hierarchical != reference");
+
+        let wired = fold::merge_weighted_partials(fold::through_wire(
+            fold::weighted_edge_partials(&contributions, &edges, num_edges, false),
+        ));
+        prop_assert_eq!(bits(&wired), bits(&expected), "codec-framed hierarchical != reference");
+
+        if num_edges == 1 {
+            let flat = fold::weighted_flat(&contributions);
+            prop_assert_eq!(bits(&flat), bits(&expected), "single-edge tree != legacy flat chain");
+        }
+    }
+
+    /// The same contract for FedNova: normalized deltas and τ-effective
+    /// partials fold per edge and merge at the root bit-identically to
+    /// the single-site reference, across serial/parallel/wire-framed
+    /// evaluation, with the single-edge tree matching the legacy flat
+    /// FedNova chain.
+    #[test]
+    fn hierarchical_fednova_fold_matches_reference(
+        (raw, edges, num_edges) in fold_case(),
+        global_vals in proptest::collection::vec(-2.0f32..2.0, 6..=6),
+    ) {
+        let global = tensors_of(&global_vals);
+        let contributions: Vec<(f32, Vec<Tensor>, u32)> =
+            raw.iter().map(|(n, vals, tau)| (*n, tensors_of(vals), *tau)).collect();
+        let expected = fold::fednova_reference(&global, &contributions, &edges, num_edges);
+
+        let serial = fold::fednova_hierarchical(&global, &contributions, &edges, num_edges, false);
+        prop_assert_eq!(bits(&serial), bits(&expected), "serial fednova != reference");
+
+        let parallel = fold::fednova_hierarchical(&global, &contributions, &edges, num_edges, true);
+        prop_assert_eq!(bits(&parallel), bits(&expected), "parallel fednova != reference");
+
+        let wired = fold::merge_fednova_partials(
+            &global,
+            fold::through_wire(fold::fednova_edge_partials(
+                &global, &contributions, &edges, num_edges, false,
+            )),
+        );
+        prop_assert_eq!(bits(&wired), bits(&expected), "codec-framed fednova != reference");
+
+        if num_edges == 1 {
+            let flat = fold::fednova_flat(&global, &contributions);
+            prop_assert_eq!(bits(&flat), bits(&expected), "single-edge tree != legacy flat chain");
+        }
     }
 
     /// Aergia in timing mode never takes longer than FedAvg on the same
