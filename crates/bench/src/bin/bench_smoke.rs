@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use aergia::engine::Engine;
 use aergia::strategy::Strategy;
-use aergia_bench::regression::{from_json, is_throughput, regressions, to_json, BenchReport};
+use aergia_bench::regression::{
+    embed_telemetry, from_json, is_throughput, regressions, to_json, BenchReport,
+};
 use aergia_bench::{base_config, Scale};
 use aergia_codec::CodecConfig;
 use aergia_data::DatasetSpec;
@@ -224,6 +226,12 @@ fn main() {
     report.insert("allocs_per_round".to_string(), allocs_per_round);
     report.insert("matmul_gflops".to_string(), matmul_gflops);
     report.insert("matmul_scalar_gflops".to_string(), matmul_scalar_gflops);
+    // The deterministic in-process measurements below run with the
+    // telemetry layer on, so the artifact also carries the engine's own
+    // counters (rounds, participants, pool traffic) next to the figures
+    // derived from them. Enabled only now: the allocation budget above
+    // must see the layer's true disabled-mode (allocation-free) cost.
+    aergia_telemetry::enable();
     // Bytes-on-wire per round, per codec: deterministic figures (timing
     // mode, virtual network) gated exactly like the wall-times so protocol
     // bloat — or a codec silently falling back to dense — fails the build.
@@ -242,6 +250,10 @@ fn main() {
     let resident_client_bytes = measure_resident_client_bytes();
     eprintln!("bench_smoke: resident_client_bytes = {resident_client_bytes:.0}");
     report.insert("resident_client_bytes".to_string(), resident_client_bytes);
+    // Embed the deterministic telemetry counters those runs produced,
+    // then switch the layer back off before the shelled-out harnesses.
+    embed_telemetry(&mut report, &aergia_telemetry::snapshot());
+    aergia_telemetry::disable();
     for &name in HARNESSES {
         eprintln!("bench_smoke: running {name}");
         let started = Instant::now();

@@ -71,6 +71,51 @@ pub fn from_json(text: &str) -> Result<BenchReport, String> {
     Ok(report)
 }
 
+/// Folds a telemetry snapshot (the Prometheus-style text
+/// [`aergia_telemetry::snapshot`] renders) into a report so bench
+/// artifacts carry the run's deterministic counters next to the
+/// wall-times. Only metrics under the listed deterministic prefixes are
+/// kept — engine, pool, profile and codec figures, all pure functions
+/// of the configuration — never wall-clock metrics like GEMM GFLOP/s
+/// gauges or network round-trips. Per-bucket histogram entries are
+/// skipped (`_sum`/`_count` carry the signal at artifact granularity).
+///
+/// Embedded keys are prefixed `telemetry_` and label syntax is
+/// flattened to `[a-z0-9_]` so they survive the flat JSON format:
+/// `aergia_codec_encoded_bytes_total{codec="dense_f32"}` becomes
+/// `telemetry_aergia_codec_encoded_bytes_total_codec_dense_f32`.
+pub fn embed_telemetry(report: &mut BenchReport, snapshot_text: &str) {
+    const DETERMINISTIC_PREFIXES: &[&str] =
+        &["aergia_engine_", "aergia_pool_", "aergia_profile_", "aergia_codec_"];
+    // A malformed snapshot embeds nothing — the wall-time gate must not
+    // fail on a telemetry formatting problem.
+    let Ok(metrics) = aergia_telemetry::parse_snapshot(snapshot_text) else { return };
+    for (name, value) in metrics {
+        if !DETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            continue;
+        }
+        if name.contains("_bucket{") {
+            continue;
+        }
+        let mut key = String::with_capacity("telemetry_".len() + name.len());
+        key.push_str("telemetry_");
+        let mut last_underscore = false;
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                last_underscore = c == '_';
+                key.push(c);
+            } else if !last_underscore {
+                last_underscore = true;
+                key.push('_');
+            }
+        }
+        while key.ends_with('_') {
+            key.pop();
+        }
+        report.insert(key, value);
+    }
+}
+
 /// One benchmark whose current value breaches the regression gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -210,6 +255,43 @@ mod tests {
         let baseline = report(&[("tiny_gflops", 0.4)]);
         let current = report(&[("tiny_gflops", 0.01)]);
         assert!(regressions(&baseline, &current, 2.0).is_empty());
+    }
+
+    #[test]
+    fn telemetry_embeds_deterministic_metrics_with_flat_keys() {
+        let snapshot = "\
+# TYPE aergia_engine_rounds_total counter
+aergia_engine_rounds_total 12
+# TYPE aergia_codec_encoded_bytes_total counter
+aergia_codec_encoded_bytes_total{codec=\"dense_f32\",kind=\"features\"} 4096
+# TYPE aergia_profile_t123_seconds histogram
+aergia_profile_t123_seconds_bucket{le=\"0.1\"} 3
+aergia_profile_t123_seconds_sum 0.25
+aergia_profile_t123_seconds_count 3
+# TYPE aergia_gemm_tuned_gflops gauge
+aergia_gemm_tuned_gflops{op=\"nn\"} 42.5
+# TYPE aergia_net_order_rtt_seconds histogram
+aergia_net_order_rtt_seconds_sum 1.5
+";
+        let mut r = BenchReport::new();
+        embed_telemetry(&mut r, snapshot);
+        assert!((r["telemetry_aergia_engine_rounds_total"] - 12.0).abs() < 1e-9);
+        let flat = "telemetry_aergia_codec_encoded_bytes_total_codec_dense_f32_kind_features";
+        assert!((r[flat] - 4096.0).abs() < 1e-9, "label syntax flattens to {flat}");
+        assert!((r["telemetry_aergia_profile_t123_seconds_sum"] - 0.25).abs() < 1e-9);
+        // Per-bucket entries and wall-clock metrics stay out.
+        assert!(r.keys().all(|k| !k.contains("bucket")));
+        assert!(r.keys().all(|k| !k.contains("gemm") && !k.contains("net")));
+        // Embedded keys survive the flat JSON artifact format.
+        let parsed = from_json(&to_json(&r)).unwrap();
+        assert_eq!(parsed.len(), r.len());
+    }
+
+    #[test]
+    fn malformed_telemetry_snapshot_embeds_nothing() {
+        let mut r = report(&[("fig6_iid", 1.0)]);
+        embed_telemetry(&mut r, "aergia_engine_rounds_total not-a-number");
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

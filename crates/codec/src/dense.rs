@@ -19,6 +19,12 @@ const MAX_RANK: u32 = 16;
 
 /// Appends the dense encoding of `tensors` to `out`.
 pub fn encode_payload_into(tensors: &[Tensor], out: &mut Vec<u8>) {
+    if aergia_telemetry::enabled() {
+        crate::telemetry_hooks::record_dense_equiv(
+            crate::CodecId::DenseF32,
+            sizing::ShapeSpec::of(tensors).dense_payload_len(),
+        );
+    }
     out.reserve(sizing::ShapeSpec::of(tensors).dense_payload_len());
     for t in tensors {
         put_u32(out, t.dims().len() as u32);

@@ -25,7 +25,7 @@
 //! with a dense keyframe and a decoder never guesses.
 
 use crate::io::{put_u16, put_u32, Reader};
-use crate::{CodecError, CodecId, SectionKind};
+use crate::{telemetry_hooks, CodecError, CodecId, SectionKind};
 
 /// Frame magic bytes.
 pub const MAGIC: [u8; 4] = *b"AERG";
@@ -79,7 +79,14 @@ impl Frame {
     /// unknown, or the payload lengths disagree with the buffer.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CodecError> {
         let frame = Frame { bytes };
-        frame.sections()?; // full header + length validation
+        let sections = frame.sections()?; // full header + length validation
+        if aergia_telemetry::enabled() {
+            for s in &sections {
+                telemetry_hooks::record_section_decoded(s.codec, s.kind, s.payload.len());
+            }
+            telemetry_hooks::record_frame_decoded(frame.wire_len());
+        }
+        drop(sections);
         Ok(frame)
     }
 
@@ -203,6 +210,12 @@ impl FrameBuilder {
         }
         for (_, _, _, payload) in &self.sections {
             bytes.extend_from_slice(payload);
+        }
+        if aergia_telemetry::enabled() {
+            for (kind, codec, _, payload) in &self.sections {
+                telemetry_hooks::record_section_encoded(*codec, *kind, payload.len());
+            }
+            telemetry_hooks::record_frame_encoded(bytes.len());
         }
         Frame { bytes }
     }

@@ -52,6 +52,7 @@ pub mod io;
 pub mod partial;
 pub mod quant;
 pub mod sizing;
+mod telemetry_hooks;
 pub mod topk;
 
 use std::error::Error;

@@ -41,6 +41,12 @@ pub fn max_abs_error(scale: f32) -> f32 {
 
 /// Appends the quantized encoding of `tensors` to `out`.
 pub fn encode_payload_into(tensors: &[Tensor], out: &mut Vec<u8>) {
+    if aergia_telemetry::enabled() {
+        crate::telemetry_hooks::record_dense_equiv(
+            crate::CodecId::QuantI8,
+            ShapeSpec::of(tensors).dense_payload_len(),
+        );
+    }
     out.reserve(ShapeSpec::of(tensors).quant_payload_len());
     for t in tensors {
         put_u32(out, t.dims().len() as u32);

@@ -58,6 +58,12 @@ pub fn encode_payload_into(
     if let Some(res) = residual.as_ref() {
         assert_eq!(res.len(), current.len(), "topk: residual tensor count");
     }
+    if aergia_telemetry::enabled() {
+        crate::telemetry_hooks::record_dense_equiv(
+            crate::CodecId::TopKDelta,
+            crate::sizing::ShapeSpec::of(current).dense_payload_len(),
+        );
+    }
     let mut delta: Vec<f32> = Vec::new();
     let mut order: Vec<u32> = Vec::new();
     for (i, (cur, bas)) in current.iter().zip(base).enumerate() {

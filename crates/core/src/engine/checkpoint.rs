@@ -204,6 +204,7 @@ fn encode_record(out: &mut Vec<u8>, record: &RoundRecord) {
     put_u32(out, record.pool.hits);
     put_u32(out, record.pool.misses);
     put_u32(out, record.pool.rebuilds);
+    put_u32(out, record.pool.evictions);
     put_u32(out, record.pool.resident_clients);
     put_u64(out, record.pool.resident_bytes);
 }
@@ -235,6 +236,7 @@ fn decode_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         hits: r.u32()?,
         misses: r.u32()?,
         rebuilds: r.u32()?,
+        evictions: r.u32()?,
         resident_clients: r.u32()?,
         resident_bytes: r.u64()?,
     };

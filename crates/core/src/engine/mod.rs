@@ -25,6 +25,7 @@ mod checkpoint;
 mod churn;
 mod pool;
 mod round;
+mod telemetry;
 mod tifl;
 mod wire;
 
@@ -629,6 +630,7 @@ impl Engine {
         let round = progress.next_round;
         let mut now = progress.now;
         let record = self.run_round_with(round, &mut now, transport)?;
+        telemetry::publish_round(&record);
         progress.now = now;
         progress.rounds.push(record);
         progress.next_round = round + 1;
@@ -670,6 +672,10 @@ impl Engine {
         now: &mut SimTime,
         transport: &mut dyn Transport,
     ) -> Result<RoundRecord, EngineError> {
+        // Telemetry records are stamped from the virtual clock so traces
+        // are a pure function of the seed, like the trace itself.
+        aergia_telemetry::set_virtual_now(now.as_micros());
+        let round_span = aergia_telemetry::span!("round", round = round);
         // Churn draws happen up front, in a fixed order (availability for
         // every client, then crash points for the sorted participants), so
         // the trace is a pure function of the configuration — independent
@@ -677,7 +683,9 @@ impl Engine {
         if let Some(churn) = &mut self.churn {
             churn.begin_round();
         }
+        let select_span = aergia_telemetry::span!("round.select", round = round);
         let participants = self.select_participants(round);
+        drop(select_span);
         let crash_plan = match &mut self.churn {
             // A client can crash during its own batches or while serving an
             // offload, so the crash point ranges over both budgets.
@@ -694,22 +702,29 @@ impl Engine {
         let bytes_before = self.network.bytes_delivered();
         let outcome =
             round::simulate_round(self, round, *now, &participants, &crash_plan, transport)?;
+        let fold_span = aergia_telemetry::span!("round.fold", round = round);
         let duration = self.finalize_round(round, &outcome)?;
+        drop(fold_span);
         let bytes_on_wire = self.network.bytes_delivered() - bytes_before;
         *now += duration;
+        aergia_telemetry::set_virtual_now(now.as_micros());
 
+        let eval_span = aergia_telemetry::span!("round.eval", round = round);
         let (test_accuracy, train_loss) = match self.config.mode {
             Mode::Real => (self.evaluate_global(), outcome.mean_loss()),
             Mode::Timing => (f64::NAN, f64::NAN),
         };
+        drop(eval_span);
         if let Some(tifl) = &mut self.tifl {
             tifl.observe_accuracy(test_accuracy);
         }
         // The round's training is folded: participants become evictable
         // and the pool shrinks back to its cap before the next round (and
-        // before any checkpoint snapshots it).
-        let pool = self.pool.stats();
+        // before any checkpoint snapshots it). Shrinking first keeps this
+        // round's end-of-round evictions on its own record.
         self.pool.end_round();
+        let pool = self.pool.stats();
+        drop(round_span);
 
         Ok(RoundRecord {
             round,
@@ -750,7 +765,7 @@ impl Engine {
     /// returns the round duration.
     fn finalize_round(
         &mut self,
-        _round: u32,
+        round: u32,
         outcome: &RoundOutcome,
     ) -> Result<SimDuration, EngineError> {
         let duration = outcome.duration();
@@ -798,7 +813,7 @@ impl Engine {
         }
 
         match self.config.scenario.aggregation {
-            AggregationMode::Synchronous => self.aggregate_synchronous(contributions)?,
+            AggregationMode::Synchronous => self.aggregate_synchronous(round, contributions)?,
             AggregationMode::BufferedAsync { max_staleness, mixing } => {
                 self.fold_async(contributions, outcome.start, max_staleness, mixing);
             }
@@ -820,6 +835,7 @@ impl Engine {
     /// the rule runs once at the root, trivially matching the flat path.
     fn aggregate_synchronous(
         &mut self,
+        round: u32,
         contributions: Vec<Contribution>,
     ) -> Result<(), EngineError> {
         self.global = match self.config.scenario.robust {
@@ -861,11 +877,13 @@ impl Engine {
                 }
             }
             RobustAggregation::CoordinateMedian => {
+                telemetry::record_robust_fold(round, "coordinate_median", contributions.len());
                 let snaps: Vec<Vec<Tensor>> =
                     contributions.into_iter().map(|c| c.weights).collect();
                 w::coordinate_median(&snaps)
             }
             RobustAggregation::TrimmedMean { trim_ratio } => {
+                telemetry::record_robust_fold(round, "trimmed_mean", contributions.len());
                 let snaps: Vec<Vec<Tensor>> =
                     contributions.into_iter().map(|c| c.weights).collect();
                 let trim = (trim_ratio * snaps.len() as f64).floor() as usize;

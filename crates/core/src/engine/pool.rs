@@ -157,6 +157,7 @@ impl CohortPool {
         victims.sort_unstable();
         for &(_, client) in victims.iter().take(excess) {
             let entry = self.entries.remove(&client).expect("victim is resident");
+            self.stats.evictions += 1;
             self.evicted_ever.insert(client);
             if let Some(mut ws) = entry.ws {
                 // A recycled workspace must not leak a previous client's

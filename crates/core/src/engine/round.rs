@@ -52,7 +52,7 @@ use crate::scheduler::{self, ClientPerf};
 use crate::strategy::Strategy;
 use crate::transport::{OffloadOrder, RoundContext, TrainOrder, Transport};
 
-use super::{Engine, EngineError};
+use super::{telemetry, Engine, EngineError};
 
 /// Where an event is delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,6 +286,7 @@ pub(crate) fn simulate_round(
     // must match the size the clock is charged), and its reconstruction —
     // identical for every receiver — becomes the round base all other
     // streams diff against. Timing mode only advances the stream position.
+    let broadcast_span = aergia_telemetry::span!("round.broadcast", round = round);
     let round_base: Option<Vec<Tensor>> = if mode == Mode::Real {
         let (frame, view) = engine.broadcast_global();
         debug_assert_eq!(frame.wire_len(), sizes.start_round, "broadcast frame size drifted");
@@ -311,6 +312,7 @@ pub(crate) fn simulate_round(
         }
         None
     };
+    drop(broadcast_span);
 
     // Helper: enqueue a message through the network (drops vanish).
     // Client-originated weight payloads carry `None` in the event stage —
@@ -448,6 +450,7 @@ pub(crate) fn simulate_round(
         }};
     }
 
+    let events_span = aergia_telemetry::span!("round.events", round = round);
     while let Some((now, ev)) = queue.pop() {
         match ev {
             Ev::Deliver(Dest::Client(c), Message::StartRound { round: r, .. }) => {
@@ -467,6 +470,7 @@ pub(crate) fn simulate_round(
                     continue;
                 }
                 if crashes_now(crash_after.get(c).copied().flatten(), &mut rclients[c]) {
+                    telemetry::record_crash(round, c, now.as_micros());
                     handle_crash!(c, now);
                     continue;
                 }
@@ -528,6 +532,10 @@ pub(crate) fn simulate_round(
                 if report.round != round {
                     continue;
                 }
+                // The federator's view of the cluster's phase costs
+                // (virtual seconds, so the histograms are seed-pure).
+                telemetry::PROFILE_T123.observe(report.t123());
+                telemetry::PROFILE_T4.observe(report.t4());
                 reports.insert(client, report);
                 try_schedule!(now);
             }
@@ -581,6 +589,7 @@ pub(crate) fn simulate_round(
                     continue;
                 }
                 if crashes_now(crash_after.get(c).copied().flatten(), &mut rclients[c]) {
+                    telemetry::record_crash(round, c, now.as_micros());
                     rclients[c].offload_running = false;
                     handle_crash!(c, now);
                     continue;
@@ -633,6 +642,7 @@ pub(crate) fn simulate_round(
             }
         }
     }
+    drop(events_span);
 
     // The event trace is complete: derive every client's numeric workload
     // and (real mode) execute it, possibly in parallel.
@@ -775,6 +785,7 @@ fn execute_plans(
     let mut replied: HashSet<usize> = HashSet::new();
     let mut raw_snapshots: Vec<(usize, Vec<Tensor>)> = Vec::new();
     {
+        let _train_span = aergia_telemetry::span!("round.train", round = round);
         let ctx = RoundContext {
             round,
             round_base,
@@ -834,6 +845,7 @@ fn execute_plans(
         .collect();
     let mut features: HashMap<usize, Vec<Tensor>> = HashMap::new();
     {
+        let _offload_span = aergia_telemetry::span!("round.offload_train", round = round);
         let ctx = RoundContext {
             round,
             round_base,
@@ -872,6 +884,7 @@ fn execute_plans(
     // Uplinks cross the wire here, in fixed arrival order: the federator
     // aggregates the decoded reconstructions, and each client's
     // error-feedback residual advances exactly once per upload.
+    let _upload_span = aergia_telemetry::span!("round.upload", round = round);
     for update in updates.iter_mut() {
         let Some(mut trained) = final_weights.remove(&update.client) else { continue };
         // Byzantine clients poison the update they hand to the uplink —
@@ -879,6 +892,7 @@ fn execute_plans(
         // shape-only frame sizing are untouched, so the virtual clock
         // cannot tell an adversary from an honest client.
         if let Some(attack) = engine.config.scenario.attack_for(update.client) {
+            telemetry::record_byzantine(round, update.client);
             apply_attack(
                 &mut trained,
                 round_base,

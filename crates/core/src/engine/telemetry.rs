@@ -1,0 +1,110 @@
+//! Engine-side telemetry: the round lifecycle published onto the
+//! `aergia-telemetry` registry and event stream.
+//!
+//! Everything here runs on the federator thread at round boundaries, so
+//! every record is stamped from the virtual clock and two same-seed runs
+//! emit byte-identical JSONL (the umbrella `telemetry` test pins this).
+//! When the layer is disabled every call degrades to one relaxed atomic
+//! load.
+
+use aergia_telemetry::{LazyCounter, LazyGauge, LazyHistogram, DURATION_SECS_BUCKETS};
+
+use crate::metrics::RoundRecord;
+
+static ROUNDS: LazyCounter = LazyCounter::new("aergia_engine_rounds_total");
+static PARTICIPANTS: LazyCounter = LazyCounter::new("aergia_engine_participants_total");
+static OFFLOADS: LazyCounter = LazyCounter::new("aergia_engine_offloads_total");
+static DROPPED: LazyCounter = LazyCounter::new("aergia_engine_dropped_updates_total");
+static BYTES_ON_WIRE: LazyCounter = LazyCounter::new("aergia_engine_bytes_on_wire_total");
+static ROUND_SECS: LazyHistogram =
+    LazyHistogram::new("aergia_engine_round_duration_seconds", DURATION_SECS_BUCKETS);
+
+static POOL_HITS: LazyCounter = LazyCounter::new("aergia_pool_hits_total");
+static POOL_MISSES: LazyCounter = LazyCounter::new("aergia_pool_misses_total");
+static POOL_REBUILDS: LazyCounter = LazyCounter::new("aergia_pool_rebuilds_total");
+static POOL_EVICTIONS: LazyCounter = LazyCounter::new("aergia_pool_evictions_total");
+static POOL_RESIDENT_CLIENTS: LazyGauge = LazyGauge::new("aergia_pool_resident_clients");
+static POOL_RESIDENT_BYTES: LazyGauge = LazyGauge::new("aergia_pool_resident_bytes");
+
+/// The profiler's reported per-batch phase costs, as observed by the
+/// federator (paper §4.2's `t_{1,2,3}` and `t_4`), in virtual seconds.
+pub(crate) static PROFILE_T123: LazyHistogram =
+    LazyHistogram::new("aergia_profile_t123_seconds", DURATION_SECS_BUCKETS);
+/// See [`PROFILE_T123`].
+pub(crate) static PROFILE_T4: LazyHistogram =
+    LazyHistogram::new("aergia_profile_t4_seconds", DURATION_SECS_BUCKETS);
+
+static CRASHES: LazyCounter = LazyCounter::new("aergia_engine_crashes_total");
+static BYZANTINE: LazyCounter = LazyCounter::new("aergia_engine_byzantine_updates_total");
+static ROBUST_FOLDS: LazyCounter = LazyCounter::new("aergia_engine_robust_folds_total");
+
+/// Counts one mid-round client crash (also emits a `client.crash` event;
+/// `at` is the virtual event time).
+pub(crate) fn record_crash(round: u32, client: usize, at: u64) {
+    if !aergia_telemetry::enabled() {
+        return;
+    }
+    CRASHES.add(1);
+    aergia_telemetry::event!("client.crash", round = round, client = client, at = at);
+}
+
+/// Counts one adversarial update injected before upload (the engine
+/// *sends* the poisoned frame; whether aggregation rejects its influence
+/// is the robust rule's business).
+pub(crate) fn record_byzantine(round: u32, client: usize) {
+    if !aergia_telemetry::enabled() {
+        return;
+    }
+    BYZANTINE.add(1);
+    aergia_telemetry::event!("round.byzantine_update", round = round, client = client);
+}
+
+/// Counts one robust (median / trimmed-mean) aggregation fold.
+pub(crate) fn record_robust_fold(round: u32, rule: &'static str, contributions: usize) {
+    if !aergia_telemetry::enabled() {
+        return;
+    }
+    ROBUST_FOLDS.add(1);
+    aergia_telemetry::event!(
+        "round.robust_fold",
+        round = round,
+        rule = rule,
+        contributions = contributions
+    );
+}
+
+/// Publishes a finished round's record onto the registry, emits its
+/// offload/drop events and flushes changed metrics into the JSONL
+/// stream. Called once per round from the federator thread, after the
+/// virtual clock advanced past the round.
+pub(crate) fn publish_round(record: &RoundRecord) {
+    if !aergia_telemetry::enabled() {
+        return;
+    }
+    ROUNDS.add(1);
+    PARTICIPANTS.add(record.participants.len() as u64);
+    OFFLOADS.add(record.offloads.len() as u64);
+    DROPPED.add(record.dropped.len() as u64);
+    BYTES_ON_WIRE.add(record.bytes_on_wire);
+    ROUND_SECS.observe(record.duration.as_secs_f64());
+
+    POOL_HITS.add(u64::from(record.pool.hits));
+    POOL_MISSES.add(u64::from(record.pool.misses));
+    POOL_REBUILDS.add(u64::from(record.pool.rebuilds));
+    POOL_EVICTIONS.add(u64::from(record.pool.evictions));
+    POOL_RESIDENT_CLIENTS.set(f64::from(record.pool.resident_clients));
+    POOL_RESIDENT_BYTES.set(record.pool.resident_bytes as f64);
+
+    for &(straggler, helper) in &record.offloads {
+        aergia_telemetry::event!(
+            "round.offload",
+            round = record.round,
+            straggler = straggler,
+            helper = helper
+        );
+    }
+    for &client in &record.dropped {
+        aergia_telemetry::event!("round.drop", round = record.round, client = client);
+    }
+    aergia_telemetry::flush_metrics();
+}

@@ -75,6 +75,10 @@ pub struct WorkspacePoolStats {
     pub misses: u32,
     /// Admissions that re-created previously evicted state (⊆ `misses`).
     pub rebuilds: u32,
+    /// Clients evicted this round — during admission (cap pressure from
+    /// the round's own participants) or at round end (shrinking back to
+    /// the cap once training folded).
+    pub evictions: u32,
     /// Clients resident in the pool after this round's admissions.
     pub resident_clients: u32,
     /// Estimated bytes of resident client state after admissions.

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use aergia_net::client::{run, ClientOpts};
 
 fn usage() -> ! {
-    eprintln!("usage: aergia-client --dir RUNDIR --id N [--crash-at-round R]");
+    println!("usage: aergia-client --dir RUNDIR --id N [--crash-at-round R]");
     std::process::exit(64);
 }
 
@@ -42,7 +42,7 @@ fn main() {
 
     let opts = ClientOpts { id, port_file: dir.join("coordinator.port"), crash_at_round };
     if let Err(e) = run(&opts) {
-        eprintln!("aergia-client {id}: {e}");
+        println!("aergia-client {id}: {e}");
         std::process::exit(1);
     }
 }

@@ -6,11 +6,14 @@
 //!                    [--scenario none|async|churn|byzantine]
 //!                    [--topology flat|two-tier]
 //!                    [--halt-after-round N] [--reply-timeout-secs N]
+//!                    [--telemetry PATH]
 //! ```
 //!
 //! `RUNDIR` holds the port file, the per-round checkpoint and the final
 //! result; restarting the binary with the same directory resumes from
-//! the checkpoint.
+//! the checkpoint. `--telemetry PATH` enables the telemetry layer and
+//! dumps a Prometheus-style snapshot to `PATH` at every round boundary
+//! and on shutdown (the JSONL event stream appends to `PATH.jsonl`).
 
 #![forbid(unsafe_code)]
 
@@ -23,10 +26,11 @@ use aergia_net::presets::{
 };
 
 fn usage() -> ! {
-    eprintln!(
+    println!(
         "usage: aergia-coordinator --dir RUNDIR [--seed N] [--codec dense|quant|topk:P] \
          [--strategy aergia|fedavg|fedprox] [--scenario none|async|churn|byzantine] \
-         [--topology flat|two-tier] [--halt-after-round N] [--reply-timeout-secs N]"
+         [--topology flat|two-tier] [--halt-after-round N] [--reply-timeout-secs N] \
+         [--telemetry PATH]"
     );
     std::process::exit(64);
 }
@@ -41,6 +45,7 @@ fn main() {
     let mut topology = "flat".to_string();
     let mut halt_after_round = None;
     let mut reply_timeout = Duration::from_secs(120);
+    let mut telemetry: Option<PathBuf> = None;
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -56,6 +61,7 @@ fn main() {
             "--reply-timeout-secs" => {
                 reply_timeout = Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
             }
+            "--telemetry" => telemetry = Some(PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -66,26 +72,27 @@ fn main() {
     let Some(topology) = topology_by_name(&topology, seed) else { usage() };
 
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("aergia-coordinator: cannot create {dir:?}: {e}");
+        println!("aergia-coordinator: cannot create {dir:?}: {e}");
         std::process::exit(1);
     }
     let mut opts = CoordinatorOpts::in_dir(&dir);
     opts.halt_after_round = halt_after_round;
     opts.reply_timeout = reply_timeout;
+    opts.telemetry = telemetry;
 
     let mut config = smoke_config(seed, codec);
     config.scenario = scenario;
     match serve(config, strategy, topology, &opts) {
         Ok(Some(outcome)) => {
-            eprintln!(
+            println!(
                 "aergia-coordinator: finished {} rounds, final accuracy {:.3}",
                 outcome.result.rounds.len(),
                 outcome.result.final_accuracy
             );
         }
-        Ok(None) => eprintln!("aergia-coordinator: halted early as requested"),
+        Ok(None) => println!("aergia-coordinator: halted early as requested"),
         Err(e) => {
-            eprintln!("aergia-coordinator: {e}");
+            println!("aergia-coordinator: {e}");
             std::process::exit(1);
         }
     }

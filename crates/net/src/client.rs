@@ -41,6 +41,7 @@ use aergia_data::batcher::Batcher;
 use aergia_data::Dataset;
 use aergia_nn::optim::Sgd;
 
+use crate::log::{netlog, BACKOFFS};
 use crate::proto::{
     Hello, OffloadOrderMsg, OffloadReplyMsg, TrainOrderMsg, TrainReplyMsg, WorkerSetup,
 };
@@ -204,8 +205,10 @@ fn step_connect(opts: &ClientOpts, worker: &mut Option<Worker>, attempt: u32) ->
     match try_connect(opts, worker) {
         Ok(conn) => ClientState::Awaiting { conn },
         Err(e) => {
+            BACKOFFS.add(1);
             if attempt == 0 {
-                eprintln!("client {}: coordinator not reachable yet: {e}", opts.id);
+                netlog!("net.client.unreachable", client = opts.id;
+                    "client {}: coordinator not reachable yet: {e}", opts.id);
             }
             ClientState::Connecting { attempt: attempt.saturating_add(1) }
         }
@@ -242,7 +245,8 @@ fn try_connect(opts: &ClientOpts, worker: &mut Option<Worker>) -> Result<TcpStre
 
 fn step_await(opts: &ClientOpts, mut conn: TcpStream) -> ClientState {
     let reconnect = |why: &dyn std::fmt::Display| {
-        eprintln!("client {}: lost coordinator ({why}); reconnecting", opts.id);
+        netlog!("net.client.reconnect", client = opts.id;
+            "client {}: lost coordinator ({why}); reconnecting", opts.id);
         ClientState::Connecting { attempt: 0 }
     };
     match envelope::read_from(&mut conn) {
@@ -358,13 +362,15 @@ fn step_upload(
         // coordinator must complete the round with everyone else.
         let _ = conn.write_all(&wire[..wire.len() / 2]);
         let _ = conn.flush();
-        eprintln!("client {}: simulated crash mid-upload of round {round}", opts.id);
+        netlog!("net.client.crash", client = opts.id, round = round;
+            "client {}: simulated crash mid-upload of round {round}", opts.id);
         std::process::exit(2);
     }
     match conn.write_all(&wire) {
         Ok(()) => ClientState::Awaiting { conn },
         Err(e) => {
-            eprintln!("client {}: upload of round {round} failed ({e}); reconnecting", opts.id);
+            netlog!("net.client.upload_failed", client = opts.id, round = round;
+                "client {}: upload of round {round} failed ({e}); reconnecting", opts.id);
             ClientState::Connecting { attempt: 0 }
         }
     }

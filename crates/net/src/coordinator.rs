@@ -29,6 +29,7 @@ use aergia::transport::{
 use aergia_codec::envelope::{self, MsgKind};
 use aergia_data::batcher::{Batcher, BatcherState};
 
+use crate::log::{netlog, CONNECTS, DROPS, ENVELOPE_BYTES, ORDER_RTT_SECS, REJECTS, RESUMES};
 use crate::proto::{
     Hello, OffloadOrderMsg, OffloadReplyMsg, RunOutcome, TrainOrderMsg, TrainReplyMsg, WorkerSetup,
 };
@@ -46,6 +47,12 @@ pub struct CoordinatorOpts {
     /// Result file written once the run completes (a
     /// [`RunOutcome`] encoding).
     pub result: PathBuf,
+    /// When set, enables the telemetry layer for this process and dumps
+    /// a Prometheus-style snapshot to this path (atomically, so pollers
+    /// never see a torn file) at every round boundary and on shutdown;
+    /// the JSONL event stream appends to the same path with `.jsonl`
+    /// appended.
+    pub telemetry: Option<PathBuf>,
     /// Test hook: exit right after the checkpoint for this (0-based)
     /// round hits the disk — before any Finish or result file — to
     /// simulate a coordinator crash at a deterministic point.
@@ -64,6 +71,7 @@ impl CoordinatorOpts {
             port_file: dir.join("coordinator.port"),
             checkpoint: dir.join("run.ckpt"),
             result: dir.join("run.outcome"),
+            telemetry: None,
             halt_after_round: None,
             reply_timeout: Duration::from_secs(120),
             hello_timeout: Duration::from_secs(30),
@@ -86,10 +94,13 @@ fn exchange(
     expect: MsgKind,
     timeout: Duration,
 ) -> Result<Vec<u8>, NetError> {
+    ENVELOPE_BYTES.observe(wire.len() as f64);
+    let sent_at = std::time::Instant::now();
     stream.set_write_timeout(Some(timeout))?;
     stream.set_read_timeout(Some(timeout))?;
     stream.write_all(wire)?;
     let (kind, body) = envelope::read_from(stream)?;
+    ORDER_RTT_SECS.observe(sent_at.elapsed().as_secs_f64());
     if kind != expect {
         return Err(NetError::Protocol(format!("expected {expect:?} reply, got {kind:?}")));
     }
@@ -155,10 +166,10 @@ impl Transport for TcpTransport<'_> {
             {
                 Ok(msg) => slot.reply = Some(msg),
                 Err(e) => {
-                    eprintln!(
+                    DROPS.add(1);
+                    netlog!("net.client.drop", round = round, client = slot.order.client;
                         "coordinator: client {} lost during round {round}: {e}",
-                        slot.order.client
-                    );
+                        slot.order.client);
                     slot.stream = None;
                 }
             }
@@ -183,10 +194,10 @@ impl Transport for TcpTransport<'_> {
                         opt: None,
                     });
                 } else {
-                    eprintln!(
+                    DROPS.add(1);
+                    netlog!("net.client.inconsistent", round = round, client = client;
                         "coordinator: client {client} answered round {round} inconsistently; \
-                         dropping it"
-                    );
+                         dropping it");
                     keep = None;
                 }
             }
@@ -231,10 +242,10 @@ impl Transport for TcpTransport<'_> {
             {
                 Ok(msg) => slot.reply = Some(msg),
                 Err(e) => {
-                    eprintln!(
+                    DROPS.add(1);
+                    netlog!("net.client.drop", round = round, client = slot.order.receiver;
                         "coordinator: receiver {} lost during round {round} offload: {e}",
-                        slot.order.receiver
-                    );
+                        slot.order.receiver);
                     slot.stream = None;
                 }
             }
@@ -257,10 +268,10 @@ impl Transport for TcpTransport<'_> {
                         features: msg.features,
                     });
                 } else {
-                    eprintln!(
+                    DROPS.add(1);
+                    netlog!("net.client.inconsistent", round = round, client = receiver;
                         "coordinator: receiver {receiver} answered round {round} offload \
-                         inconsistently; dropping it"
-                    );
+                         inconsistently; dropping it");
                     keep = None;
                 }
             }
@@ -286,6 +297,9 @@ pub fn serve(
     topology: TopologyBuilder,
     opts: &CoordinatorOpts,
 ) -> Result<Option<RunOutcome>, NetError> {
+    if opts.telemetry.is_some() {
+        aergia_telemetry::enable();
+    }
     let num_clients = config.num_clients;
     let setup = WorkerSetup::from_experiment(&config, &strategy);
     let mut engine = Engine::with_topology(config, strategy, topology)?;
@@ -293,7 +307,8 @@ pub fn serve(
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let port = listener.local_addr()?.port();
     write_atomic(&opts.port_file, format!("{port}\n").as_bytes())?;
-    eprintln!("coordinator: listening on 127.0.0.1:{port}, waiting for {num_clients} clients");
+    netlog!("net.coordinator.listen", port = port, clients = num_clients;
+        "coordinator: listening on 127.0.0.1:{port}, waiting for {num_clients} clients");
 
     let welcome = envelope::encode(MsgKind::Welcome, &setup.encode());
     let mut conns: Vec<Option<TcpStream>> = (0..num_clients).map(|_| None).collect();
@@ -320,15 +335,26 @@ pub fn serve(
         match admit {
             // The newest connection for an id wins (a client that timed
             // out waiting for Welcome may have retried).
-            Ok(id) => conns[id] = Some(stream),
-            Err(e) => eprintln!("coordinator: rejected connection from {peer}: {e}"),
+            Ok(id) => {
+                CONNECTS.add(1);
+                aergia_telemetry::event!("net.coordinator.admit", client = id);
+                conns[id] = Some(stream);
+            }
+            Err(e) => {
+                REJECTS.add(1);
+                netlog!("net.coordinator.reject";
+                    "coordinator: rejected connection from {peer}: {e}");
+            }
         }
     }
-    eprintln!("coordinator: all {num_clients} clients admitted");
+    netlog!("net.coordinator.ready", clients = num_clients;
+        "coordinator: all {num_clients} clients admitted");
 
     let mut progress = if opts.checkpoint.exists() {
         let progress = engine.restore_checkpoint_from(&opts.checkpoint)?;
-        eprintln!("coordinator: resumed from checkpoint at round {}", progress.next_round);
+        RESUMES.add(1);
+        netlog!("net.coordinator.resume", round = progress.next_round;
+            "coordinator: resumed from checkpoint at round {}", progress.next_round);
         progress
     } else {
         engine.start_progress()
@@ -340,9 +366,12 @@ pub fn serve(
             engine.step_round_with(&mut progress, &mut transport)?
         };
         write_atomic(&opts.checkpoint, &engine.save_checkpoint(&progress))?;
+        dump_telemetry(opts)?;
         if let Some(halt) = opts.halt_after_round {
             if progress.next_round > halt {
-                eprintln!("coordinator: halting after round {halt} (simulated crash)");
+                netlog!("net.coordinator.halt", round = halt;
+                    "coordinator: halting after round {halt} (simulated crash)");
+                dump_telemetry(opts)?;
                 return Ok(None);
             }
         }
@@ -359,6 +388,25 @@ pub fn serve(
         // A client that died earlier simply misses the goodbye.
         let _ = conn.write_all(&finish);
     }
-    eprintln!("coordinator: run complete, result written");
+    netlog!("net.coordinator.finish";
+        "coordinator: run complete, result written");
+    dump_telemetry(opts)?;
     Ok(Some(outcome))
+}
+
+/// Dumps the telemetry sinks when [`CoordinatorOpts::telemetry`] is set:
+/// the Prometheus-style snapshot replaces the file atomically, and the
+/// JSONL event stream drained since the last dump appends to
+/// `<path>.jsonl`.
+fn dump_telemetry(opts: &CoordinatorOpts) -> Result<(), NetError> {
+    let Some(path) = &opts.telemetry else { return Ok(()) };
+    write_atomic(path, aergia_telemetry::snapshot().as_bytes())?;
+    let events = aergia_telemetry::drain_jsonl();
+    if !events.is_empty() {
+        let mut jsonl = path.as_os_str().to_owned();
+        jsonl.push(".jsonl");
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(jsonl)?;
+        file.write_all(events.as_bytes())?;
+    }
+    Ok(())
 }

@@ -58,6 +58,7 @@
 
 pub mod client;
 pub mod coordinator;
+pub(crate) mod log;
 pub mod presets;
 pub mod proto;
 

@@ -577,6 +577,7 @@ fn put_record(out: &mut Vec<u8>, record: &RoundRecord) {
     put_u32(out, record.pool.hits);
     put_u32(out, record.pool.misses);
     put_u32(out, record.pool.rebuilds);
+    put_u32(out, record.pool.evictions);
     put_u32(out, record.pool.resident_clients);
     put_u64(out, record.pool.resident_bytes);
 }
@@ -608,6 +609,7 @@ fn read_record(r: &mut Reader<'_>) -> Result<RoundRecord, CodecError> {
         hits: r.u32()?,
         misses: r.u32()?,
         rebuilds: r.u32()?,
+        evictions: r.u32()?,
         resident_clients: r.u32()?,
         resident_bytes: r.u64()?,
     };
@@ -799,6 +801,7 @@ mod tests {
                         hits: 2,
                         misses: 1,
                         rebuilds: 0,
+                        evictions: 1,
                         resident_clients: 3,
                         resident_bytes: 4096,
                     },

@@ -170,7 +170,15 @@ fn coordinator_kill_and_resume_is_invisible_in_the_result() {
 
     // First incarnation halts right after round 1's checkpoint hits disk
     // — a deterministic stand-in for yanking the coordinator mid-run.
-    let mut first = spawn_coordinator(&dir, "dense", "aergia", &["--halt-after-round", "1"]);
+    // Both incarnations dump telemetry so the snapshot survives the kill.
+    let telemetry = dir.join("telemetry.prom");
+    let telemetry_flag = telemetry.display().to_string();
+    let mut first = spawn_coordinator(
+        &dir,
+        "dense",
+        "aergia",
+        &["--halt-after-round", "1", "--telemetry", &telemetry_flag],
+    );
     let _clients: Vec<Guard> = (0..4).map(|id| spawn_client(&dir, id, None)).collect();
     assert_eq!(first.wait_exit(deadline), 0, "halted coordinator exits cleanly");
     assert!(dir.join("run.ckpt").exists(), "the halt happens after the checkpoint");
@@ -179,12 +187,36 @@ fn coordinator_kill_and_resume_is_invisible_in_the_result() {
 
     // Second incarnation restores the checkpoint; the clients reconnect
     // to the new port on their own.
-    let _second = spawn_coordinator(&dir, "dense", "aergia", &[]);
+    let _second = spawn_coordinator(&dir, "dense", "aergia", &["--telemetry", &telemetry_flag]);
     let outcome = wait_outcome(&dir, deadline);
 
     let (expected, expected_weights) = reference(CodecConfig::DenseF32, "aergia", &mut InProcess);
     assert_eq!(outcome.result, expected, "kill/resume must not perturb the run");
     assert_bit_identical(&outcome.weights, &expected_weights);
+
+    // The surviving snapshot (written atomically by the resumed process)
+    // must parse and must record the resume and the admitted clients.
+    let text = std::fs::read_to_string(&telemetry).expect("telemetry snapshot exists");
+    let metrics = aergia_telemetry::parse_snapshot(&text).expect("snapshot parses");
+    assert!(
+        metrics.get("aergia_net_checkpoint_resumes_total").copied().unwrap_or(0.0) >= 1.0,
+        "resumed coordinator must count its checkpoint restore:\n{text}"
+    );
+    assert!(
+        metrics.get("aergia_net_connects_total").copied().unwrap_or(0.0) >= 4.0,
+        "all four clients reconnect to the resumed coordinator:\n{text}"
+    );
+    assert!(
+        metrics.get("aergia_engine_rounds_total").copied().unwrap_or(0.0) >= 1.0,
+        "post-resume rounds land in the engine counters:\n{text}"
+    );
+    let jsonl = std::fs::read_to_string(dir.join("telemetry.prom.jsonl"))
+        .expect("JSONL event stream exists");
+    assert!(
+        jsonl.lines().all(|l| l.starts_with(r#"{"t":"#)),
+        "every event record is virtual-time stamped:\n{jsonl}"
+    );
+    assert!(jsonl.contains(r#""name":"net.coordinator.resume""#), "resume event logged:\n{jsonl}");
 }
 
 /// Censors one client's replies from `from_round` onward — the

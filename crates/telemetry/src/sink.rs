@@ -1,0 +1,176 @@
+//! Output sinks: JSONL record rendering and the Prometheus-style text
+//! snapshot (plus a parser for reading a snapshot back).
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use std::sync::atomic::Ordering;
+
+use crate::metrics::registry;
+use crate::span::{Record, Value};
+
+/// Appends a JSON-escaped string literal (with quotes) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON value (`null` for non-finite).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Formats an `f64` for the Prometheus snapshot.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one record as a JSON object (no trailing newline). Field
+/// order is fixed: `t`, `kind`, `name`, then payload/attributes.
+pub(crate) fn render_record(out: &mut String, record: &Record) {
+    match record {
+        Record::Span { t, kind, name, attrs } => {
+            let _ = write!(out, "{{\"t\":{t},\"kind\":\"{kind}\",\"name\":");
+            push_json_str(out, name);
+            for (key, value) in attrs {
+                let _ = write!(out, ",\"{key}\":");
+                match value {
+                    Value::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::I64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::F64(v) => push_json_f64(out, *v),
+                    Value::Str(v) => push_json_str(out, v),
+                }
+            }
+            out.push('}');
+        }
+        Record::MetricU64 { t, name, value } => {
+            let _ = write!(out, "{{\"t\":{t},\"kind\":\"metric\",\"name\":");
+            push_json_str(out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        Record::MetricF64 { t, name, value } => {
+            let _ = write!(out, "{{\"t\":{t},\"kind\":\"metric\",\"name\":");
+            push_json_str(out, name);
+            out.push_str(",\"value\":");
+            push_json_f64(out, *value);
+            out.push('}');
+        }
+        Record::Hist { t, name, count, sum } => {
+            let _ = write!(out, "{{\"t\":{t},\"kind\":\"hist\",\"name\":");
+            push_json_str(out, name);
+            let _ = write!(out, ",\"count\":{count},\"sum\":");
+            push_json_f64(out, *sum);
+            out.push('}');
+        }
+    }
+}
+
+/// Splits `name{labels}` into (`name`, `Some("labels")`), or
+/// (`name`, `None`) when the name carries no label block.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+fn push_type_line(out: &mut String, last_base: &mut String, base: &str, kind: &str) {
+    if last_base != base {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        last_base.clear();
+        last_base.push_str(base);
+    }
+}
+
+/// Renders the registry as a Prometheus-style text snapshot: one
+/// `# TYPE` comment per metric base name, then one `name value` sample
+/// per series, in sorted name order (counters, then gauges, then
+/// histograms). Histograms expand to cumulative `_bucket{le=...}`
+/// samples plus `_sum` and `_count`. Deterministic: same registry
+/// contents ⇒ byte-identical text.
+pub fn snapshot() -> String {
+    let reg = registry().lock().expect("telemetry registry poisoned");
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for (name, cell) in &reg.counters {
+        let (base, _) = split_labels(name);
+        push_type_line(&mut out, &mut last_base, base, "counter");
+        let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+    }
+    for (name, cell) in &reg.gauges {
+        let (base, _) = split_labels(name);
+        push_type_line(&mut out, &mut last_base, base, "gauge");
+        let _ = writeln!(out, "{name} {}", prom_f64(f64::from_bits(cell.load(Ordering::Relaxed))));
+    }
+    for (name, cell) in &reg.hists {
+        let (base, labels) = split_labels(name);
+        push_type_line(&mut out, &mut last_base, base, "histogram");
+        let prefix = match labels {
+            Some(labels) => format!("{base}_bucket{{{labels},le="),
+            None => format!("{base}_bucket{{le="),
+        };
+        let mut cumulative = 0u64;
+        for (i, bucket) in cell.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = cell.bounds.get(i).map_or_else(|| "+Inf".to_string(), |b| prom_f64(*b));
+            let _ = writeln!(out, "{prefix}\"{le}\"}} {cumulative}");
+        }
+        let suffix = labels.map_or_else(String::new, |l| format!("{{{l}}}"));
+        let _ = writeln!(out, "{base}_sum{suffix} {}", prom_f64(cell.sum()));
+        let _ = writeln!(out, "{base}_count{suffix} {}", cell.count.load(Ordering::Relaxed));
+    }
+    out
+}
+
+/// Parses a snapshot produced by [`snapshot`] back into a flat
+/// `sample name → value` map (comment lines are skipped). Errors on a
+/// non-comment line that is not `name value` with a numeric value.
+pub fn parse_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("snapshot line {}: no value: {line:?}", idx + 1))?;
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|e| format!("snapshot line {}: bad value {v:?}: {e}", idx + 1))?,
+        };
+        out.insert(name.trim().to_string(), value);
+    }
+    Ok(out)
+}

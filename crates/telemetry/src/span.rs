@@ -1,0 +1,157 @@
+//! Span and point events: per-thread buffers, the global event log,
+//! and the guard type behind the [`span!`](crate::span) macro.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// An attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with the shortest round-trip representation).
+    F64(f64),
+    /// String (JSON-escaped on output).
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+value_from! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+/// One record in the event stream.
+#[derive(Debug, Clone)]
+pub(crate) enum Record {
+    /// Span enter/exit or point event (`kind` ∈ enter/exit/event).
+    Span { t: u64, kind: &'static str, name: &'static str, attrs: Vec<(&'static str, Value)> },
+    /// Counter or integer-valued metric flush.
+    MetricU64 { t: u64, name: String, value: u64 },
+    /// Gauge flush.
+    MetricF64 { t: u64, name: String, value: f64 },
+    /// Histogram flush (count + sum; buckets live in the snapshot).
+    Hist { t: u64, name: String, count: u64, sum: f64 },
+}
+
+thread_local! {
+    static THREAD_BUF: RefCell<Vec<Record>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL_LOG: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn push_thread(record: Record) {
+    THREAD_BUF.with(|buf| buf.borrow_mut().push(record));
+}
+
+pub(crate) fn push_global(mut records: Vec<Record>) {
+    if records.is_empty() {
+        return;
+    }
+    GLOBAL_LOG.lock().expect("telemetry event log poisoned").append(&mut records);
+}
+
+/// Moves the calling thread's buffered span events onto the global
+/// event log, preserving their order. The engine calls this at round
+/// boundaries so that, in simulator runs, the single federator thread
+/// fully determines the stream order.
+pub fn flush_thread_events() {
+    let drained = THREAD_BUF.with(|buf| std::mem::take(&mut *buf.borrow_mut()));
+    push_global(drained);
+}
+
+/// Records a point event straight onto the global event log (skipping
+/// the per-thread buffer). Prefer the [`event!`](crate::event) macro,
+/// which checks the enabled flag before building attributes.
+pub fn point(name: &'static str, attrs: Vec<(&'static str, Value)>) {
+    if !crate::enabled() {
+        return;
+    }
+    push_global(vec![Record::Span { t: crate::virtual_now(), kind: "event", name, attrs }]);
+}
+
+/// Guard returned by [`span!`](crate::span): records `enter` when
+/// created via [`SpanGuard::enter`] and the matching `exit` on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    name: &'static str,
+    live: bool,
+}
+
+impl SpanGuard {
+    /// Records the `enter` event on the calling thread's buffer.
+    pub fn enter(name: &'static str, attrs: Vec<(&'static str, Value)>) -> Self {
+        push_thread(Record::Span { t: crate::virtual_now(), kind: "enter", name, attrs });
+        SpanGuard { name, live: true }
+    }
+
+    /// A no-op guard for when telemetry is disabled.
+    pub fn disabled() -> Self {
+        SpanGuard { name: "", live: false }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.live && crate::enabled() {
+            push_thread(Record::Span {
+                t: crate::virtual_now(),
+                kind: "exit",
+                name: self.name,
+                attrs: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Renders the global event log as JSONL (one record per line, stable
+/// field order: `t`, `kind`, `name`, then attributes in call order) and
+/// clears it. The calling thread's buffer is flushed first.
+pub fn drain_jsonl() -> String {
+    flush_thread_events();
+    let drained = std::mem::take(&mut *GLOBAL_LOG.lock().expect("telemetry event log poisoned"));
+    let mut out = String::new();
+    for record in &drained {
+        crate::sink::render_record(&mut out, record);
+        out.push('\n');
+    }
+    out
+}
+
+/// Clears the global log and the calling thread's buffer.
+pub(crate) fn reset_events() {
+    THREAD_BUF.with(|buf| buf.borrow_mut().clear());
+    GLOBAL_LOG.lock().expect("telemetry event log poisoned").clear();
+}

@@ -1,0 +1,48 @@
+//! The disabled-mode allocation budget: with telemetry off, every
+//! macro and handle must be a load-and-branch — zero heap traffic — so
+//! instrumented hot paths (GEMM tiles, codec frames, the engine round
+//! loop) keep their zero-allocation steady-state contract bit for bit.
+//!
+//! Same technique as the workspace hot-path suite: install the counting
+//! global allocator and diff the *per-thread* counter around the
+//! measured window (the process counter would see libtest harness
+//! threads).
+
+use aergia_runtime::alloc_count::CountingAllocator;
+use aergia_telemetry as tel;
+use aergia_telemetry::{event, span};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+static LAZY_COUNTER: tel::LazyCounter = tel::LazyCounter::new("zero_alloc_total");
+static LAZY_GAUGE: tel::LazyGauge = tel::LazyGauge::new("zero_alloc_gauge");
+static LAZY_HIST: tel::LazyHistogram =
+    tel::LazyHistogram::new("zero_alloc_hist", tel::DURATION_SECS_BUCKETS);
+
+#[test]
+fn disabled_telemetry_allocates_nothing() {
+    assert!(!tel::enabled(), "telemetry must default to off");
+    // Warm-up pass outside the window, in case any lazy runtime state
+    // (TLS slots etc.) initializes on first touch.
+    exercise(1);
+
+    let before = ALLOC.thread_allocations();
+    exercise(10_000);
+    let after = ALLOC.thread_allocations();
+    assert_eq!(after - before, 0, "disabled telemetry must be allocation-free in steady state");
+}
+
+/// One steady-state lap over every disabled-mode entry point.
+fn exercise(iters: u64) {
+    for i in 0..iters {
+        tel::set_virtual_now(i);
+        let _span = span!("round.fold", round = i, mode = "sim");
+        event!("round.crash", client = i);
+        LAZY_COUNTER.add(1);
+        LAZY_GAUGE.set(i as f64);
+        LAZY_HIST.observe(i as f64 * 1e-3);
+        tel::flush_thread_events();
+        tel::flush_metrics();
+    }
+}

@@ -125,8 +125,55 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
+use aergia_telemetry::LazyCounter;
+
 use crate::ops::{require_rank2, run_row_tiles};
 use crate::{Tensor, TensorError};
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+//
+// GEMM runs on pool worker threads, so only commutative counters are
+// touched here (one relaxed atomic add per driver call or row tile —
+// nothing per multiply). Span events would race the federator thread's
+// deterministic stream and are deliberately absent. The autotuner
+// additionally records its (wall-clock-measured) winner per shape as a
+// snapshot-only gauge in [`tuned_variant`].
+
+/// Driver entries by GEMM form (`matmul` / `matmul_nt` / `matmul_tn`).
+static GEMM_CALLS: [LazyCounter; 3] = [
+    LazyCounter::new("aergia_gemm_calls_total{op=\"nn\"}"),
+    LazyCounter::new("aergia_gemm_calls_total{op=\"nt\"}"),
+    LazyCounter::new("aergia_gemm_calls_total{op=\"tn\"}"),
+];
+
+/// Driver entries by dispatched ISA tier (which microkernel family ran).
+static GEMM_DISPATCH: [LazyCounter; 3] = [
+    LazyCounter::new("aergia_gemm_dispatch_total{isa=\"scalar\"}"),
+    LazyCounter::new("aergia_gemm_dispatch_total{isa=\"avx2\"}"),
+    LazyCounter::new("aergia_gemm_dispatch_total{isa=\"avx512\"}"),
+];
+
+/// Subtiles that scanned zero-free and ran the unguarded microkernel.
+static GEMM_SUBTILES_DENSE: LazyCounter = LazyCounter::new("aergia_gemm_subtiles_dense_total");
+/// Subtiles that contained zeros and took the guarded skip kernel.
+static GEMM_SUBTILES_GUARDED: LazyCounter = LazyCounter::new("aergia_gemm_subtiles_guarded_total");
+
+fn count_gemm_call(op: GemmOp, variant: KernelVariant) {
+    let op_idx = match op {
+        GemmOp::Nn => 0,
+        GemmOp::Nt => 1,
+        GemmOp::Tn => 2,
+    };
+    GEMM_CALLS[op_idx].add(1);
+    let isa_idx = match variant.isa {
+        Isa::Scalar => 0,
+        Isa::Avx2 => 1,
+        Isa::Avx512 => 2,
+    };
+    GEMM_DISPATCH[isa_idx].add(1);
+}
 
 /// Portable microkernel register-tile height: output rows accumulated at
 /// once by the scalar baseline variant.
@@ -1046,8 +1093,21 @@ fn write_back(
 pub(crate) fn gemm_packed<const SKIP: bool>(ad: &[f32], k: usize, pb: &PackedB, od: &mut [f32]) {
     let n = pb.n;
     let m = od.len() / n.max(1);
+    count_gemm_call(if SKIP { GemmOp::Nn } else { GemmOp::Nt }, pb.variant);
     run_row_tiles(od, n, m * n * k, |first_row, rows| {
         gemm_rows_tile::<SKIP>(ad, k, pb, first_row, rows);
+    });
+}
+
+/// [`gemm_packed`] minus the telemetry counters — the autotuner's trial
+/// calls run through this so synthetic tuning work (which happens only
+/// on the *first* same-shape call per process) never perturbs the
+/// deterministic call/subtile counts two same-seed runs must share.
+fn gemm_packed_untracked<const SKIP: bool>(ad: &[f32], k: usize, pb: &PackedB, od: &mut [f32]) {
+    let n = pb.n;
+    let m = od.len() / n.max(1);
+    run_row_tiles(od, n, m * n * k, |first_row, rows| {
+        gemm_rows_tile_impl::<SKIP, false>(ad, k, pb, first_row, rows);
     });
 }
 
@@ -1064,11 +1124,26 @@ pub(crate) fn gemm_rows_tile<const SKIP: bool>(
     first_row: usize,
     rows: &mut [f32],
 ) {
+    gemm_rows_tile_impl::<SKIP, true>(ad, k, pb, first_row, rows);
+}
+
+/// [`gemm_rows_tile`] with subtile accounting compile-time selectable
+/// (`TRACK = false` for the autotuner's untracked trial calls).
+fn gemm_rows_tile_impl<const SKIP: bool, const TRACK: bool>(
+    ad: &[f32],
+    k: usize,
+    pb: &PackedB,
+    first_row: usize,
+    rows: &mut [f32],
+) {
     let variant = pb.variant;
     let (mr, nr) = (variant.mr, variant.nr);
     let n = pb.n;
     let nrows = rows.len() / n;
     let mut acc = [0.0f32; MR_MAX * NR_MAX];
+    // Skip-zero accounting accumulates in locals and flushes as two
+    // atomic adds per row tile — nothing per subtile or per multiply.
+    let (mut dense_subtiles, mut guarded_subtiles) = (0u64, 0u64);
     let mut r0 = 0;
     while r0 < nrows {
         let mrows = (nrows - r0).min(mr);
@@ -1083,6 +1158,11 @@ pub(crate) fn gemm_rows_tile<const SKIP: bool>(
             *slot = row(r);
         }
         let dense = !SKIP || rows_zero_free(&tile_rows, mr);
+        if dense {
+            dense_subtiles += 1;
+        } else {
+            guarded_subtiles += 1;
+        }
         for jp in 0..n.div_ceil(nr) {
             let panel = pb.panel(jp);
             let col0 = jp * nr;
@@ -1096,6 +1176,10 @@ pub(crate) fn gemm_rows_tile<const SKIP: bool>(
         }
         r0 += mrows;
     }
+    if TRACK {
+        GEMM_SUBTILES_DENSE.add(dense_subtiles);
+        GEMM_SUBTILES_GUARDED.add(guarded_subtiles);
+    }
 }
 
 /// Driver for the packed-`A` kernel (`matmul_tn`). Row-tile boundaries are
@@ -1108,6 +1192,14 @@ pub(crate) fn gemm_rows_tile<const SKIP: bool>(
 /// tile height comes from `pa` and the panel width from `pb`, so a mixed
 /// pair has no kernel to run on.
 pub(crate) fn gemm_packed_tn(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
+    count_gemm_call(GemmOp::Tn, pa.variant);
+    gemm_packed_tn_impl::<true>(pa, pb, od);
+}
+
+/// Body of [`gemm_packed_tn`] with telemetry accounting compile-time
+/// selectable; `TRACK = false` is the autotuner's trial path (see
+/// [`gemm_packed_untracked`] for why trials must not count).
+fn gemm_packed_tn_impl<const TRACK: bool>(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
     assert_eq!(
         pa.variant, pb.variant,
         "gemm_packed_tn: operand packs were laid out for different kernel variants"
@@ -1118,6 +1210,7 @@ pub(crate) fn gemm_packed_tn(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
     run_row_tiles(od, n, m * n * k, |first_row, rows| {
         let nrows = rows.len() / n;
         let mut acc = [0.0f32; MR_MAX * NR_MAX];
+        let (mut dense_subtiles, mut guarded_subtiles) = (0u64, 0u64);
         let mut r0 = 0;
         while r0 < nrows {
             let mrows = (nrows - r0).min(mr);
@@ -1126,6 +1219,11 @@ pub(crate) fn gemm_packed_tn(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
             // tile contains zeros and so always takes the guarded path,
             // which skips (and thereby discards) the padding rows.
             let dense = tile.iter().all(|&v| v != 0.0);
+            if dense {
+                dense_subtiles += 1;
+            } else {
+                guarded_subtiles += 1;
+            }
             for jp in 0..n.div_ceil(nr) {
                 let panel = pb.panel(jp);
                 let col0 = jp * nr;
@@ -1138,6 +1236,10 @@ pub(crate) fn gemm_packed_tn(pa: &PackedA, pb: &PackedB, od: &mut [f32]) {
                 write_back(&acc, nr, rows, n, r0, mrows, col0, ncols);
             }
             r0 += mrows;
+        }
+        if TRACK {
+            GEMM_SUBTILES_DENSE.add(dense_subtiles);
+            GEMM_SUBTILES_GUARDED.add(guarded_subtiles);
         }
     });
 }
@@ -1201,10 +1303,14 @@ fn time_candidate(op: GemmOp, m: usize, k: usize, n: usize, variant: KernelVaria
     let mut best = f64::INFINITY;
     for pass in 0..3 {
         let t0 = std::time::Instant::now();
+        // Untracked entry points: trials are synthetic work that fires
+        // only on the first same-shape call per process, so letting them
+        // bump the GEMM telemetry counters would make two same-seed runs
+        // (one cold, one cache-warm) disagree.
         match op {
-            GemmOp::Nn => gemm_packed::<true>(a.data(), k, &pb, &mut out),
-            GemmOp::Nt => gemm_packed::<false>(a.data(), k, &pb, &mut out),
-            GemmOp::Tn => gemm_packed_tn(&pa, &pb, &mut out),
+            GemmOp::Nn => gemm_packed_untracked::<true>(a.data(), k, &pb, &mut out),
+            GemmOp::Nt => gemm_packed_untracked::<false>(a.data(), k, &pb, &mut out),
+            GemmOp::Tn => gemm_packed_tn_impl::<false>(&pa, &pb, &mut out),
         }
         if pass > 0 {
             best = best.min(t0.elapsed().as_secs_f64());
@@ -1235,6 +1341,26 @@ pub fn tuned_variant(op: GemmOp, m: usize, k: usize, n: usize) -> KernelVariant 
             if t < best.0 {
                 best = (t, v);
             }
+        }
+        // Record the pick and its measured throughput. The value is a
+        // wall-clock measurement, so the gauge is snapshot-only — it
+        // must never enter the (byte-identity-bound) JSONL stream. The
+        // cold tuning path is the only place a label string is built.
+        if aergia_telemetry::enabled() && best.0.is_finite() {
+            let op_label = match op {
+                GemmOp::Nn => "nn",
+                GemmOp::Nt => "nt",
+                GemmOp::Tn => "tn",
+            };
+            let gflops = 2.0 * (mt * k * n) as f64 / best.0 / 1e9;
+            let name = format!(
+                "aergia_gemm_tuned_gflops{{op=\"{op_label}\",m=\"{m}\",k=\"{k}\",n=\"{n}\",\
+                 variant=\"{}_{}x{}\"}}",
+                best.1.isa.label(),
+                best.1.mr,
+                best.1.nr
+            );
+            aergia_telemetry::gauge_snapshot_only(&name).set(gflops);
         }
         best.1
     })

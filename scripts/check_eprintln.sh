@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Logging-discipline guard: library crates must not write raw stderr.
+#
+# Every diagnostic in library code goes through the telemetry layer
+# (`netlog!` pairs a structured event with the human-readable line; see
+# docs/observability.md), so a bare `eprintln!` in `crates/*/src` is a
+# regression. Binaries (`src/bin/`) may use it for operator-facing
+# progress/error output, and `crates/net/src/log.rs` holds the single
+# sanctioned raw-stderr site the `netlog!` macro funnels through.
+#
+# Exits non-zero, listing the offending sites, when the rule is broken.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+offenders=$(
+    grep -rn 'eprintln!' crates/*/src --include='*.rs' |
+        # Allowed: binary targets and the sanctioned netlog funnel.
+        grep -v '/src/bin/' |
+        grep -v '^crates/net/src/log\.rs:' |
+        # Ignore mentions in comments (the guard's own documentation).
+        grep -v ':[0-9]*: *//' || true
+)
+
+if [ -n "$offenders" ]; then
+    echo "error: bare eprintln! in library code — route it through the" >&2
+    echo "telemetry layer instead (see docs/observability.md):" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+echo "check_eprintln: ok"
